@@ -1,0 +1,275 @@
+package rpdbscan
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// each delegating to the harness entry that regenerates the artifact (at a
+// reduced scale so `go test -bench=.` completes quickly; `cmd/rpbench`
+// runs the full-scale versions). Micro-benchmarks for the hot paths —
+// region queries, dictionary encode/decode, and the full pipeline at
+// several sizes — follow.
+
+import (
+	"fmt"
+	"testing"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/dict"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/grid"
+	"rpdbscan/internal/harness"
+)
+
+// benchScale is deliberately small: every experiment must fit a bench
+// iteration.
+func benchScale() harness.Scale {
+	s := harness.QuickScale()
+	s.N = 2000
+	return s
+}
+
+func BenchmarkFigure11Elapsed(b *testing.B) {
+	s := benchScale()
+	// One data set and two eps points per iteration keep the benchmark
+	// representative yet affordable; rpbench runs the full sweep.
+	cfg := harness.EfficiencyConfig{
+		Datasets:   []string{"SimGeoLife"},
+		EpsIndices: []int{1, 3},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Efficiency(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12Breakdown(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Breakdown(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13Imbalance(b *testing.B) {
+	s := benchScale()
+	cfg := harness.EfficiencyConfig{
+		Datasets:   []string{"SimGeoLife"},
+		Algorithms: []string{harness.AlgoESP, harness.AlgoRP},
+		EpsIndices: []int{3},
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Efficiency(s, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Imbalance < 1 {
+				b.Fatal("imbalance below 1")
+			}
+		}
+	}
+}
+
+func BenchmarkFigure14Duplication(b *testing.B) {
+	s := benchScale()
+	cfg := harness.EfficiencyConfig{
+		Datasets:   []string{"SimOSM"},
+		Algorithms: []string{harness.AlgoESP, harness.AlgoRBP, harness.AlgoRP},
+		EpsIndices: []int{3},
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Efficiency(s, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure15SpeedUp(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SpeedUp(s, harness.AlgoRP, harness.AlgoESP); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Accuracy(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Accuracy(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5DictionarySize(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.DictionarySize(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable7EdgeReduction(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.EdgeReduction(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure18SkewStats(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		harness.SkewStats(s)
+	}
+}
+
+func BenchmarkTable8SkewDictionary(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SkewDictionarySize(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure19SkewImpact(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SkewImpact(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure20And21SizeScaling(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.SizeScaling(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Micro-benchmarks for the hot paths.
+
+// BenchmarkRegionQuery measures one (eps,rho)-region query against a
+// dictionary of SimCosmo cells.
+func BenchmarkRegionQuery(b *testing.B) {
+	for _, dim := range []int{2, 3, 13} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			var ds datagen.Dataset
+			switch dim {
+			case 2:
+				ds = datagen.SimOSM(5000, 1)
+			case 3:
+				ds = datagen.SimCosmo(5000, 1)
+			default:
+				ds = datagen.SimTeraClick(5000, 1)
+			}
+			eps := ds.Eps10 / 2
+			g := grid.Build(ds.Points, eps)
+			params := dict.Params{Eps: eps, Rho: 0.01, Dim: dim}
+			entries := make([]dict.CellEntry, 0, g.NumCells())
+			for _, c := range g.Cells {
+				entries = append(entries, dict.BuildEntry(c, ds.Points, params))
+			}
+			d := dict.Build(entries, params, 0)
+			q := dict.NewQuerier(d)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				q.Count(ds.Points.At(i % ds.Points.N()))
+			}
+		})
+	}
+}
+
+// BenchmarkDictEncodeDecode measures the broadcast serialisation round
+// trip.
+func BenchmarkDictEncodeDecode(b *testing.B) {
+	ds := datagen.SimCosmo(10000, 1)
+	eps := ds.Eps10 / 2
+	g := grid.Build(ds.Points, eps)
+	params := dict.Params{Eps: eps, Rho: 0.01, Dim: 3}
+	entries := make([]dict.CellEntry, 0, g.NumCells())
+	for _, c := range g.Cells {
+		entries = append(entries, dict.BuildEntry(c, ds.Points, params))
+	}
+	d := dict.Build(entries, params, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := d.Encode()
+		if _, err := dict.Decode(buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPDBSCAN measures the full pipeline at increasing sizes (the
+// Figure 20 axis).
+func BenchmarkRPDBSCAN(b *testing.B) {
+	for _, n := range []int{2000, 8000, 32000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ds := datagen.SimCosmo(n, 1)
+			cfg := core.Config{Eps: ds.Eps10 / 2, MinPts: ds.MinPts, Rho: 0.01, NumPartitions: 8}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(ds.Points, cfg, engine.New(8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRho sweeps the approximation rate: coarser rho means a
+// smaller dictionary and cheaper queries at some accuracy risk (the Table
+// 4 / Table 5 trade-off).
+func BenchmarkAblationRho(b *testing.B) {
+	ds := datagen.SimCosmo(8000, 1)
+	for _, rho := range []float64{0.25, 0.05, 0.01} {
+		b.Run(fmt.Sprintf("rho=%.2f", rho), func(b *testing.B) {
+			cfg := core.Config{Eps: ds.Eps10 / 2, MinPts: ds.MinPts, Rho: rho, NumPartitions: 8}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(ds.Points, cfg, engine.New(8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPartitions sweeps k: more partitions shrink per-task
+// work but add merge rounds.
+func BenchmarkAblationPartitions(b *testing.B) {
+	ds := datagen.SimCosmo(8000, 1)
+	for _, k := range []int{2, 8, 32} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			cfg := core.Config{Eps: ds.Eps10 / 2, MinPts: ds.MinPts, Rho: 0.01, NumPartitions: k}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(ds.Points, cfg, engine.New(8)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactDBSCAN is the single-machine reference cost.
+func BenchmarkExactDBSCAN(b *testing.B) {
+	ds := datagen.SimCosmo(8000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dbscan.Run(ds.Points, ds.Eps10/2, ds.MinPts)
+	}
+}

@@ -1,0 +1,481 @@
+// Command rpbench regenerates the tables and figures of the RP-DBSCAN
+// paper's evaluation as text tables. Each experiment is named after the
+// paper artifact it reproduces.
+//
+// Usage:
+//
+//	rpbench [flags] [experiment ...]
+//
+// Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
+// table8 fig19 fig20 fig21, or "all". With no arguments, "all" runs.
+//
+// Flags:
+//
+//	-n       points per data set (default 20000)
+//	-workers virtual cluster size (default 40)
+//	-minpts  DBSCAN minPts (default: per-data-set calibration)
+//	-density point-density multiplier (default 20, the paper's regime)
+//	-seed    RNG seed (default 1)
+//	-quick   small preset (n=3000, workers=8) for smoke runs
+//	-svgdir  also render Figures 16/18 as SVG files into this directory
+//	-csvdir  also write machine-readable CSVs into this directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/harness"
+	"rpdbscan/internal/plot"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "points per data set")
+	workers := flag.Int("workers", 40, "virtual cluster size")
+	minPts := flag.Int("minpts", 0, "DBSCAN minPts (0: per-data-set default)")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	density := flag.Float64("density", 20, "point-density multiplier vs the calibrated reference; ~5 reproduces the paper's dense-neighborhood regime")
+	quick := flag.Bool("quick", false, "small smoke-test preset")
+	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
+	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
+	flag.Parse()
+
+	scale := harness.Scale{N: *n, Workers: *workers, MinPts: *minPts, Seed: *seed, Rho: 0.01, Density: *density}
+	if *quick {
+		scale = harness.QuickScale()
+		scale.Seed = *seed
+		scale.Density = *density
+	}
+
+	want := flag.Args()
+	if len(want) == 0 {
+		want = []string{"all"}
+	}
+	all := map[string]func(harness.Scale) error{
+		"fig11":  fig11,
+		"fig16":  fig16,
+		"fig12":  fig12,
+		"fig13":  fig13,
+		"fig14":  fig14,
+		"fig15":  fig15,
+		"table4": table4,
+		"table5": table5,
+		"table7": table7,
+		"fig18":  fig18,
+		"table8": table8,
+		"fig19":  fig19,
+		"fig20":  fig20,
+		"fig21":  fig21,
+	}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21"}
+
+	run := map[string]bool{}
+	for _, w := range want {
+		if w == "all" {
+			for _, o := range order {
+				run[o] = true
+			}
+			continue
+		}
+		if _, ok := all[w]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", w, strings.Join(order, " "))
+			os.Exit(2)
+		}
+		run[w] = true
+	}
+	for _, name := range order {
+		if !run[name] {
+			continue
+		}
+		start := time.Now()
+		if err := all[name](scale); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  (%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func header(title string) {
+	fmt.Printf("==== %s ====\n", title)
+}
+
+// csvDir is where experiments write machine-readable CSV copies (empty =
+// skip).
+var csvDir string
+
+// writeCSV writes rows (with a header) to csvDir/name, when enabled.
+func writeCSV(name, header string, rows []string) error {
+	if csvDir == "" {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString(header)
+	b.WriteByte('\n')
+	for _, r := range rows {
+		b.WriteString(r)
+		b.WriteByte('\n')
+	}
+	path := filepath.Join(csvDir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
+}
+
+// effCache memoises the efficiency sweep shared by fig11, fig13, and
+// fig14 so "all" pays for it once.
+var effCache []harness.EfficiencyRow
+
+func efficiencyRows(s harness.Scale) ([]harness.EfficiencyRow, error) {
+	if effCache != nil {
+		return effCache, nil
+	}
+	rows, err := harness.Efficiency(s, harness.EfficiencyConfig{})
+	if err != nil {
+		return nil, err
+	}
+	effCache = rows
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%s,%g,%s,%d,%.4f,%d,%d",
+			r.Dataset, r.Eps, r.Algorithm, r.Elapsed.Milliseconds(), r.Imbalance, r.Processed, r.Clusters))
+	}
+	if err := writeCSV("efficiency.csv", "dataset,eps,algorithm,elapsed_ms,imbalance,points_processed,clusters", lines); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// fig11: total elapsed time of the six parallel algorithms (also Table 6).
+func fig11(s harness.Scale) error {
+	header("Figure 11 / Table 6: total elapsed time (simulated, ms)")
+	rows, err := efficiencyRows(s)
+	if err != nil {
+		return err
+	}
+	printEff(rows, func(r harness.EfficiencyRow) string {
+		return fmt.Sprintf("%d", r.Elapsed.Milliseconds())
+	})
+	return nil
+}
+
+// fig13: load imbalance of local clustering.
+func fig13(s harness.Scale) error {
+	header("Figure 13: load imbalance (slowest/fastest split)")
+	rows, err := efficiencyRows(s)
+	if err != nil {
+		return err
+	}
+	printEff(rows, func(r harness.EfficiencyRow) string {
+		return fmt.Sprintf("%.2f", r.Imbalance)
+	})
+	return nil
+}
+
+// fig14: total points processed (data duplication).
+func fig14(s harness.Scale) error {
+	header("Figure 14: total points processed across splits")
+	rows, err := efficiencyRows(s)
+	if err != nil {
+		return err
+	}
+	printEff(rows, func(r harness.EfficiencyRow) string {
+		return fmt.Sprintf("%d", r.Processed)
+	})
+	return nil
+}
+
+// printEff prints dataset-grouped tables: one row per algorithm, one column
+// per eps.
+func printEff(rows []harness.EfficiencyRow, cell func(harness.EfficiencyRow) string) {
+	byDS := map[string][]harness.EfficiencyRow{}
+	var dsOrder []string
+	for _, r := range rows {
+		if _, ok := byDS[r.Dataset]; !ok {
+			dsOrder = append(dsOrder, r.Dataset)
+		}
+		byDS[r.Dataset] = append(byDS[r.Dataset], r)
+	}
+	for _, ds := range dsOrder {
+		sub := byDS[ds]
+		var epss []float64
+		seen := map[float64]bool{}
+		for _, r := range sub {
+			if !seen[r.Eps] {
+				seen[r.Eps] = true
+				epss = append(epss, r.Eps)
+			}
+		}
+		sort.Float64s(epss)
+		fmt.Printf("-- %s --\n%-14s", ds, "eps:")
+		for _, e := range epss {
+			fmt.Printf("%12.4g", e)
+		}
+		fmt.Println()
+		var algos []string
+		seenA := map[string]bool{}
+		for _, r := range sub {
+			if !seenA[r.Algorithm] {
+				seenA[r.Algorithm] = true
+				algos = append(algos, r.Algorithm)
+			}
+		}
+		for _, a := range algos {
+			fmt.Printf("%-14s", a)
+			for _, e := range epss {
+				for _, r := range sub {
+					if r.Algorithm == a && r.Eps == e {
+						fmt.Printf("%12s", cell(r))
+					}
+				}
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fig12(s harness.Scale) error {
+	header("Figure 12: breakdown of RP-DBSCAN elapsed time")
+	rows, err := harness.Breakdown(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("%-14s", r.Dataset)
+		for _, ph := range r.Order {
+			fmt.Printf("  %s=%.2f", ph, r.Phases[ph])
+		}
+		fmt.Printf("  (total %v)\n", r.Total.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fig15(s harness.Scale) error {
+	header("Figure 15: speed-up vs number of cores (SimCosmo)")
+	rows, err := harness.SpeedUp(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s", "cores:")
+	for _, w := range rows[0].Workers {
+		fmt.Printf("%8d", w)
+	}
+	fmt.Println()
+	var lines []string
+	for _, r := range rows {
+		fmt.Printf("%-14s", r.Algorithm)
+		for _, su := range r.SpeedUp {
+			fmt.Printf("%8.2f", su)
+		}
+		fmt.Println()
+		for i, w := range r.Workers {
+			lines = append(lines, fmt.Sprintf("%s,%d,%.4f", r.Algorithm, w, r.SpeedUp[i]))
+		}
+	}
+	if err := writeCSV("speedup.csv", "algorithm,workers,speedup", lines); err != nil {
+		return err
+	}
+	return nil
+}
+
+func table4(s harness.Scale) error {
+	header("Table 4: accuracy of RP-DBSCAN (Rand index vs exact DBSCAN)")
+	rows, err := harness.Accuracy(s)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %8s %8s %8s\n", "Data Set", "0.10", "0.05", "0.01")
+	byDS := map[string]map[float64]float64{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := byDS[r.Dataset]; !ok {
+			byDS[r.Dataset] = map[float64]float64{}
+			order = append(order, r.Dataset)
+		}
+		byDS[r.Dataset][r.Rho] = r.RandIndex
+	}
+	for _, ds := range order {
+		fmt.Printf("%-12s %8.3f %8.3f %8.3f\n", ds, byDS[ds][0.10], byDS[ds][0.05], byDS[ds][0.01])
+	}
+	// Section 2.2.1 motivation: naive random point splits lose accuracy
+	// where RP-DBSCAN's broadcast dictionary does not.
+	nrows, err := harness.NaiveComparison(s)
+	if err != nil {
+		return err
+	}
+	fmt.Println("-- naive random split (Sec. 2.2.1) vs RP-DBSCAN --")
+	for _, r := range nrows {
+		fmt.Printf("%-12s naive=%.3f  rp=%.3f\n", r.Dataset, r.RINaive, r.RIRP)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%s,%g,%.6f", r.Dataset, r.Rho, r.RandIndex))
+	}
+	if err := writeCSV("accuracy.csv", "dataset,rho,rand_index", lines); err != nil {
+		return err
+	}
+	return nil
+}
+
+func table5(s harness.Scale) error {
+	header("Table 5: size of the two-level cell dictionary (% of data)")
+	rows, err := harness.DictionarySize(s)
+	if err != nil {
+		return err
+	}
+	cur := ""
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Printf("-- %s --\n", cur)
+		}
+		fmt.Printf("  eps=%-10.4g ratio=%6.2f%%  cells=%-8d subs=%-8d encoded=%dB\n",
+			r.Eps, 100*r.Ratio, r.Cells, r.Subs, r.Bytes)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%s,%g,%.6f,%d,%d,%d,%d",
+			r.Dataset, r.Eps, r.Ratio, r.Bits, r.Bytes, r.Cells, r.Subs))
+	}
+	if err := writeCSV("dictsize.csv", "dataset,eps,ratio,bits,bytes,cells,subcells", lines); err != nil {
+		return err
+	}
+	return nil
+}
+
+func table7(s harness.Scale) error {
+	header("Table 7: edges remaining after each merge round")
+	rows, err := harness.EdgeReduction(s)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	for _, r := range rows {
+		fmt.Printf("%-14s eps=%-10.4g", r.Dataset, r.Eps)
+		for i, e := range r.Edges {
+			fmt.Printf(" r%d=%d", i, e)
+			lines = append(lines, fmt.Sprintf("%s,%g,%d,%d", r.Dataset, r.Eps, i, e))
+		}
+		fmt.Println()
+	}
+	if err := writeCSV("edges.csv", "dataset,eps,round,edges", lines); err != nil {
+		return err
+	}
+	return nil
+}
+
+func fig18(s harness.Scale) error {
+	header("Figure 18: synthetic skewness data sets (densest-cell share)")
+	for _, r := range harness.SkewStats(s) {
+		fmt.Printf("  alpha=%-6.3f top-cell share=%.3f\n", r.Alpha, r.TopCellShare)
+	}
+	if svgDir != "" {
+		for i, alpha := range harness.SkewAlphas() {
+			pts := datagen.Mixture(datagen.MixtureConfig{
+				N: s.N, Dim: 2, Components: 10, Span: 100, Alpha: alpha,
+			}, s.Seed)
+			name := filepath.Join(svgDir, fmt.Sprintf("fig18_alpha_%d.svg", i))
+			svg := plot.ScatterSVG(pts, nil, plot.Options{Title: fmt.Sprintf("alpha = %.3f", alpha)})
+			if err := os.WriteFile(name, svg, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", name)
+		}
+	}
+	return nil
+}
+
+// svgDir is where fig16/fig18 render SVG scatter plots (empty = skip).
+var svgDir string
+
+// fig16 renders RP-DBSCAN's clustering of the synthetic accuracy sets.
+func fig16(s harness.Scale) error {
+	header("Figure 16: clustering results of RP-DBSCAN")
+	imgs, err := harness.Figure16(s)
+	if err != nil {
+		return err
+	}
+	for _, img := range imgs {
+		clusters := map[int]bool{}
+		noise := 0
+		for _, l := range img.Labels {
+			if l < 0 {
+				noise++
+			} else {
+				clusters[l] = true
+			}
+		}
+		fmt.Printf("  %-12s %d clusters, %d noise of %d points\n",
+			img.Name, len(clusters), noise, len(img.Labels))
+		if svgDir != "" {
+			name := filepath.Join(svgDir, fmt.Sprintf("fig16_%s.svg", strings.ToLower(img.Name)))
+			svg := plot.ScatterSVG(img.Points, img.Labels, plot.Options{Title: img.Name})
+			if err := os.WriteFile(name, svg, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", name)
+		}
+	}
+	return nil
+}
+
+func table8(s harness.Scale) error {
+	header("Table 8: dictionary size for synthetic data sets")
+	rows, err := harness.SkewDictionarySize(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  dim=%d alpha=%-6.3f encoded=%-10d bits(Lemma4.3)=%d\n", r.Dim, r.Alpha, r.Bytes, r.Bits)
+	}
+	return nil
+}
+
+func fig19(s harness.Scale) error {
+	header("Figure 19: impact of data skewness on RP-DBSCAN")
+	rows, err := harness.SkewImpact(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  dim=%d alpha=%-6.3f imbalance=%-6.2f elapsed=%v\n",
+			r.Dim, r.Alpha, r.Imbalance, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fig20(s harness.Scale) error {
+	header("Figure 20: scalability of RP-DBSCAN to data size")
+	rows, err := harness.SizeScaling(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  x%-3d n=%-9d elapsed=%v\n", r.Multiplier, r.N, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fig21(s harness.Scale) error {
+	header("Figure 21: elapsed-time breakdown for different data sizes")
+	rows, err := harness.SizeScaling(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  x%-3d", r.Multiplier)
+		for _, ph := range r.Order {
+			fmt.Printf("  %s=%.2f", ph, r.Phases[ph])
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,43 @@
+// Command rpcalib probes the simulated data sets: for each data set and
+// each eps of its sweep it reports cluster count, noise fraction, and core
+// fraction under exact DBSCAN semantics via RP-DBSCAN at rho=0.01. It is a
+// calibration aid for the generator defaults.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/metrics"
+)
+
+func main() {
+	n := flag.Int("n", 20000, "points")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+	for _, ds := range datagen.Suite(*n, *seed) {
+		for _, eps := range ds.EpsSweep() {
+			res, err := core.Run(ds.Points, core.Config{
+				Eps: eps, MinPts: ds.MinPts, Rho: 0.01, NumPartitions: 8,
+			}, engine.New(8))
+			if err != nil {
+				fmt.Println(ds.Name, err)
+				continue
+			}
+			nn := metrics.NumNoise(res.Labels)
+			ncore := 0
+			for _, c := range res.CorePoint {
+				if c {
+					ncore++
+				}
+			}
+			fmt.Printf("%-14s eps=%-8.3g clusters=%-5d noise=%5.1f%% core=%5.1f%%\n",
+				ds.Name, eps, res.NumClusters,
+				100*float64(nn)/float64(len(res.Labels)),
+				100*float64(ncore)/float64(len(res.Labels)))
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Command rpdbscan clusters a point file with RP-DBSCAN or one of the
+// baseline parallel DBSCAN algorithms and writes per-point cluster labels.
+//
+// Usage:
+//
+//	rpdbscan -eps 0.5 -minpts 10 [flags] input.csv
+//
+// The input is CSV (one point per line, comma-separated coordinates;
+// lines starting with '#' are skipped) or the binary format written by
+// rpdatagen when -binary is set. Output (stdout or -o file) is one label
+// per input line, -1 for noise. With -labeled, the original coordinates
+// are echoed with the label appended as a last column.
+//
+// Flags:
+//
+//	-eps        DBSCAN radius (required)
+//	-minpts     DBSCAN core threshold (required)
+//	-rho        approximation rate (default 0.01)
+//	-algo       rp|esp|rbp|cbp|spark|ng|exact (default rp)
+//	-partitions number of splits (default workers)
+//	-workers    parallel workers (default GOMAXPROCS)
+//	-binary     input is rpdatagen binary format
+//	-labeled    echo coordinates with the label appended
+//	-o          output path (default stdout)
+//	-stats      print phase timings and dictionary stats to stderr
+//	-trace      write the engine report as JSON to this path
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+
+	"rpdbscan/internal/baselines/cbp"
+	"rpdbscan/internal/baselines/esp"
+	"rpdbscan/internal/baselines/ngdbscan"
+	"rpdbscan/internal/baselines/rbp"
+	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/pointio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("rpdbscan: ")
+	eps := flag.Float64("eps", 0, "DBSCAN radius (required)")
+	minPts := flag.Int("minpts", 0, "DBSCAN core threshold (required)")
+	rho := flag.Float64("rho", 0.01, "approximation rate")
+	algo := flag.String("algo", "rp", "algorithm: rp|esp|rbp|cbp|spark|ng|exact")
+	partitions := flag.Int("partitions", 0, "number of splits (default workers)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
+	binary := flag.Bool("binary", false, "input is binary point format")
+	labeled := flag.Bool("labeled", false, "echo coordinates with label appended")
+	out := flag.String("o", "", "output path (default stdout)")
+	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	trace := flag.String("trace", "", "write the engine report as JSON to this path")
+	seed := flag.Int64("seed", 1, "partitioning seed")
+	flag.Parse()
+
+	if *eps <= 0 || *minPts < 1 || flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	pts, err := readInput(flag.Arg(0), *binary)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k := *partitions
+	if k == 0 {
+		k = *workers
+	}
+	cl := engine.New(*workers)
+	var labels []int
+	var clusters int
+	switch *algo {
+	case "rp":
+		res, err := core.Run(pts, core.Config{
+			Eps: *eps, MinPts: *minPts, Rho: *rho,
+			NumPartitions: k, Seed: *seed,
+		}, cl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, clusters = res.Labels, res.NumClusters
+		if *stats {
+			fmt.Fprintf(os.Stderr, "dictionary: %d cells, %d sub-cells, %d bytes\n",
+				res.NumCells, res.NumSubCells, res.DictBytes)
+		}
+	case "esp", "rbp", "cbp", "spark":
+		cfg := regionsplit.Config{
+			Eps: *eps, MinPts: *minPts, Rho: *rho,
+			NumRegions: k, ExactLocal: *algo == "spark",
+		}
+		var res *regionsplit.Result
+		switch *algo {
+		case "esp":
+			res = esp.Run(pts, cfg, cl)
+		case "rbp":
+			res = rbp.Run(pts, cfg, cl)
+		default:
+			res = cbp.Run(pts, cfg, cl)
+		}
+		labels, clusters = res.Labels, res.NumClusters
+	case "ng":
+		res := ngdbscan.Run(pts, ngdbscan.Config{Eps: *eps, MinPts: *minPts, Seed: *seed}, cl)
+		labels, clusters = res.Labels, res.NumClusters
+	case "exact":
+		res := dbscan.Run(pts, *eps, *minPts)
+		labels, clusters = res.Labels, res.NumClusters
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	if *stats {
+		fmt.Fprintf(os.Stderr, "%d points, %d clusters\n", pts.N(), clusters)
+		fmt.Fprint(os.Stderr, cl.Report())
+	}
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cl.Report().WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := writeOutput(*out, pts, labels, *labeled); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func readInput(path string, binary bool) (*geom.Points, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if binary {
+		return pointio.ReadBinary(f)
+	}
+	return pointio.ReadCSV(f)
+}
+
+func writeOutput(path string, pts *geom.Points, labels []int, labeled bool) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	for i, l := range labels {
+		if labeled {
+			row := pts.At(i)
+			for _, v := range row {
+				bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+				bw.WriteByte(',')
+			}
+		}
+		bw.WriteString(strconv.Itoa(l))
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package rpdbscan_test
+
+import (
+	"fmt"
+
+	"rpdbscan"
+)
+
+// The basic flow: cluster points, read labels.
+func ExampleCluster() {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1}, {0.1, 0.1}, // a dense square
+		{5, 5}, {5.1, 5}, {5, 5.1}, {5.1, 5.1}, // another
+		{100, 100}, // an outlier
+	}
+	res, err := rpdbscan.Cluster(points, rpdbscan.Options{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("clusters:", res.NumClusters)
+	fmt.Println("outlier label:", res.Labels[8])
+	fmt.Println("same cluster:", res.Labels[0] == res.Labels[3])
+	// Output:
+	// clusters: 2
+	// outlier label: -1
+	// same cluster: true
+}
+
+// Validating parameters against the exact algorithm on a sample.
+func ExampleRandIndex() {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+		{9, 9}, {9.1, 9}, {9, 9.1},
+	}
+	approx, _ := rpdbscan.Cluster(points, rpdbscan.Options{Eps: 0.5, MinPts: 2})
+	exact, _ := rpdbscan.ExactDBSCAN(points, 0.5, 2)
+	fmt.Printf("agreement: %.2f\n", rpdbscan.RandIndex(approx.Labels, exact.Labels))
+	// Output:
+	// agreement: 1.00
+}
+
+// Previewing the broadcast dictionary before a large run.
+func ExampleEstimateDictionary() {
+	points := [][]float64{
+		{0, 0}, {0.1, 0}, {3, 3}, {3.1, 3},
+	}
+	est, err := rpdbscan.EstimateDictionary(points, 1.0, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cells:", est.Cells)
+	// Output:
+	// cells: 2
+}

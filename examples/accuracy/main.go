@@ -1,0 +1,57 @@
+// Accuracy demo: validates that RP-DBSCAN's rho-approximation is
+// practically lossless, the Table 4 experiment of the paper. Two
+// interleaving half-moons are clustered with exact DBSCAN and with
+// RP-DBSCAN at three approximation rates; the Rand index compares the
+// results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"rpdbscan"
+)
+
+func moons(n int, noise float64, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, 0, n)
+	for i := 0; i < n; i++ {
+		t := rng.Float64() * math.Pi
+		var x, y float64
+		if i%2 == 0 {
+			x, y = math.Cos(t), math.Sin(t)
+		} else {
+			x, y = 1-math.Cos(t), 0.5-math.Sin(t)
+		}
+		pts = append(pts, []float64{
+			x + rng.NormFloat64()*noise,
+			y + rng.NormFloat64()*noise,
+		})
+	}
+	return pts
+}
+
+func main() {
+	points := moons(10000, 0.04, 3)
+	const eps, minPts = 0.1, 10
+
+	exact, err := rpdbscan.ExactDBSCAN(points, eps, minPts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact DBSCAN: %d clusters\n", exact.NumClusters)
+
+	for _, rho := range []float64{0.10, 0.05, 0.01} {
+		res, err := rpdbscan.Cluster(points, rpdbscan.Options{
+			Eps: eps, MinPts: minPts, Rho: rho, Partitions: 8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ri := rpdbscan.RandIndex(exact.Labels, res.Labels)
+		fmt.Printf("rho=%.2f: %d clusters, Rand index vs exact = %.4f\n",
+			rho, res.NumClusters, ri)
+	}
+}

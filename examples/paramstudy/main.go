@@ -1,0 +1,77 @@
+// Parameter study: how to pick Eps and budget the dictionary broadcast
+// before running RP-DBSCAN on real data. The k-distance heuristic suggests
+// an Eps, EstimateDictionary previews the broadcast size at that Eps, and
+// the final clustering validates the choice.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rpdbscan"
+)
+
+func main() {
+	// A workload with unknown "right" parameters: three clusters of very
+	// different densities plus background noise.
+	rng := rand.New(rand.NewSource(5))
+	var points [][]float64
+	emit := func(cx, cy, std float64, n int) {
+		for i := 0; i < n; i++ {
+			points = append(points, []float64{
+				cx + rng.NormFloat64()*std,
+				cy + rng.NormFloat64()*std,
+			})
+		}
+	}
+	emit(0, 0, 0.3, 2000)
+	emit(15, 0, 0.8, 1500)
+	emit(7, 12, 0.5, 1200)
+	for i := 0; i < 300; i++ {
+		points = append(points, []float64{rng.Float64()*25 - 3, rng.Float64()*18 - 3})
+	}
+
+	const minPts = 10
+
+	// Step 1: the k-distance curve. Quantiles show the knee region.
+	ds, err := rpdbscan.KDistances(points, minPts-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("k-distance quantiles (k = minPts-1):")
+	for _, q := range []float64{0.25, 0.5, 0.75, 0.9, 0.99} {
+		fmt.Printf("  %4.0f%%: %.3f\n", q*100, ds[int(q*float64(len(ds)-1))])
+	}
+
+	// Step 2: a suggested Eps at the knee.
+	eps, err := rpdbscan.SuggestEps(points, minPts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suggested eps: %.3f\n", eps)
+
+	// Step 3: preview the broadcast cost at this eps.
+	est, err := rpdbscan.EstimateDictionary(points, eps, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dictionary at eps=%.3f: %d cells, %d sub-cells, %d bytes broadcast\n",
+		eps, est.Cells, est.SubCells, est.Bytes)
+
+	// Step 4: cluster and validate against the exact algorithm on this
+	// sample.
+	res, err := rpdbscan.Cluster(points, rpdbscan.Options{Eps: eps, MinPts: minPts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := rpdbscan.ExactDBSCAN(points, eps, minPts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clusters: %d (exact DBSCAN agrees: Rand %.4f, ARI %.4f, NMI %.4f)\n",
+		res.NumClusters,
+		rpdbscan.RandIndex(res.Labels, exact.Labels),
+		rpdbscan.AdjustedRandIndex(res.Labels, exact.Labels),
+		rpdbscan.NormalizedMutualInformation(res.Labels, exact.Labels))
+}

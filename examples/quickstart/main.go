@@ -1,0 +1,54 @@
+// Quickstart: cluster a small 2-d data set with RP-DBSCAN and print the
+// result. This is the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rpdbscan"
+)
+
+func main() {
+	// Three Gaussian blobs plus a few outliers.
+	rng := rand.New(rand.NewSource(42))
+	var points [][]float64
+	centers := [][2]float64{{0, 0}, {10, 0}, {5, 9}}
+	for _, c := range centers {
+		for i := 0; i < 300; i++ {
+			points = append(points, []float64{
+				c[0] + rng.NormFloat64()*0.5,
+				c[1] + rng.NormFloat64()*0.5,
+			})
+		}
+	}
+	points = append(points, []float64{-20, -20}, []float64{30, 30})
+
+	res, err := rpdbscan.Cluster(points, rpdbscan.Options{
+		Eps:    0.8,
+		MinPts: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clustered %d points into %d clusters\n", len(points), res.NumClusters)
+	sizes := map[int]int{}
+	noise := 0
+	for _, l := range res.Labels {
+		if l == rpdbscan.Noise {
+			noise++
+		} else {
+			sizes[l]++
+		}
+	}
+	for c := 0; c < res.NumClusters; c++ {
+		fmt.Printf("  cluster %d: %d points\n", c, sizes[c])
+	}
+	fmt.Printf("  noise: %d points\n", noise)
+	fmt.Printf("dictionary: %d cells, %d sub-cells, %d bytes broadcast\n",
+		res.Stats.Cells, res.Stats.SubCells, res.Stats.DictionaryBytes)
+	fmt.Printf("simulated parallel elapsed: %v (load imbalance %.2f)\n",
+		res.Stats.Elapsed, res.Stats.LoadImbalance)
+}

@@ -1,0 +1,3 @@
+module rpdbscan
+
+go 1.22

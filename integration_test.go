@@ -1,0 +1,217 @@
+package rpdbscan
+
+// End-to-end integration tests: the command-line tools are built once and
+// exercised as a user would run them (generate data -> cluster -> inspect
+// labels), and the library pipeline is validated across modules.
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// buildTools compiles the cmd binaries once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "rpdbscan-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"rpdbscan", "rpdatagen", "rpbench", "rpplot", "rpcalib"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(binDir, tool), "./cmd/"+tool)
+			cmd.Env = os.Environ()
+			if out, err := cmd.CombinedOutput(); err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", tool, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v", buildErr)
+	}
+	return binDir
+}
+
+func TestCLIGenerateAndCluster(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pts.csv")
+
+	gen := exec.Command(filepath.Join(bin, "rpdatagen"), "-dataset", "moons", "-n", "3000", "-o", data)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("rpdatagen: %v\n%s", err, out)
+	}
+
+	var stdout bytes.Buffer
+	cluster := exec.Command(filepath.Join(bin, "rpdbscan"), "-eps", "0.1", "-minpts", "8", data)
+	cluster.Stdout = &stdout
+	if err := cluster.Run(); err != nil {
+		t.Fatalf("rpdbscan: %v", err)
+	}
+	labels := map[string]int{}
+	sc := bufio.NewScanner(&stdout)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		labels[sc.Text()]++
+		if _, err := strconv.Atoi(sc.Text()); err != nil {
+			t.Fatalf("non-integer label %q", sc.Text())
+		}
+	}
+	if lines != 3000 {
+		t.Fatalf("got %d labels, want 3000", lines)
+	}
+	// The two moons must both be present as clusters.
+	if labels["0"] == 0 || labels["1"] == 0 {
+		t.Fatalf("expected clusters 0 and 1, got %v", labels)
+	}
+}
+
+func TestCLIBinaryFormatAndBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pts.bin")
+
+	gen := exec.Command(filepath.Join(bin, "rpdatagen"), "-dataset", "blobs", "-n", "1500", "-binary", "-o", data)
+	if out, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("rpdatagen: %v\n%s", err, out)
+	}
+	for _, algo := range []string{"rp", "esp", "exact"} {
+		var stdout bytes.Buffer
+		cmd := exec.Command(filepath.Join(bin, "rpdbscan"),
+			"-eps", "0.35", "-minpts", "8", "-algo", algo, "-binary", data)
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("rpdbscan -algo %s: %v", algo, err)
+		}
+		distinct := map[string]bool{}
+		for _, l := range strings.Fields(stdout.String()) {
+			if l != "-1" {
+				distinct[l] = true
+			}
+		}
+		if len(distinct) != 5 {
+			t.Fatalf("algo %s found %d clusters, want 5", algo, len(distinct))
+		}
+	}
+}
+
+func TestCLIBenchQuickExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	var stdout bytes.Buffer
+	cmd := exec.Command(filepath.Join(bin, "rpbench"), "-quick", "table4")
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rpbench: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "Moons") {
+		t.Fatalf("unexpected rpbench output:\n%s", out)
+	}
+}
+
+func TestCLICalib(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	var stdout bytes.Buffer
+	cmd := exec.Command(filepath.Join(bin, "rpcalib"), "-n", "800")
+	cmd.Stdout = &stdout
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rpcalib: %v\n%s", err, stdout.String())
+	}
+	out := stdout.String()
+	for _, ds := range []string{"SimGeoLife", "SimCosmo", "SimOSM", "SimTeraClick"} {
+		if !strings.Contains(out, ds) {
+			t.Fatalf("rpcalib output missing %s:\n%s", ds, out)
+		}
+	}
+	if !strings.Contains(out, "clusters=") || !strings.Contains(out, "noise=") {
+		t.Fatalf("rpcalib output missing fields:\n%s", out)
+	}
+}
+
+func TestCLIPlot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pts.csv")
+	svg := filepath.Join(dir, "out.svg")
+	gen := exec.Command(filepath.Join(bin, "rpdatagen"), "-dataset", "moons", "-n", "800", "-o", data)
+	if o, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("rpdatagen: %v\n%s", err, o)
+	}
+	cmd := exec.Command(filepath.Join(bin, "rpplot"),
+		"-eps", "0.1", "-minpts", "6", "-o", svg, "-title", "moons", data)
+	if o, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("rpplot: %v\n%s", err, o)
+	}
+	raw, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(raw)
+	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "<circle") || !strings.Contains(s, "moons") {
+		t.Fatal("rpplot produced malformed SVG")
+	}
+}
+
+func TestLabeledOutputRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pts.csv")
+	out := filepath.Join(dir, "labeled.csv")
+
+	gen := exec.Command(filepath.Join(bin, "rpdatagen"), "-dataset", "blobs", "-n", "900", "-o", data)
+	if o, err := gen.CombinedOutput(); err != nil {
+		t.Fatalf("rpdatagen: %v\n%s", err, o)
+	}
+	cmd := exec.Command(filepath.Join(bin, "rpdbscan"),
+		"-eps", "0.35", "-minpts", "8", "-labeled", "-o", out, data)
+	if o, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("rpdbscan: %v\n%s", err, o)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 900 {
+		t.Fatalf("labeled output has %d lines, want 900", len(lines))
+	}
+	for _, line := range lines[:10] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 { // x, y, label
+			t.Fatalf("labeled row %q has %d fields, want 3", line, len(fields))
+		}
+	}
+}

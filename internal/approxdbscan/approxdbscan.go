@@ -1,0 +1,124 @@
+// Package approxdbscan implements rho-approximate DBSCAN in the style of
+// Gan and Tao, the cell-based single-machine algorithm the paper retrofits
+// into the region-split baselines (Section 7.1.2) for a fair comparison
+// with RP-DBSCAN. It reuses the two-level cell dictionary for approximate
+// region queries and the cell graph for cluster formation, all within one
+// process.
+package approxdbscan
+
+import (
+	"rpdbscan/internal/dict"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/graph"
+	"rpdbscan/internal/grid"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Result holds the clustering output.
+type Result struct {
+	Labels      []int
+	CorePoint   []bool
+	NumClusters int
+}
+
+// Run clusters pts with radius eps, core threshold minPts, and
+// approximation rate rho. Cluster ids are deterministic.
+func Run(pts *geom.Points, eps float64, minPts int, rho float64) *Result {
+	n := pts.N()
+	res := &Result{
+		Labels:    make([]int, n),
+		CorePoint: make([]bool, n),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		return res
+	}
+	g := grid.Build(pts, eps)
+	params := dict.Params{Eps: eps, Rho: rho, Dim: pts.Dim}
+	entries := make([]dict.CellEntry, 0, g.NumCells())
+	cells := make([]*grid.Cell, 0, g.NumCells())
+	for _, c := range g.Cells {
+		entries = append(entries, dict.BuildEntry(c, pts, params))
+		cells = append(cells, c)
+	}
+	d := dict.Build(entries, params, 0)
+	q := dict.NewQuerier(d)
+
+	cg := graph.New(d.NumCells)
+	ids := make([]int32, len(cells))
+	cellCore := make([]bool, len(cells))
+	corePts := make([][]int, len(cells))
+	var neighborCells []int32
+	nc := make(map[int32]struct{})
+	for ci, cell := range cells {
+		id, ok := d.IDOf(cell.Key)
+		if !ok {
+			panic("approxdbscan: occupied cell missing from dictionary")
+		}
+		ids[ci] = id
+		clear(nc)
+		for _, pi := range cell.Points {
+			neighborCells = neighborCells[:0]
+			count, out := q.Query(pts.At(pi), true, neighborCells)
+			neighborCells = out
+			if count >= int64(minPts) {
+				res.CorePoint[pi] = true
+				cellCore[ci] = true
+				corePts[ci] = append(corePts[ci], pi)
+				for _, nk := range neighborCells {
+					nc[nk] = struct{}{}
+				}
+			}
+		}
+		if cellCore[ci] {
+			cg.SetVertex(id, graph.Core)
+			for nk := range nc {
+				cg.AddEdge(id, nk)
+			}
+		} else {
+			cg.SetVertex(id, graph.NonCore)
+		}
+	}
+	global := graph.Tournament([]*graph.Graph{cg}, nil, nil)
+	comp, numClusters := global.CoreComponents()
+	res.NumClusters = numClusters
+	preds := global.PartialPredecessors()
+
+	coreByCell := make([][]int, d.NumCells)
+	for ci := range cells {
+		if cellCore[ci] {
+			coreByCell[ids[ci]] = corePts[ci]
+		}
+	}
+	eps2 := eps * eps
+	for ci, cell := range cells {
+		if cellCore[ci] {
+			cid := int(comp[ids[ci]])
+			for _, pi := range cell.Points {
+				res.Labels[pi] = cid
+			}
+			continue
+		}
+		pcs := preds[ids[ci]]
+		for _, qi := range cell.Points {
+			qp := pts.At(qi)
+		predLoop:
+			for _, pk := range pcs {
+				if comp[pk] < 0 {
+					continue
+				}
+				for _, pi := range coreByCell[pk] {
+					if geom.Dist2(qp, pts.At(pi)) <= eps2 {
+						res.Labels[qi] = int(comp[pk])
+						break predLoop
+					}
+				}
+			}
+		}
+	}
+	return res
+}

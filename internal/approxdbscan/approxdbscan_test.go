@@ -1,0 +1,81 @@
+package approxdbscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+func TestEmpty(t *testing.T) {
+	res := Run(geom.NewPoints(2, 0), 1, 3, 0.01)
+	if res.NumClusters != 0 {
+		t.Fatal("empty input produced clusters")
+	}
+}
+
+func TestMatchesExactOnMoons(t *testing.T) {
+	pts := datagen.Moons(2000, 0.04, 1)
+	exact := dbscan.Run(pts, 0.12, 10)
+	approx := Run(pts, 0.12, 10, 0.01)
+	if ri := metrics.RandIndex(exact.Labels, approx.Labels); ri < 0.999 {
+		t.Fatalf("RandIndex = %.4f", ri)
+	}
+	if approx.NumClusters != exact.NumClusters {
+		t.Fatalf("clusters: approx %d, exact %d", approx.NumClusters, exact.NumClusters)
+	}
+}
+
+func TestMatchesExactOnBlobs(t *testing.T) {
+	pts := datagen.Blobs(2400, 4, 0.4, 2)
+	exact := dbscan.Run(pts, 0.35, 10)
+	approx := Run(pts, 0.35, 10, 0.01)
+	if ri := metrics.RandIndex(exact.Labels, approx.Labels); ri < 0.999 {
+		t.Fatalf("RandIndex = %.4f", ri)
+	}
+}
+
+// Property: at rho=0.01 the approximate clusterer matches exact DBSCAN on
+// random mixtures, up to the Theorem 5.4 sandwich — on knife-edge
+// configurations where a +/-rho/2 change of eps legitimately flips cluster
+// connectivity, the approximate result must instead match exact DBSCAN at
+// one of the sandwich radii.
+func TestEquivalenceProperty(t *testing.T) {
+	const rho = 0.01
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := datagen.Mixture(datagen.MixtureConfig{
+			N: 500 + r.Intn(700), Dim: 2 + r.Intn(2),
+			Components: 3 + r.Intn(4), Span: 25, Alpha: 2, NoiseFrac: 0.08,
+		}, seed)
+		eps, minPts := 0.8, 8
+		approx := Run(pts, eps, minPts, rho)
+		for _, refEps := range []float64{eps, (1 - rho/2) * eps, (1 + rho/2) * eps} {
+			ref := dbscan.Run(pts, refEps, minPts)
+			if metrics.RandIndex(ref.Labels, approx.Labels) >= 0.99 {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseStaysNoise(t *testing.T) {
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 10; i++ {
+		pts.Append([]float64{float64(i) * 50, 0})
+	}
+	res := Run(pts, 1, 3, 0.01)
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("isolated point clustered")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Package cbp implements CBP-DBSCAN, the cost-based partitioning baseline
+// (MR-DBSCAN, He et al.): cuts balance an estimated local-clustering cost
+// that accounts for both the number and the distribution of points, using a
+// density histogram along each axis. SPARK-DBSCAN is the same partitioning
+// with an exact (non-approximate) local clusterer; select it with
+// Config.ExactLocal.
+package cbp
+
+import (
+	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+)
+
+// histBins is the resolution of the per-axis cost histogram.
+const histBins = 64
+
+// Cut estimates, for each axis, the clustering cost of every histogram
+// prefix (cost of a bin grows quadratically with its population, modelling
+// the neighborhood-join work of dense areas) and cuts where the prefix cost
+// fraction crosses kLeft/(kLeft+kRight) on the axis whose cut is cheapest
+// in boundary terms.
+func Cut(pts *geom.Points, idx []int, box geom.Box, eps float64, kLeft, kRight int) (int, float64) {
+	axis := regionsplit.WidestAxis(box)
+	lo, hi := box.Min[axis], box.Max[axis]
+	if hi <= lo {
+		return axis, lo
+	}
+	var bins [histBins]float64
+	w := (hi - lo) / histBins
+	for _, i := range idx {
+		b := int((pts.At(i)[axis] - lo) / w)
+		if b < 0 {
+			b = 0
+		} else if b >= histBins {
+			b = histBins - 1
+		}
+		bins[b]++
+	}
+	var total float64
+	for _, c := range bins {
+		total += c * c
+	}
+	if total == 0 {
+		return axis, (lo + hi) / 2
+	}
+	target := total * float64(kLeft) / float64(kLeft+kRight)
+	var acc float64
+	for b := 0; b < histBins; b++ {
+		acc += bins[b] * bins[b]
+		if acc >= target {
+			return axis, lo + w*float64(b+1)
+		}
+	}
+	return axis, hi
+}
+
+// Run executes CBP-DBSCAN (or SPARK-DBSCAN when cfg.ExactLocal is set).
+func Run(pts *geom.Points, cfg regionsplit.Config, cl *engine.Cluster) *regionsplit.Result {
+	return regionsplit.Run(pts, cfg, Cut, cl)
+}

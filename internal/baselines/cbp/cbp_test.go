@@ -1,0 +1,76 @@
+package cbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/geom"
+)
+
+func box(pts *geom.Points) geom.Box {
+	b := geom.NewBox(pts.Dim)
+	for i := 0; i < pts.N(); i++ {
+		b.Extend(pts.At(i))
+	}
+	return b
+}
+
+func idx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCutBalancesCostNotCount(t *testing.T) {
+	// A dense pile (900 points near x=0.5) and a sparse tail (100 points
+	// spread over x in [2,10]). Quadratic bin cost makes the pile far
+	// more expensive than its share of points, so a cost-balancing 1:1
+	// cut lands near the pile — even earlier than the count median.
+	r := rand.New(rand.NewSource(1))
+	pts := geom.NewPoints(2, 0)
+	row := make([]float64, 2)
+	for i := 0; i < 900; i++ {
+		row[0], row[1] = 0.25+r.Float64()*0.5, r.Float64()
+		pts.Append(row)
+	}
+	for i := 0; i < 100; i++ {
+		row[0], row[1] = 2+r.Float64()*8, r.Float64()
+		pts.Append(row)
+	}
+	axis, cut := Cut(pts, idx(pts.N()), box(pts), 0.1, 1, 1)
+	if axis != 0 {
+		t.Fatalf("axis = %d, want 0", axis)
+	}
+	if cut > 1.0 {
+		t.Fatalf("cost-based cut at %v, want inside/near the dense pile", cut)
+	}
+}
+
+func TestCutUniformNearMiddle(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := geom.NewPoints(2, 4000)
+	row := make([]float64, 2)
+	for i := 0; i < 4000; i++ {
+		row[0], row[1] = r.Float64()*10, r.Float64()
+		pts.Append(row)
+	}
+	_, cut := Cut(pts, idx(4000), box(pts), 0.1, 1, 1)
+	if cut < 4 || cut > 6 {
+		t.Fatalf("uniform-data cut at %v, want near 5", cut)
+	}
+}
+
+func TestCutDegenerate(t *testing.T) {
+	// All points identical: any cut in range is acceptable, no panic.
+	pts := geom.NewPoints(2, 10)
+	for i := 0; i < 10; i++ {
+		pts.Append([]float64{3, 3})
+	}
+	axis, cut := Cut(pts, idx(10), box(pts), 0.1, 1, 1)
+	if axis < 0 || axis > 1 {
+		t.Fatalf("bad axis %d", axis)
+	}
+	_ = cut
+}

@@ -1,0 +1,24 @@
+// Package esp implements ESP-DBSCAN, the even-split partitioning baseline
+// (RDD-DBSCAN, Cordova and Moh): every cut divides the region so both
+// sides receive a number of points proportional to the number of leaf
+// regions they will be split into.
+package esp
+
+import (
+	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+)
+
+// Cut places the cut at the kLeft/(kLeft+kRight) quantile along the widest
+// axis of the region, evening out point counts.
+func Cut(pts *geom.Points, idx []int, box geom.Box, eps float64, kLeft, kRight int) (int, float64) {
+	axis := regionsplit.WidestAxis(box)
+	q := float64(kLeft) / float64(kLeft+kRight)
+	return axis, regionsplit.Quantile(pts, idx, axis, q)
+}
+
+// Run executes ESP-DBSCAN.
+func Run(pts *geom.Points, cfg regionsplit.Config, cl *engine.Cluster) *regionsplit.Result {
+	return regionsplit.Run(pts, cfg, Cut, cl)
+}

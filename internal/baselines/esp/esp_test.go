@@ -1,0 +1,87 @@
+package esp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/geom"
+)
+
+func uniformPts(n int, seed int64) *geom.Points {
+	r := rand.New(rand.NewSource(seed))
+	pts := geom.NewPoints(2, n)
+	row := make([]float64, 2)
+	for i := 0; i < n; i++ {
+		row[0], row[1] = r.Float64()*10, r.Float64()*4
+		pts.Append(row)
+	}
+	return pts
+}
+
+func box(pts *geom.Points) geom.Box {
+	b := geom.NewBox(pts.Dim)
+	for i := 0; i < pts.N(); i++ {
+		b.Extend(pts.At(i))
+	}
+	return b
+}
+
+func idx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCutBalancesEvenSplit(t *testing.T) {
+	pts := uniformPts(2000, 1)
+	axis, cut := Cut(pts, idx(2000), box(pts), 0.1, 1, 1)
+	if axis != 0 {
+		t.Fatalf("axis = %d, want widest (0)", axis)
+	}
+	left := 0
+	for i := 0; i < pts.N(); i++ {
+		if pts.At(i)[axis] < cut {
+			left++
+		}
+	}
+	if left < 900 || left > 1100 {
+		t.Fatalf("even split put %d/2000 points left", left)
+	}
+}
+
+func TestCutProportionalSplit(t *testing.T) {
+	pts := uniformPts(3000, 2)
+	// 1:3 leaf ratio: about a quarter of the points go left.
+	axis, cut := Cut(pts, idx(3000), box(pts), 0.1, 1, 3)
+	left := 0
+	for i := 0; i < pts.N(); i++ {
+		if pts.At(i)[axis] < cut {
+			left++
+		}
+	}
+	if left < 600 || left > 900 {
+		t.Fatalf("1:3 split put %d/3000 points left, want ~750", left)
+	}
+}
+
+func TestCutSkewedData(t *testing.T) {
+	// 90% of points piled near x=0: the median cut must land inside the
+	// pile, not at the geometric middle.
+	r := rand.New(rand.NewSource(3))
+	pts := geom.NewPoints(2, 1000)
+	row := make([]float64, 2)
+	for i := 0; i < 900; i++ {
+		row[0], row[1] = r.Float64()*0.5, r.Float64()
+		pts.Append(row)
+	}
+	for i := 0; i < 100; i++ {
+		row[0], row[1] = 9+r.Float64(), r.Float64()
+		pts.Append(row)
+	}
+	_, cut := Cut(pts, idx(1000), box(pts), 0.1, 1, 1)
+	if cut > 1 {
+		t.Fatalf("even-split cut at %v, want inside the dense pile (< 1)", cut)
+	}
+}

@@ -1,0 +1,155 @@
+// Package naive implements the naive random-split family of parallel
+// DBSCAN algorithms (Section 2.2.1: SDBC, S-DBSCAN, SP-DBSCAN, Cludoop):
+// the points themselves are dealt to k disjoint random samples, each split
+// clusters its own sample in isolation, and local clusters are merged
+// approximately by representative proximity.
+//
+// Because every split sees only a 1/k sample, region queries cannot
+// measure true density — the shared-nothing weakness RP-DBSCAN's broadcast
+// cell dictionary removes. The algorithm is fast but loses accuracy, which
+// the accuracy harness demonstrates against RP-DBSCAN.
+package naive
+
+import (
+	"math/rand"
+
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/graph"
+	"rpdbscan/internal/kdtree"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Config parameterises a run.
+type Config struct {
+	Eps    float64
+	MinPts int
+	// NumSplits is k, the number of disjoint random samples.
+	NumSplits int
+	Seed      int64
+}
+
+// Result is the clustering output.
+type Result struct {
+	Labels      []int
+	NumClusters int
+	Report      *engine.Report
+}
+
+// Run executes the naive random-split algorithm on the cluster.
+func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) *Result {
+	n := pts.N()
+	res := &Result{Labels: make([]int, n)}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		res.Report = cl.Report()
+		return res
+	}
+	k := cfg.NumSplits
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+
+	// ---- Random split: a seeded shuffle deals points to k disjoint
+	// samples of near-equal size (sampling without replacement, the
+	// reservoir-style split of Section 1.1).
+	var splits [][]int
+	cl.Serial("split", "random-split", func() {
+		perm := rand.New(rand.NewSource(cfg.Seed)).Perm(n)
+		splits = make([][]int, k)
+		for pos, pi := range perm {
+			s := pos % k
+			splits[s] = append(splits[s], pi)
+		}
+	})
+
+	// ---- Local clustering on each sample. A split sees 1/k of the
+	// density, so the local core threshold is scaled down — the standard
+	// compensation in this family, and the source of its approximation.
+	localMinPts := cfg.MinPts / k
+	if localMinPts < 2 {
+		localMinPts = 2
+	}
+	type localRun struct {
+		res *dbscan.Result
+	}
+	locals := make([]*localRun, k)
+	cl.RunStage("local", "local-clustering", k, func(t int) {
+		sub := pts.Subset(splits[t])
+		locals[t] = &localRun{res: dbscan.Run(sub, cfg.Eps, localMinPts)}
+	})
+
+	// ---- Approximate merge: every local cluster is represented by a
+	// sample of its core points; clusters from different splits merge
+	// when representatives come within eps.
+	cl.Serial("merge", "representative-merging", func() {
+		type clusterRef struct{ split, local int }
+		refIdx := make(map[clusterRef]int)
+		var refs []clusterRef
+		id := func(s, c int) int {
+			r := clusterRef{s, c}
+			i, ok := refIdx[r]
+			if !ok {
+				i = len(refs)
+				refIdx[r] = i
+				refs = append(refs, r)
+			}
+			return i
+		}
+		// Collect up to repCap representatives per local cluster.
+		const repCap = 32
+		repPts := geom.NewPoints(pts.Dim, 0)
+		var repOwner []int // uf element per representative
+		for s, lr := range locals {
+			seen := map[int]int{}
+			for li, lab := range lr.res.Labels {
+				if lab < 0 || !lr.res.CorePoint[li] {
+					continue
+				}
+				if seen[lab] >= repCap {
+					continue
+				}
+				seen[lab]++
+				repPts.Append(pts.At(splits[s][li]))
+				repOwner = append(repOwner, id(s, lab))
+			}
+		}
+		uf := graph.NewUnionFind(len(refs))
+		tree := kdtree.Build(repPts, nil)
+		for i := 0; i < repPts.N(); i++ {
+			p := repPts.At(i)
+			tree.Visit(p, cfg.Eps, func(j int) {
+				uf.Union(repOwner[i], repOwner[j])
+			})
+		}
+		// Label points through the merged cluster map.
+		dense := make(map[int]int)
+		next := 0
+		for s, lr := range locals {
+			for li, lab := range lr.res.Labels {
+				if lab < 0 {
+					continue
+				}
+				root := uf.Find(id(s, lab))
+				g, ok := dense[root]
+				if !ok {
+					g = next
+					next++
+					dense[root] = g
+				}
+				res.Labels[splits[s][li]] = g
+			}
+		}
+		res.NumClusters = next
+	})
+	res.Report = cl.Report()
+	return res
+}

@@ -1,0 +1,65 @@
+package naive
+
+import (
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+func TestEmpty(t *testing.T) {
+	res := Run(geom.NewPoints(2, 0), Config{Eps: 1, MinPts: 3, NumSplits: 4}, engine.New(2))
+	if res.NumClusters != 0 {
+		t.Fatal("empty input clustered")
+	}
+}
+
+func TestSingleSplitIsExact(t *testing.T) {
+	pts := datagen.Blobs(1200, 3, 0.4, 1)
+	exact := dbscan.Run(pts, 0.35, 10)
+	res := Run(pts, Config{Eps: 0.35, MinPts: 10, NumSplits: 1}, engine.New(1))
+	if ri := metrics.RandIndex(exact.Labels, res.Labels); ri < 0.999 {
+		t.Fatalf("k=1 RandIndex = %.4f", ri)
+	}
+}
+
+func TestWellSeparatedBlobsStillFound(t *testing.T) {
+	// On trivially separable data the naive family works: its weakness is
+	// density accuracy, not gross structure.
+	pts := datagen.Blobs(3000, 3, 0.3, 2)
+	res := Run(pts, Config{Eps: 0.5, MinPts: 12, NumSplits: 6}, engine.New(6))
+	if res.NumClusters != 3 {
+		t.Fatalf("NumClusters = %d, want 3", res.NumClusters)
+	}
+}
+
+func TestLosesAccuracyWhereRPDoesNot(t *testing.T) {
+	// Section 2.2.1's point: with noise and borderline densities, random
+	// point splits misjudge density. The naive result must be strictly
+	// less faithful than 0.999-grade clustering on a noisy set.
+	pts := datagen.Chameleon(6000, 3)
+	exact := dbscan.Run(pts, 1.0, 12)
+	res := Run(pts, Config{Eps: 1.0, MinPts: 12, NumSplits: 8, Seed: 1}, engine.New(8))
+	ri := metrics.RandIndex(exact.Labels, res.Labels)
+	if ri >= 0.999 {
+		t.Fatalf("naive random split matched exact DBSCAN (RI %.4f); the accuracy-loss scenario is not exercising density errors", ri)
+	}
+	if ri < 0.5 {
+		t.Fatalf("naive random split collapsed entirely (RI %.4f)", ri)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts := datagen.Blobs(800, 3, 0.4, 4)
+	cfg := Config{Eps: 0.35, MinPts: 10, NumSplits: 4, Seed: 9}
+	a := Run(pts, cfg, engine.New(4))
+	b := Run(pts, cfg, engine.New(4))
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed gave different labels")
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package ngdbscan implements NG-DBSCAN (Lulli et al., VLDB 2016), the
+// vertex-centric baseline of Section 2.2.3: an approximate neighbor graph
+// converges from a random starting configuration through NN-Descent-style
+// iterations (each vertex proposes its neighbors' neighbors as candidates
+// and keeps the closest), and DBSCAN clusters are then read off the
+// neighbor graph instead of running region queries.
+//
+// As in the paper's evaluation, the neighbor-graph construction dominates
+// the cost on large data sets.
+package ngdbscan
+
+import (
+	"math/rand"
+	"sort"
+
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/graph"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Config parameterises NG-DBSCAN.
+type Config struct {
+	Eps    float64
+	MinPts int
+	// M is the neighbor-list size per vertex; it must be >= MinPts for
+	// core points to be detectable. Zero defaults to max(2*MinPts, 16).
+	M int
+	// MaxIterations bounds the neighbor-graph refinement. Zero defaults
+	// to 12.
+	MaxIterations int
+	// TerminationFrac stops iterating when fewer than
+	// TerminationFrac*n*M list updates happen in a round. Zero defaults
+	// to 0.001.
+	TerminationFrac float64
+	Seed            int64
+}
+
+// Result is the clustering output.
+type Result struct {
+	Labels      []int
+	CorePoint   []bool
+	NumClusters int
+	// Iterations is how many refinement rounds ran.
+	Iterations int
+	Report     *engine.Report
+}
+
+type neighbor struct {
+	idx  int32
+	dist float64
+}
+
+// Run executes NG-DBSCAN on the cluster.
+func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) *Result {
+	n := pts.N()
+	res := &Result{Labels: make([]int, n), CorePoint: make([]bool, n)}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		res.Report = cl.Report()
+		return res
+	}
+	m := cfg.M
+	if m == 0 {
+		m = 2 * cfg.MinPts
+		if m < 16 {
+			m = 16
+		}
+	}
+	if m > n-1 {
+		m = n - 1
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 12
+	}
+	termFrac := cfg.TerminationFrac
+	if termFrac == 0 {
+		termFrac = 0.001
+	}
+	chunks := cl.Workers
+	if chunks < 1 {
+		chunks = 1
+	}
+	if chunks > n {
+		chunks = n
+	}
+
+	// ---- Random starting configuration.
+	lists := make([][]neighbor, n)
+	cl.RunStage("graph", "ng-init", chunks, func(t int) {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(t)))
+		lo, hi := t*n/chunks, (t+1)*n/chunks
+		for u := lo; u < hi; u++ {
+			seen := map[int32]bool{int32(u): true}
+			l := make([]neighbor, 0, m)
+			for len(l) < m {
+				v := int32(rng.Intn(n))
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				l = append(l, neighbor{v, geom.Dist(pts.At(u), pts.At(int(v)))})
+			}
+			sort.Slice(l, func(i, j int) bool { return l[i].dist < l[j].dist })
+			lists[u] = l
+		}
+	})
+
+	// ---- NN-Descent refinement: each vertex examines its neighbors'
+	// neighbors; double-buffered so rounds are race-free and
+	// deterministic.
+	updates := make([]int, chunks)
+	for iter := 1; iter <= maxIter; iter++ {
+		res.Iterations = iter
+		next := make([][]neighbor, n)
+		cl.RunStage("graph", stageName(iter), chunks, func(t int) {
+			lo, hi := t*n/chunks, (t+1)*n/chunks
+			upd := 0
+			for u := lo; u < hi; u++ {
+				cur := lists[u]
+				worst := cur[len(cur)-1].dist
+				seen := make(map[int32]bool, 4*m)
+				seen[int32(u)] = true
+				for _, nb := range cur {
+					seen[nb.idx] = true
+				}
+				merged := append(make([]neighbor, 0, 2*m), cur...)
+				pu := pts.At(u)
+				for _, nb := range cur {
+					for _, nb2 := range lists[nb.idx] {
+						if seen[nb2.idx] {
+							continue
+						}
+						seen[nb2.idx] = true
+						d := geom.Dist(pu, pts.At(int(nb2.idx)))
+						if d < worst {
+							merged = append(merged, neighbor{nb2.idx, d})
+							upd++
+						}
+					}
+				}
+				sort.Slice(merged, func(i, j int) bool {
+					if merged[i].dist != merged[j].dist {
+						return merged[i].dist < merged[j].dist
+					}
+					return merged[i].idx < merged[j].idx
+				})
+				if len(merged) > m {
+					merged = merged[:m]
+				}
+				next[u] = merged
+			}
+			updates[t] = upd
+		})
+		lists = next
+		total := 0
+		for _, u := range updates {
+			total += u
+		}
+		if float64(total) < termFrac*float64(n)*float64(m) {
+			break
+		}
+	}
+
+	// ---- Core marking from the discovered neighbor graph.
+	cl.RunStage("cluster", "ng-core-marking", chunks, func(t int) {
+		lo, hi := t*n/chunks, (t+1)*n/chunks
+		for u := lo; u < hi; u++ {
+			within := 1 // the point itself
+			for _, nb := range lists[u] {
+				if nb.dist <= cfg.Eps {
+					within++
+				}
+			}
+			if within >= cfg.MinPts {
+				res.CorePoint[u] = true
+			}
+		}
+	})
+
+	// ---- Cluster formation: components over core-core edges of the
+	// eps-graph, then border attachment.
+	cl.Serial("cluster", "ng-clustering", func() {
+		uf := graph.NewUnionFind(n)
+		for u := 0; u < n; u++ {
+			if !res.CorePoint[u] {
+				continue
+			}
+			for _, nb := range lists[u] {
+				if nb.dist <= cfg.Eps && res.CorePoint[nb.idx] {
+					uf.Union(u, int(nb.idx))
+				}
+			}
+		}
+		dense := make(map[int]int)
+		next := 0
+		for u := 0; u < n; u++ {
+			if !res.CorePoint[u] {
+				continue
+			}
+			root := uf.Find(u)
+			g, ok := dense[root]
+			if !ok {
+				g = next
+				next++
+				dense[root] = g
+			}
+			res.Labels[u] = g
+		}
+		res.NumClusters = next
+		for u := 0; u < n; u++ {
+			if res.CorePoint[u] {
+				continue
+			}
+			for _, nb := range lists[u] {
+				if nb.dist <= cfg.Eps && res.CorePoint[nb.idx] {
+					res.Labels[u] = res.Labels[nb.idx]
+					break
+				}
+			}
+		}
+	})
+
+	res.Report = cl.Report()
+	return res
+}
+
+func stageName(iter int) string {
+	return "ng-iteration-" + itoa(iter)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}

@@ -1,0 +1,77 @@
+package ngdbscan
+
+import (
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+func TestEmpty(t *testing.T) {
+	res := Run(geom.NewPoints(2, 0), Config{Eps: 1, MinPts: 3}, engine.New(2))
+	if res.NumClusters != 0 {
+		t.Fatal("empty input clustered")
+	}
+}
+
+func TestApproximatesExactOnBlobs(t *testing.T) {
+	pts := datagen.Blobs(1500, 3, 0.4, 1)
+	exact := dbscan.Run(pts, 0.35, 10)
+	res := Run(pts, Config{Eps: 0.35, MinPts: 10, Seed: 1}, engine.New(4))
+	// NG-DBSCAN is approximate: the graph may miss some neighbors, so we
+	// require high but not perfect agreement.
+	if ri := metrics.RandIndex(exact.Labels, res.Labels); ri < 0.95 {
+		t.Fatalf("RandIndex = %.4f, want >= 0.95", ri)
+	}
+	if res.NumClusters < 2 || res.NumClusters > 6 {
+		t.Fatalf("NumClusters = %d, want close to 3", res.NumClusters)
+	}
+}
+
+func TestIterationsRecorded(t *testing.T) {
+	pts := datagen.Blobs(400, 2, 0.4, 2)
+	res := Run(pts, Config{Eps: 0.35, MinPts: 8, MaxIterations: 3, Seed: 1}, engine.New(2))
+	if res.Iterations < 1 || res.Iterations > 3 {
+		t.Fatalf("Iterations = %d", res.Iterations)
+	}
+	if res.Report.Stage("ng-iteration-1") == nil {
+		t.Fatal("iteration stage missing from report")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	pts := datagen.Blobs(500, 3, 0.4, 3)
+	cfg := Config{Eps: 0.35, MinPts: 8, Seed: 7}
+	a := Run(pts, cfg, engine.New(3))
+	b := Run(pts, cfg, engine.New(3))
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed gave different clustering")
+		}
+	}
+}
+
+func TestIsolatedPointsAreNoise(t *testing.T) {
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 30; i++ {
+		pts.Append([]float64{float64(i) * 100, 0})
+	}
+	res := Run(pts, Config{Eps: 1, MinPts: 3, Seed: 2}, engine.New(2))
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("isolated point clustered")
+		}
+	}
+}
+
+func TestSmallerThanM(t *testing.T) {
+	// n-1 < default M: the list size must clamp without panicking.
+	pts := datagen.Blobs(10, 1, 0.1, 4)
+	res := Run(pts, Config{Eps: 1, MinPts: 3, Seed: 3}, engine.New(2))
+	if len(res.Labels) != 10 {
+		t.Fatal("bad output size")
+	}
+}

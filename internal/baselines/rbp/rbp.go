@@ -1,0 +1,64 @@
+// Package rbp implements RBP-DBSCAN, the reduced-boundary partitioning
+// baseline (DBSCAN-MR, Dai and Lin): among candidate cuts it picks the one
+// that minimises the number of points falling inside the eps-wide boundary
+// band around the cut, reducing the overlap that must be duplicated.
+package rbp
+
+import (
+	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+)
+
+// candidateQuantiles are the positions examined on every axis; cuts too
+// close to the region edge would starve one side, so candidates stay within
+// the central band.
+var candidateQuantiles = []float64{0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7}
+
+// Cut scans candidate cuts on every axis and returns the one with the
+// fewest points within eps of the cut plane. Ties go to the cut closest to
+// the balanced position.
+func Cut(pts *geom.Points, idx []int, box geom.Box, eps float64, kLeft, kRight int) (int, float64) {
+	bestAxis, bestCut := regionsplit.WidestAxis(box), 0.0
+	bestBoundary := -1
+	bestBalance := 0.0
+	target := float64(kLeft) / float64(kLeft+kRight)
+	for axis := 0; axis < box.Dim(); axis++ {
+		if box.Max[axis]-box.Min[axis] <= 2*eps {
+			continue // nothing to gain: the whole axis is boundary
+		}
+		for _, q := range candidateQuantiles {
+			cut := regionsplit.Quantile(pts, idx, axis, q)
+			boundary := 0
+			for _, i := range idx {
+				d := pts.At(i)[axis] - cut
+				if d < 0 {
+					d = -d
+				}
+				if d <= eps {
+					boundary++
+				}
+			}
+			balance := q - target
+			if balance < 0 {
+				balance = -balance
+			}
+			if bestBoundary < 0 || boundary < bestBoundary ||
+				(boundary == bestBoundary && balance < bestBalance) {
+				bestBoundary, bestAxis, bestCut, bestBalance = boundary, axis, cut, balance
+			}
+		}
+	}
+	if bestBoundary < 0 {
+		// Region thinner than 2*eps on every axis: fall back to a
+		// balanced median cut on the widest axis.
+		axis := regionsplit.WidestAxis(box)
+		return axis, regionsplit.Quantile(pts, idx, axis, target)
+	}
+	return bestAxis, bestCut
+}
+
+// Run executes RBP-DBSCAN.
+func Run(pts *geom.Points, cfg regionsplit.Config, cl *engine.Cluster) *regionsplit.Result {
+	return regionsplit.Run(pts, cfg, Cut, cl)
+}

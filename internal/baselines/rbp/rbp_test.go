@@ -1,0 +1,82 @@
+package rbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/geom"
+)
+
+func box(pts *geom.Points) geom.Box {
+	b := geom.NewBox(pts.Dim)
+	for i := 0; i < pts.N(); i++ {
+		b.Extend(pts.At(i))
+	}
+	return b
+}
+
+func idx(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func TestCutAvoidsDenseBand(t *testing.T) {
+	// Two blobs at x~1 and x~9 with a thin bridge at x~5: a boundary-
+	// minimising cut should fall in the sparse gap, not inside a blob.
+	r := rand.New(rand.NewSource(1))
+	pts := geom.NewPoints(2, 0)
+	row := make([]float64, 2)
+	for i := 0; i < 900; i++ {
+		x := 1 + r.NormFloat64()*0.3
+		if i%2 == 0 {
+			x = 9 + r.NormFloat64()*0.3
+		}
+		row[0], row[1] = x, r.Float64()
+		pts.Append(row)
+	}
+	for i := 0; i < 20; i++ {
+		row[0], row[1] = 5+r.NormFloat64(), r.Float64()
+		pts.Append(row)
+	}
+	axis, cut := Cut(pts, idx(pts.N()), box(pts), 0.2, 1, 1)
+	if axis != 0 {
+		t.Fatalf("axis = %d, want 0", axis)
+	}
+	if cut < 2.5 || cut > 7.5 {
+		t.Fatalf("reduced-boundary cut at %v, want in the sparse middle", cut)
+	}
+	// The boundary band around the chosen cut must be small.
+	band := 0
+	for i := 0; i < pts.N(); i++ {
+		d := pts.At(i)[0] - cut
+		if d < 0 {
+			d = -d
+		}
+		if d <= 0.2 {
+			band++
+		}
+	}
+	if band > 40 {
+		t.Fatalf("boundary band holds %d points, want few", band)
+	}
+}
+
+func TestCutThinRegionFallback(t *testing.T) {
+	// A region thinner than 2*eps on every axis falls back to a balanced
+	// cut without panicking.
+	r := rand.New(rand.NewSource(2))
+	pts := geom.NewPoints(2, 100)
+	row := make([]float64, 2)
+	for i := 0; i < 100; i++ {
+		row[0], row[1] = r.Float64()*0.5, r.Float64()*0.5
+		pts.Append(row)
+	}
+	axis, cut := Cut(pts, idx(100), box(pts), 1.0, 1, 1)
+	b := box(pts)
+	if cut < b.Min[axis] || cut > b.Max[axis] {
+		t.Fatalf("fallback cut %v outside region [%v,%v]", cut, b.Min[axis], b.Max[axis])
+	}
+}

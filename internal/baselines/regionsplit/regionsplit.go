@@ -1,0 +1,293 @@
+// Package regionsplit implements the region-split family of parallel
+// DBSCAN baselines (Section 2.2.2): the data space is cut into k contiguous
+// sub-regions, each sub-region is clustered locally together with an
+// eps-wide halo of neighboring points (the overlap that preserves
+// correctness near borders), and local clusters are merged through the
+// points shared by overlapping regions.
+//
+// The three published strategies differ only in how cuts are chosen:
+// even-split (ESP-DBSCAN / RDD-DBSCAN), reduced-boundary (RBP-DBSCAN /
+// DBSCAN-MR), and cost-based (CBP-DBSCAN and SPARK-DBSCAN / MR-DBSCAN).
+// This package provides the shared framework; the esp, rbp, and cbp
+// packages supply the cut functions.
+package regionsplit
+
+import (
+	"sort"
+
+	"rpdbscan/internal/approxdbscan"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/graph"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// CutFunc chooses the axis and coordinate at which to cut a region holding
+// the given points (idx into pts). kLeft and kRight are how many leaf
+// regions each side will be divided into; strategies aiming at balance
+// place the cut at the kLeft/(kLeft+kRight) weighted position.
+type CutFunc func(pts *geom.Points, idx []int, box geom.Box, eps float64, kLeft, kRight int) (axis int, cut float64)
+
+// Leaf is one contiguous sub-region: its box and the points it owns.
+type Leaf struct {
+	Box   geom.Box
+	Owned []int
+	// Halo holds non-owned points within eps of the box.
+	Halo []int
+}
+
+// Result is the output of a region-split baseline run.
+type Result struct {
+	Labels      []int
+	NumClusters int
+	// PointsProcessed sums owned+halo points over all splits: the data
+	// duplication metric of Section 7.3.2 (always >= N).
+	PointsProcessed int64
+	Report          *engine.Report
+}
+
+// Config parameterises a run.
+type Config struct {
+	Eps    float64
+	MinPts int
+	// Rho is the approximation rate for the rho-approximate local
+	// clusterer; ignored when ExactLocal is set.
+	Rho float64
+	// NumRegions is the number of contiguous sub-regions (k).
+	NumRegions int
+	// ExactLocal switches the local clusterer from rho-approximate
+	// DBSCAN to exact DBSCAN (the SPARK-DBSCAN configuration).
+	ExactLocal bool
+}
+
+// Run executes the framework with the given cut strategy.
+func Run(pts *geom.Points, cfg Config, cut CutFunc, cl *engine.Cluster) *Result {
+	n := pts.N()
+	res := &Result{Labels: make([]int, n)}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		res.Report = cl.Report()
+		return res
+	}
+	k := cfg.NumRegions
+	if k < 1 {
+		k = 1
+	}
+
+	// ---- Split phase: recursive binary space partitioning with the
+	// strategy's cut selection. This is driver-side work in the paper's
+	// implementations and is often a substantial share of total time.
+	var leaves []*Leaf
+	cl.Serial("split", "region-split", func() {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		box := geom.NewBox(pts.Dim)
+		for i := 0; i < n; i++ {
+			box.Extend(pts.At(i))
+		}
+		leaves = split(pts, all, box, k, cfg.Eps, cut)
+	})
+
+	// ---- Halo assignment: each region gathers the neighboring points
+	// within eps of its box (the overlap of Figure 1a).
+	cl.RunStage("split", "halo-assignment", len(leaves), func(t int) {
+		leaf := leaves[t]
+		owned := make(map[int]bool, len(leaf.Owned))
+		for _, i := range leaf.Owned {
+			owned[i] = true
+		}
+		eps2 := cfg.Eps * cfg.Eps
+		halo := make([]int, 0, len(leaf.Owned)/4)
+		for i := 0; i < n; i++ {
+			if !owned[i] && leaf.Box.MinDist2(pts.At(i)) <= eps2 {
+				halo = append(halo, i)
+			}
+		}
+		leaf.Halo = halo // assign once so task re-execution is idempotent
+	})
+	for _, leaf := range leaves {
+		res.PointsProcessed += int64(len(leaf.Owned) + len(leaf.Halo))
+	}
+
+	// ---- Local clustering on owned+halo per region.
+	locals := make([]*localRun, len(leaves))
+	cl.RunStage("local", "local-clustering", len(leaves), func(t int) {
+		leaf := leaves[t]
+		global := make([]int, 0, len(leaf.Owned)+len(leaf.Halo))
+		global = append(global, leaf.Owned...)
+		global = append(global, leaf.Halo...)
+		sub := pts.Subset(global)
+		lr := &localRun{global: global}
+		if cfg.ExactLocal {
+			r := dbscan.Run(sub, cfg.Eps, cfg.MinPts)
+			lr.labels, lr.core = r.Labels, r.CorePoint
+		} else {
+			r := approxdbscan.Run(sub, cfg.Eps, cfg.MinPts, cfg.Rho)
+			lr.labels, lr.core = r.Labels, r.CorePoint
+		}
+		locals[t] = lr
+	})
+
+	// ---- Merge phase: union local clusters through shared points. A
+	// shared point that is core in its owning region (whose full
+	// eps-neighborhood the owner sees) welds together every local cluster
+	// it belongs to.
+	cl.Serial("merge", "cluster-merging", func() {
+		mergeAndLabel(n, leaves, locals, res)
+	})
+	res.Report = cl.Report()
+	return res
+}
+
+// localRun holds one region's local clustering result.
+type localRun struct {
+	global []int // local index -> global index
+	labels []int
+	core   []bool
+}
+
+type memb struct {
+	region, local int
+}
+
+// mergeAndLabel welds local clusters into global clusters and writes final
+// labels. The merge rule: a point that is core in its owning region (the
+// region that sees its full eps-neighborhood) joins every local cluster it
+// was assigned to across overlapping regions into one global cluster.
+func mergeAndLabel(n int, leaves []*Leaf, locals []*localRun, res *Result) {
+	uf := graph.NewUnionFind(0)
+	ids := make(map[memb]int) // (region, localCluster) -> uf element
+	id := func(r, c int) int {
+		k := memb{r, c}
+		i, ok := ids[k]
+		if !ok {
+			i = uf.Add()
+			ids[k] = i
+		}
+		return i
+	}
+	ownerRegion := make([]int, n)
+	ownerLocal := make([]int, n)
+	haloMemb := make(map[int][]memb)
+	for r, lr := range locals {
+		nOwned := len(leaves[r].Owned)
+		for li, gi := range lr.global {
+			if li < nOwned {
+				ownerRegion[gi] = r
+				ownerLocal[gi] = li
+			} else {
+				haloMemb[gi] = append(haloMemb[gi], memb{r, li})
+			}
+		}
+	}
+	for gi, ms := range haloMemb {
+		ro, lo := ownerRegion[gi], ownerLocal[gi]
+		if !locals[ro].core[lo] {
+			continue
+		}
+		baseLab := locals[ro].labels[lo]
+		if baseLab < 0 {
+			continue
+		}
+		base := id(ro, baseLab)
+		for _, m := range ms {
+			if lab := locals[m.region].labels[m.local]; lab >= 0 {
+				uf.Union(base, id(m.region, lab))
+			}
+		}
+	}
+	// Final labels: prefer the owner's verdict; a point the owner deems
+	// noise may still be a border point of a cluster whose core sits in a
+	// neighboring region (halo memberships are scanned in region order,
+	// so the choice is deterministic).
+	dense := make(map[int]int)
+	next := 0
+	for gi := 0; gi < n; gi++ {
+		r, li := ownerRegion[gi], ownerLocal[gi]
+		lab := locals[r].labels[li]
+		lr := r
+		if lab < 0 {
+			for _, m := range haloMemb[gi] {
+				if l := locals[m.region].labels[m.local]; l >= 0 {
+					lab, lr = l, m.region
+					break
+				}
+			}
+		}
+		if lab < 0 {
+			continue
+		}
+		root := uf.Find(id(lr, lab))
+		g, ok := dense[root]
+		if !ok {
+			g = next
+			next++
+			dense[root] = g
+		}
+		res.Labels[gi] = g
+	}
+	res.NumClusters = next
+}
+
+// split recursively divides idx into k leaves.
+func split(pts *geom.Points, idx []int, box geom.Box, k int, eps float64, cut CutFunc) []*Leaf {
+	if k <= 1 || len(idx) == 0 {
+		return []*Leaf{{Box: box, Owned: idx}}
+	}
+	kl := k / 2
+	kr := k - kl
+	axis, c := cut(pts, idx, box, eps, kl, kr)
+	var left, right []int
+	for _, i := range idx {
+		if pts.At(i)[axis] < c {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	lbox, rbox := cloneBox(box), cloneBox(box)
+	lbox.Max[axis] = c
+	rbox.Min[axis] = c
+	out := split(pts, left, lbox, kl, eps, cut)
+	return append(out, split(pts, right, rbox, kr, eps, cut)...)
+}
+
+func cloneBox(b geom.Box) geom.Box {
+	nb := geom.Box{Min: make([]float64, len(b.Min)), Max: make([]float64, len(b.Max))}
+	copy(nb.Min, b.Min)
+	copy(nb.Max, b.Max)
+	return nb
+}
+
+// Quantile returns the q-th (0..1) quantile of the idx points' coordinates
+// along axis. It sorts a scratch copy; strategies use it for balanced cuts.
+func Quantile(pts *geom.Points, idx []int, axis int, q float64) float64 {
+	vals := make([]float64, len(idx))
+	for i, id := range idx {
+		vals[i] = pts.At(id)[axis]
+	}
+	sort.Float64s(vals)
+	pos := int(q * float64(len(vals)))
+	if pos >= len(vals) {
+		pos = len(vals) - 1
+	}
+	return vals[pos]
+}
+
+// WidestAxis returns the axis along which box is widest.
+func WidestAxis(box geom.Box) int {
+	axis, w := 0, box.Max[0]-box.Min[0]
+	for i := 1; i < box.Dim(); i++ {
+		if ww := box.Max[i] - box.Min[i]; ww > w {
+			w, axis = ww, i
+		}
+	}
+	return axis
+}

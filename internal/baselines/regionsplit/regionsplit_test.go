@@ -1,0 +1,171 @@
+package regionsplit_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/baselines/cbp"
+	"rpdbscan/internal/baselines/esp"
+	"rpdbscan/internal/baselines/rbp"
+	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+type runner struct {
+	name string
+	run  func(*geom.Points, regionsplit.Config, *engine.Cluster) *regionsplit.Result
+}
+
+func runners() []runner {
+	return []runner{
+		{"ESP", esp.Run},
+		{"RBP", rbp.Run},
+		{"CBP", cbp.Run},
+	}
+}
+
+func TestStrategiesMatchExactDBSCAN(t *testing.T) {
+	pts := datagen.Moons(2500, 0.04, 3)
+	exact := dbscan.Run(pts, 0.12, 10)
+	cfg := regionsplit.Config{Eps: 0.12, MinPts: 10, Rho: 0.01, NumRegions: 6}
+	for _, r := range runners() {
+		res := r.run(pts, cfg, engine.New(6))
+		if ri := metrics.RandIndex(exact.Labels, res.Labels); ri < 0.995 {
+			t.Errorf("%s: RandIndex = %.4f, want >= 0.995", r.name, ri)
+		}
+		if res.PointsProcessed < int64(pts.N()) {
+			t.Errorf("%s: PointsProcessed = %d < n", r.name, res.PointsProcessed)
+		}
+	}
+}
+
+func TestCrossBoundaryClusterMerged(t *testing.T) {
+	// A single dense band spanning the whole space: any cut slices it, so
+	// the merge phase must weld the halves back together.
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 400; i++ {
+		pts.Append([]float64{float64(i) * 0.05, 0})
+		pts.Append([]float64{float64(i) * 0.05, 0.05})
+	}
+	cfg := regionsplit.Config{Eps: 0.2, MinPts: 4, Rho: 0.01, NumRegions: 4}
+	for _, r := range runners() {
+		res := r.run(pts, cfg, engine.New(4))
+		if res.NumClusters != 1 {
+			t.Errorf("%s: NumClusters = %d, want 1 (cluster split at boundary)", r.name, res.NumClusters)
+		}
+		if metrics.NumNoise(res.Labels) != 0 {
+			t.Errorf("%s: %d noise points in a solid band", r.name, metrics.NumNoise(res.Labels))
+		}
+	}
+}
+
+func TestExactLocalMode(t *testing.T) {
+	// SPARK-DBSCAN configuration: exact local clustering.
+	pts := datagen.Blobs(1200, 3, 0.4, 5)
+	exact := dbscan.Run(pts, 0.35, 10)
+	cfg := regionsplit.Config{Eps: 0.35, MinPts: 10, NumRegions: 4, ExactLocal: true}
+	res := cbp.Run(pts, cfg, engine.New(4))
+	if ri := metrics.RandIndex(exact.Labels, res.Labels); ri < 0.999 {
+		t.Fatalf("SPARK-DBSCAN RandIndex = %.4f", ri)
+	}
+}
+
+func TestDuplicationExceedsNOnClusteredData(t *testing.T) {
+	pts := datagen.Mixture(datagen.MixtureConfig{
+		N: 3000, Dim: 2, Components: 5, Span: 20, Alpha: 0.5,
+	}, 7)
+	cfg := regionsplit.Config{Eps: 1.0, MinPts: 10, Rho: 0.01, NumRegions: 8}
+	res := esp.Run(pts, cfg, engine.New(8))
+	if res.PointsProcessed <= int64(pts.N()) {
+		t.Fatalf("expected duplication > n, got %d for n=%d", res.PointsProcessed, pts.N())
+	}
+}
+
+func TestRBPReducesBoundaryVsESP(t *testing.T) {
+	// On data with a natural low-density corridor, reduced-boundary cuts
+	// should duplicate no more than even-split cuts.
+	pts := datagen.Mixture(datagen.MixtureConfig{
+		N: 4000, Dim: 2, Components: 2, Span: 60, Alpha: 2,
+	}, 11)
+	cfg := regionsplit.Config{Eps: 1.0, MinPts: 10, Rho: 0.01, NumRegions: 2}
+	respESP := esp.Run(pts, cfg, engine.New(2))
+	respRBP := rbp.Run(pts, cfg, engine.New(2))
+	if respRBP.PointsProcessed > respESP.PointsProcessed+int64(pts.N()/50) {
+		t.Fatalf("RBP duplicated more than ESP: %d vs %d",
+			respRBP.PointsProcessed, respESP.PointsProcessed)
+	}
+}
+
+func TestReportStages(t *testing.T) {
+	pts := datagen.Blobs(600, 3, 0.4, 9)
+	cfg := regionsplit.Config{Eps: 0.35, MinPts: 8, Rho: 0.05, NumRegions: 4}
+	res := esp.Run(pts, cfg, engine.New(4))
+	for _, name := range []string{"region-split", "halo-assignment", "local-clustering", "cluster-merging"} {
+		if res.Report.Stage(name) == nil {
+			t.Fatalf("missing stage %q", name)
+		}
+	}
+	if got := len(res.Report.Stage("local-clustering").Costs); got != 4 {
+		t.Fatalf("local-clustering tasks = %d, want 4", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := esp.Run(geom.NewPoints(2, 0), regionsplit.Config{Eps: 1, MinPts: 3, Rho: 0.01, NumRegions: 4}, engine.New(2))
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestSingleRegionEqualsLocal(t *testing.T) {
+	pts := datagen.Moons(800, 0.04, 13)
+	exact := dbscan.Run(pts, 0.12, 8)
+	cfg := regionsplit.Config{Eps: 0.12, MinPts: 8, Rho: 0.01, NumRegions: 1}
+	res := esp.Run(pts, cfg, engine.New(1))
+	if res.PointsProcessed != int64(pts.N()) {
+		t.Fatalf("k=1 duplicated points: %d", res.PointsProcessed)
+	}
+	if ri := metrics.RandIndex(exact.Labels, res.Labels); ri < 0.999 {
+		t.Fatalf("k=1 RandIndex = %.4f", ri)
+	}
+}
+
+// Property: the number of regions barely moves the clustering — region
+// split with halos is designed to be k-invariant up to border-point
+// ambiguity.
+func TestRegionCountInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := datagen.Mixture(datagen.MixtureConfig{
+			N: 600 + r.Intn(600), Dim: 2,
+			Components: 3 + r.Intn(4), Span: 25, Alpha: 2, NoiseFrac: 0.05,
+		}, seed)
+		cfg := regionsplit.Config{Eps: 0.8, MinPts: 8, Rho: 0.01, NumRegions: 1}
+		base := esp.Run(pts, cfg, engine.New(2))
+		cfg.NumRegions = 2 + r.Intn(10)
+		split := esp.Run(pts, cfg, engine.New(4))
+		return metrics.RandIndex(base.Labels, split.Labels) >= 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileAndWidestAxis(t *testing.T) {
+	pts, _ := geom.FromSlice([][]float64{{0, 0}, {1, 10}, {2, 20}, {3, 30}}, 2)
+	idx := []int{0, 1, 2, 3}
+	if q := regionsplit.Quantile(pts, idx, 0, 0.5); q != 2 {
+		t.Fatalf("Quantile = %v, want 2", q)
+	}
+	box := geom.NewBox(2)
+	box.Extend([]float64{0, 0})
+	box.Extend([]float64{3, 30})
+	if regionsplit.WidestAxis(box) != 1 {
+		t.Fatal("WidestAxis wrong")
+	}
+}

@@ -1,0 +1,354 @@
+// Package core implements the RP-DBSCAN algorithm of Algorithm 1: Phase I
+// pseudo random partitioning and two-level cell dictionary building
+// (Section 4), Phase II core marking and cell-subgraph building
+// (Section 5), and Phase III progressive graph merging and point labeling
+// (Section 6). All parallel stages run on an engine.Cluster, which records
+// per-task costs for the experiment harness.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"rpdbscan/internal/dict"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/graph"
+	"rpdbscan/internal/grid"
+)
+
+// partitionOf deals a cell to one of k pseudo random partitions: a seeded
+// hash of the cell key, so every mapper computes the same assignment with
+// no coordination (the "random key" of Algorithm 2 line 7).
+func partitionOf(key grid.Key, seed int64, k int) int {
+	h := fnv.New64a()
+	var s [8]byte
+	for i := range s {
+		s[i] = byte(seed >> (8 * i))
+	}
+	h.Write(s[:])
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(k))
+}
+
+// Noise is the label assigned to points in no cluster.
+const Noise = -1
+
+// Config holds the RP-DBSCAN parameters.
+type Config struct {
+	// Eps is the neighborhood radius of DBSCAN.
+	Eps float64
+	// MinPts is the core-point threshold of DBSCAN.
+	MinPts int
+	// Rho is the approximation rate of the two-level cell dictionary
+	// (Definition 4.1). The paper's default is 0.01.
+	Rho float64
+	// NumPartitions is k, the number of pseudo random partitions. Zero
+	// defaults to the cluster's virtual worker count.
+	NumPartitions int
+	// MaxCellsPerSubDict bounds sub-dictionary size for defragmentation
+	// (Section 4.2.2); <= 0 keeps a single sub-dictionary.
+	MaxCellsPerSubDict int
+	// Seed drives the pseudo random cell-to-partition assignment.
+	Seed int64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Eps <= 0 {
+		return fmt.Errorf("rpdbscan: Eps must be positive, got %g", c.Eps)
+	}
+	if c.MinPts < 1 {
+		return fmt.Errorf("rpdbscan: MinPts must be >= 1, got %d", c.MinPts)
+	}
+	if c.Rho <= 0 {
+		return fmt.Errorf("rpdbscan: Rho must be positive, got %g", c.Rho)
+	}
+	if c.NumPartitions < 0 {
+		return fmt.Errorf("rpdbscan: NumPartitions must be >= 0, got %d", c.NumPartitions)
+	}
+	return nil
+}
+
+// Result is the output of one RP-DBSCAN run plus the instrumentation the
+// experiment harness consumes.
+type Result struct {
+	// Labels holds a cluster id per point, or Noise.
+	Labels []int
+	// CorePoint marks the points judged core by the (eps,rho)-region
+	// queries.
+	CorePoint []bool
+	// NumClusters is the number of clusters found.
+	NumClusters int
+
+	// Report carries per-stage task costs from the engine.
+	Report *engine.Report
+
+	// DictSizeBits is the two-level cell dictionary size per Lemma 4.3.
+	DictSizeBits int64
+	// DictBytes is the size of the encoded broadcast payload.
+	DictBytes int
+	// NumCells and NumSubCells are dictionary totals.
+	NumCells    int
+	NumSubCells int
+	// EdgesPerRound records the total cell-graph edges remaining after
+	// each merge round; index 0 is the pre-merge total (Table 7).
+	EdgesPerRound []int64
+	// PointsProcessed is the summed number of points handled across all
+	// splits. Pseudo random partitioning makes this exactly N
+	// (Section 7.3.2).
+	PointsProcessed int64
+}
+
+// partState carries one partition's data between phases.
+type partState struct {
+	cells []*grid.Cell
+	// ids holds each owned cell's dense dictionary id, parallel to cells.
+	ids      []int32
+	cellCore []bool
+	// corePts lists, per cell, the indices of its core points.
+	corePts  [][]int
+	subgraph *graph.Graph
+}
+
+// Run executes RP-DBSCAN over pts on the given cluster. The cluster's
+// report accumulates the stage costs; callers wanting a clean report should
+// pass a fresh cluster.
+func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := pts.N()
+	k := cfg.NumPartitions
+	if k == 0 {
+		k = cl.Workers
+	}
+	if k < 1 {
+		k = 1
+	}
+	res := &Result{
+		Labels:          make([]int, n),
+		CorePoint:       make([]bool, n),
+		PointsProcessed: int64(n),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		res.Report = cl.Report()
+		return res, nil
+	}
+
+	dim := pts.Dim
+	side := grid.Side(cfg.Eps, dim)
+	params := dict.Params{Eps: cfg.Eps, Rho: cfg.Rho, Dim: dim}
+
+	// ---- Phase I-1: pseudo random partitioning (Algorithm 2, part 1).
+	// Map: chunk the input and assign points to cells.
+	chunkCells := make([]map[grid.Key][]int, k)
+	cl.RunStage("I-1", "cell-assignment", k, func(t int) {
+		lo, hi := t*n/k, (t+1)*n/k
+		m := make(map[grid.Key][]int)
+		for i := lo; i < hi; i++ {
+			key := grid.KeyFor(pts.At(i), side)
+			m[key] = append(m[key], i)
+		}
+		chunkCells[t] = m
+	})
+	// Reduce (shuffle): each partition gathers the cells whose random
+	// key — a seeded hash of the cell key, so no coordination is needed
+	// — lands on it (Algorithm 2 lines 5-11).
+	parts := make([]*partState, k)
+	cl.RunStage("I-1", "cell-partitioning", k, func(t int) {
+		mine := make(map[grid.Key][]int)
+		for _, m := range chunkCells {
+			for key, idx := range m {
+				if partitionOf(key, cfg.Seed, k) == t {
+					mine[key] = append(mine[key], idx...)
+				}
+			}
+		}
+		keys := make([]grid.Key, 0, len(mine))
+		for key := range mine {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		st := &partState{cells: make([]*grid.Cell, 0, len(keys))}
+		for _, key := range keys {
+			st.cells = append(st.cells, &grid.Cell{Key: key, Points: mine[key]})
+		}
+		parts[t] = st
+	})
+
+	// ---- Phase I-2: cell dictionary building (Algorithm 2, part 2).
+	entriesPer := make([][]dict.CellEntry, k)
+	cl.RunStage("I-2", "dictionary-build", k, func(t int) {
+		entries := make([]dict.CellEntry, 0, len(parts[t].cells))
+		for _, c := range parts[t].cells {
+			entries = append(entries, dict.BuildEntry(c, pts, params))
+		}
+		entriesPer[t] = entries
+	})
+	var stats dict.Stats
+	payload := cl.Broadcast("I-2", "dictionary-broadcast", func() []byte {
+		var all []dict.CellEntry
+		for _, e := range entriesPer {
+			all = append(all, e...)
+		}
+		stats = dict.StatsOf(all, params)
+		return dict.EncodeEntries(all, params)
+	})
+	res.DictSizeBits = stats.SizeBits
+	res.DictBytes = len(payload)
+	res.NumCells = stats.NumCells
+	res.NumSubCells = stats.NumSubCells
+	// Each executor (worker machine) loads — decodes and indexes — the
+	// broadcast once; its tasks share the read-only copy, as on Spark.
+	numExec := cl.ExecutorCount()
+	if numExec > k {
+		numExec = k
+	}
+	dicts := make([]*dict.Dictionary, numExec)
+	var loadErr error
+	cl.RunStage("I-2", "dictionary-load", numExec, func(t int) {
+		d, err := dict.Decode(payload, cfg.MaxCellsPerSubDict)
+		if err != nil {
+			loadErr = err
+			return
+		}
+		dicts[t] = d
+	})
+	if loadErr != nil {
+		return nil, fmt.Errorf("rpdbscan: dictionary load: %w", loadErr)
+	}
+
+	// ---- Phase II: core marking and subgraph building (Algorithm 3).
+	numCells := stats.NumCells
+	cl.RunStage("II", "cell-graph-construction", k, func(t int) {
+		st := parts[t]
+		d := dicts[t%numExec] // tasks on one executor share its copy
+		q := dict.NewQuerier(d)
+		g := graph.New(numCells)
+		st.ids = make([]int32, len(st.cells))
+		st.cellCore = make([]bool, len(st.cells))
+		st.corePts = make([][]int, len(st.cells))
+		var neighborCells []int32
+		nc := make(map[int32]struct{})
+		for ci, cell := range st.cells {
+			id, ok := d.IDOf(cell.Key)
+			if !ok {
+				// Every owned cell is non-empty, so it must be in the
+				// dictionary; reaching here means a broadcast bug.
+				panic("rpdbscan: owned cell missing from dictionary")
+			}
+			st.ids[ci] = id
+			clear(nc)
+			for _, pi := range cell.Points {
+				neighborCells = neighborCells[:0]
+				count, cellsOut := q.Query(pts.At(pi), true, neighborCells)
+				neighborCells = cellsOut
+				if count >= int64(cfg.MinPts) {
+					res.CorePoint[pi] = true
+					st.cellCore[ci] = true
+					st.corePts[ci] = append(st.corePts[ci], pi)
+					for _, nk := range neighborCells {
+						nc[nk] = struct{}{}
+					}
+				}
+			}
+			if st.cellCore[ci] {
+				g.SetVertex(id, graph.Core)
+				for nk := range nc {
+					g.AddEdge(id, nk)
+				}
+			} else {
+				g.SetVertex(id, graph.NonCore)
+			}
+		}
+		st.subgraph = g
+	})
+	for i := range dicts {
+		dicts[i] = nil // release the executors' dictionary copies
+	}
+
+	// ---- Phase III-1: progressive graph merging (Algorithm 4, part 1).
+	subgraphs := make([]*graph.Graph, k)
+	for i, st := range parts {
+		subgraphs[i] = st.subgraph
+	}
+	round := 0
+	global := graph.Tournament(subgraphs,
+		func(r int, edges int64) { res.EdgesPerRound = append(res.EdgesPerRound, edges) },
+		func(nMatches int, match func(int)) {
+			round++
+			cl.RunStage("III-1", fmt.Sprintf("merge-round-%d", round), nMatches, match)
+		})
+
+	// ---- Phase III-2: point labeling (Algorithm 4, part 2).
+	var comp []int32
+	var preds map[int32][]int32
+	coreByCell := make([][]int, numCells)
+	cl.Serial("III-2", "label-preparation", func() {
+		var nClusters int
+		comp, nClusters = global.CoreComponents()
+		res.NumClusters = nClusters
+		// Shuffle: gather core points of cells that precede partial
+		// edges so workers can run the exact distance checks of
+		// Lemma 3.5.
+		preds = global.PartialPredecessors()
+		needed := make(map[int32]bool)
+		for _, ps := range preds {
+			for _, p := range ps {
+				needed[p] = true
+			}
+		}
+		for _, st := range parts {
+			for ci := range st.cells {
+				if needed[st.ids[ci]] {
+					coreByCell[st.ids[ci]] = st.corePts[ci]
+				}
+			}
+		}
+	})
+	cl.RunStage("III-2", "point-labeling", k, func(t int) {
+		st := parts[t]
+		for ci, cell := range st.cells {
+			if st.cellCore[ci] {
+				// All points of a core cell share its component's
+				// cluster (Figure 3a, maximality).
+				cid := int(comp[st.ids[ci]])
+				for _, pi := range cell.Points {
+					res.Labels[pi] = cid
+				}
+				continue
+			}
+			pcs := preds[st.ids[ci]]
+			if len(pcs) == 0 {
+				continue // noise cell
+			}
+			for _, qi := range cell.Points {
+				qp := pts.At(qi)
+				for _, pk := range pcs {
+					if comp[pk] < 0 {
+						continue
+					}
+					found := false
+					for _, pi := range coreByCell[pk] {
+						if geom.Dist2(qp, pts.At(pi)) <= cfg.Eps*cfg.Eps {
+							res.Labels[qi] = int(comp[pk])
+							found = true
+							break
+						}
+					}
+					if found {
+						break
+					}
+				}
+			}
+		}
+	})
+
+	res.Report = cl.Report()
+	return res, nil
+}

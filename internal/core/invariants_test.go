@@ -1,0 +1,218 @@
+package core
+
+// Additional invariant and edge-case tests for the RP-DBSCAN pipeline.
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+// Labels must be dense: every id in [0, NumClusters) occurs, nothing
+// outside.
+func TestLabelsDense(t *testing.T) {
+	pts := datagen.Mixture(datagen.MixtureConfig{
+		N: 2000, Dim: 2, Components: 6, Span: 40, Alpha: 1, NoiseFrac: 0.1,
+	}, 5)
+	res := run(t, pts, Config{Eps: 0.9, MinPts: 10, Rho: 0.01, NumPartitions: 6})
+	seen := make([]bool, res.NumClusters)
+	for _, l := range res.Labels {
+		if l == Noise {
+			continue
+		}
+		if l < 0 || l >= res.NumClusters {
+			t.Fatalf("label %d outside [0, %d)", l, res.NumClusters)
+		}
+		seen[l] = true
+	}
+	for c, ok := range seen {
+		if !ok {
+			t.Fatalf("cluster id %d unused", c)
+		}
+	}
+}
+
+// A core point is never noise.
+func TestCorePointsAlwaysLabeled(t *testing.T) {
+	pts := datagen.Chameleon(3000, 7)
+	res := run(t, pts, Config{Eps: 1.2, MinPts: 10, Rho: 0.01, NumPartitions: 5})
+	for i, core := range res.CorePoint {
+		if core && res.Labels[i] == Noise {
+			t.Fatalf("core point %d labelled noise", i)
+		}
+	}
+}
+
+// All points of one cell share a cluster when the cell is core: the
+// diagonal-eps guarantee of Figure 3a. We verify the observable
+// consequence: any two points within eps/sqrt(dim) of each other (hence
+// possibly sharing a cell) where one is core never split into cluster +
+// noise.
+func TestCellCohesion(t *testing.T) {
+	pts := datagen.Blobs(2000, 3, 0.4, 8)
+	eps := 0.35
+	res := run(t, pts, Config{Eps: eps, MinPts: 8, Rho: 0.01, NumPartitions: 4})
+	for i := 0; i < pts.N(); i++ {
+		if !res.CorePoint[i] {
+			continue
+		}
+		for j := i + 1; j < pts.N() && j < i+50; j++ {
+			if geom.Dist(pts.At(i), pts.At(j)) <= eps {
+				if res.Labels[j] == Noise {
+					t.Fatalf("point %d within eps of core %d but noise", j, i)
+				}
+			}
+		}
+	}
+}
+
+// The number of partitions never changes PointsProcessed (no duplication),
+// and the executor count never changes the clustering.
+func TestExecutorInvariance(t *testing.T) {
+	pts := datagen.Moons(1500, 0.04, 9)
+	cfg := Config{Eps: 0.12, MinPts: 8, Rho: 0.01, NumPartitions: 8}
+	cl1 := engine.New(8)
+	cl1.Executors = 1
+	a, err := Run(pts, cfg, cl1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2 := engine.New(8)
+	cl2.Executors = 8
+	b, err := Run(pts, cfg, cl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := metrics.RandIndex(a.Labels, b.Labels); ri != 1 {
+		t.Fatalf("executor count changed clustering: RI=%.6f", ri)
+	}
+	if a.PointsProcessed != int64(pts.N()) || b.PointsProcessed != int64(pts.N()) {
+		t.Fatal("duplication appeared")
+	}
+}
+
+// Duplicate points (identical coordinates) must cluster identically.
+func TestDuplicatePoints(t *testing.T) {
+	pts := geom.NewPoints(2, 0)
+	for i := 0; i < 30; i++ {
+		pts.Append([]float64{1, 1})
+		pts.Append([]float64{5, 5})
+	}
+	res := run(t, pts, Config{Eps: 0.5, MinPts: 10, Rho: 0.01, NumPartitions: 4})
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	for i := 0; i < pts.N(); i += 2 {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatal("identical points split across clusters")
+		}
+	}
+}
+
+// Single-point and two-point inputs.
+func TestTinyInputs(t *testing.T) {
+	one, _ := geom.FromSlice([][]float64{{1, 2}}, 2)
+	res := run(t, one, Config{Eps: 1, MinPts: 1, Rho: 0.01})
+	if res.NumClusters != 1 || res.Labels[0] != 0 {
+		t.Fatalf("single point with minPts=1: %+v", res.Labels)
+	}
+	res = run(t, one, Config{Eps: 1, MinPts: 2, Rho: 0.01})
+	if res.Labels[0] != Noise {
+		t.Fatal("single point with minPts=2 should be noise")
+	}
+	two, _ := geom.FromSlice([][]float64{{0, 0}, {0.1, 0}}, 2)
+	res = run(t, two, Config{Eps: 1, MinPts: 2, Rho: 0.01, NumPartitions: 3})
+	if res.NumClusters != 1 || res.Labels[0] != res.Labels[1] {
+		t.Fatalf("two close points should form one cluster: %v", res.Labels)
+	}
+}
+
+// RP-DBSCAN must produce identical results when tasks fail transiently and
+// are re-executed (Spark-style fault tolerance): every stage's tasks are
+// idempotent.
+func TestFaultToleranceSameResult(t *testing.T) {
+	pts := datagen.Chameleon(2500, 4)
+	cfg := Config{Eps: 1.2, MinPts: 10, Rho: 0.01, NumPartitions: 6}
+	clean, err := Run(pts, cfg, engine.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := engine.New(6)
+	// Fail every task's first attempt in every stage.
+	faulty.FaultInjector = func(stage string, task, attempt int) bool {
+		return attempt == 0
+	}
+	res, err := Run(pts, cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := metrics.RandIndex(clean.Labels, res.Labels); ri != 1 {
+		t.Fatalf("fault injection changed clustering: RI=%.6f", ri)
+	}
+	if res.NumClusters != clean.NumClusters {
+		t.Fatalf("cluster count changed under faults: %d vs %d", res.NumClusters, clean.NumClusters)
+	}
+}
+
+// Mid-task failures (after partial side effects) must also be recoverable:
+// inject a panic from inside task bodies via a fault injector that fails
+// sporadic later attempts too.
+func TestFaultToleranceSporadic(t *testing.T) {
+	pts := datagen.Moons(1500, 0.04, 6)
+	cfg := Config{Eps: 0.12, MinPts: 8, Rho: 0.01, NumPartitions: 5}
+	clean, err := Run(pts, cfg, engine.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := engine.New(5)
+	var calls atomic.Int64
+	faulty.FaultInjector = func(stage string, task, attempt int) bool {
+		// Deterministically fail ~1/3 of first attempts across stages.
+		return attempt == 0 && calls.Add(1)%3 == 0
+	}
+	res, err := Run(pts, cfg, faulty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := metrics.RandIndex(clean.Labels, res.Labels); ri != 1 {
+		t.Fatalf("sporadic faults changed clustering: RI=%.6f", ri)
+	}
+}
+
+// Property: a uniform scaling of all coordinates and eps leaves the
+// clustering unchanged (the algorithm is scale-equivariant).
+func TestScaleEquivarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		pts := datagen.Mixture(datagen.MixtureConfig{
+			N: 400 + r.Intn(400), Dim: 2, Components: 4, Span: 20, Alpha: 2,
+		}, seed)
+		scale := 0.5 + r.Float64()*4
+		scaled := pts.Copy()
+		for i := range scaled.Coords {
+			scaled.Coords[i] *= scale
+		}
+		cfg := Config{Eps: 0.8, MinPts: 8, Rho: 0.01, NumPartitions: 4, Seed: seed}
+		a, err := Run(pts, cfg, engine.New(4))
+		if err != nil {
+			return false
+		}
+		cfg.Eps *= scale
+		b, err := Run(scaled, cfg, engine.New(4))
+		if err != nil {
+			return false
+		}
+		// Scaling moves cell boundaries, so borderline approximation
+		// outcomes can flip; require near-identical clusterings.
+		return metrics.RandIndex(a.Labels, b.Labels) >= 0.99
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+// Empirical validation of Theorem 5.4: the clustering produced with
+// (eps,rho)-region queries is sandwiched between exact DBSCAN at
+// (1-rho/2)*eps and at (1+rho/2)*eps. We verify both containment
+// directions on the core skeletons, where cluster membership is
+// unambiguous (border points may legitimately attach to different
+// clusters):
+//
+//   - every lower-clustering core point set of one cluster stays within
+//     one RP-DBSCAN cluster (C1 subset of C), and
+//   - every RP-DBSCAN cluster's core points stay within one upper
+//     clustering cluster (C subset of C2).
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+)
+
+func TestTheorem54Sandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rho := []float64{0.5, 0.25, 0.1}[r.Intn(3)]
+		pts := datagen.Mixture(datagen.MixtureConfig{
+			N: 600 + r.Intn(600), Dim: 2,
+			Components: 3 + r.Intn(4), Span: 25, Alpha: 1, NoiseFrac: 0.1,
+		}, seed)
+		eps := 0.9
+		minPts := 8
+		lower := dbscan.Run(pts, (1-rho/2)*eps, minPts)
+		upper := dbscan.Run(pts, (1+rho/2)*eps, minPts)
+		approx, err := Run(pts, Config{
+			Eps: eps, MinPts: minPts, Rho: rho,
+			NumPartitions: 1 + r.Intn(6), Seed: seed,
+		}, engine.New(4))
+		if err != nil {
+			return false
+		}
+		// Direction 1: a lower cluster's core points map into one
+		// RP cluster, and never to noise.
+		lowerTo := map[int]int{}
+		for i := range lower.Labels {
+			if !lower.CorePoint[i] || lower.Labels[i] < 0 {
+				continue
+			}
+			if approx.Labels[i] < 0 {
+				return false // a (1-rho/2)eps core point can't be noise
+			}
+			if prev, ok := lowerTo[lower.Labels[i]]; ok {
+				if prev != approx.Labels[i] {
+					return false // lower cluster split by RP
+				}
+			} else {
+				lowerTo[lower.Labels[i]] = approx.Labels[i]
+			}
+		}
+		// Direction 2: an RP cluster's core points map into one upper
+		// cluster, and never to noise.
+		rpTo := map[int]int{}
+		for i := range approx.Labels {
+			if !approx.CorePoint[i] || approx.Labels[i] < 0 {
+				continue
+			}
+			if upper.Labels[i] < 0 {
+				return false // an approx core point must be clustered at (1+rho/2)eps
+			}
+			if prev, ok := rpTo[approx.Labels[i]]; ok {
+				if prev != upper.Labels[i] {
+					return false // RP cluster split at the upper radius
+				}
+			} else {
+				rpTo[approx.Labels[i]] = upper.Labels[i]
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

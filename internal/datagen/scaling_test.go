@@ -1,0 +1,80 @@
+package datagen
+
+// Tests for the world-scaling law: Sim* generators size every length by
+// (n/refN)^(1/dim), so local point density — and therefore the behaviour
+// of a fixed (eps, minPts) — is invariant across sizes, like sampling more
+// of the same real-world source.
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/kdtree"
+)
+
+// medianNNDist returns the median nearest-neighbor distance of a sample of
+// points — a robust local-density proxy.
+func medianNNDist(pts *geom.Points, sample int) float64 {
+	tree := kdtree.Build(pts, nil)
+	n := pts.N()
+	step := n / sample
+	if step < 1 {
+		step = 1
+	}
+	var dists []float64
+	for i := 0; i < n; i += step {
+		p := pts.At(i)
+		best := math.Inf(1)
+		r := 0.05
+		for math.IsInf(best, 1) {
+			tree.Visit(p, r, func(j int) {
+				if j == i {
+					return
+				}
+				if d := geom.Dist(p, pts.At(j)); d < best {
+					best = d
+				}
+			})
+			r *= 2
+		}
+		dists = append(dists, best)
+	}
+	sort.Float64s(dists)
+	return dists[len(dists)/2]
+}
+
+func TestDensityInvariantAcrossSizes(t *testing.T) {
+	// The same generator at 4x the size must keep local density (median
+	// NN distance) within a factor of ~1.5 — the property that makes
+	// Eps10/MinPts calibrations valid at every N.
+	gens := []struct {
+		name string
+		gen  func(n int) *geom.Points
+	}{
+		{"SimGeoLife", func(n int) *geom.Points { return SimGeoLife(n, 3).Points }},
+		{"SimCosmo", func(n int) *geom.Points { return SimCosmo(n, 3).Points }},
+		{"SimOSM", func(n int) *geom.Points { return SimOSM(n, 3).Points }},
+		{"SimTeraClick", func(n int) *geom.Points { return SimTeraClick(n, 3).Points }},
+	}
+	for _, g := range gens {
+		small := medianNNDist(g.gen(4000), 300)
+		large := medianNNDist(g.gen(16000), 300)
+		ratio := large / small
+		if ratio < 1/1.6 || ratio > 1.6 {
+			t.Errorf("%s: median NN distance changed by %.2fx between 4k and 16k points (want ~1)",
+				g.name, ratio)
+		}
+	}
+}
+
+func TestWorldVariantRaisesDensity(t *testing.T) {
+	// Sampling n points from a world sized for n/10 must shrink NN
+	// distances markedly — the density knob of the paper-regime runs.
+	base := medianNNDist(SimCosmoWorld(8000, 8000, 5).Points, 300)
+	dense := medianNNDist(SimCosmoWorld(8000, 800, 5).Points, 300)
+	if dense >= base*0.8 {
+		t.Fatalf("density boost did not shrink NN distance: %v vs %v", dense, base)
+	}
+}

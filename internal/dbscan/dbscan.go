@@ -1,0 +1,80 @@
+// Package dbscan implements the original, exact DBSCAN algorithm of Ester
+// et al. with kd-tree-accelerated region queries. It serves as the ground
+// truth for accuracy experiments (the "DBSCAN [10]" row of Table 2) and as
+// the exact local clusterer inside SPARK-DBSCAN.
+package dbscan
+
+import (
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/kdtree"
+)
+
+// Noise is the label of points in no cluster.
+const Noise = -1
+
+// Result holds the clustering output.
+type Result struct {
+	// Labels holds a cluster id per point, or Noise.
+	Labels []int
+	// CorePoint marks points with at least minPts eps-neighbors.
+	CorePoint []bool
+	// NumClusters is the number of clusters found.
+	NumClusters int
+}
+
+// Run clusters pts with radius eps and core threshold minPts. Cluster ids
+// are assigned in order of discovery scanning points by index, so the
+// output is deterministic. The eps-neighborhood of a point includes the
+// point itself, as in Definition 2.1.
+func Run(pts *geom.Points, eps float64, minPts int) *Result {
+	n := pts.N()
+	res := &Result{
+		Labels:    make([]int, n),
+		CorePoint: make([]bool, n),
+	}
+	for i := range res.Labels {
+		res.Labels[i] = Noise
+	}
+	if n == 0 {
+		return res
+	}
+	tree := kdtree.Build(pts, nil)
+
+	visited := make([]bool, n)
+	var queue []int
+	var neigh []int
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neigh = tree.InBall(pts.At(i), eps, neigh[:0])
+		if len(neigh) < minPts {
+			continue // noise for now; may become a border point later
+		}
+		// Expand a new cluster from core point i (Definitions 2.2-2.4).
+		res.CorePoint[i] = true
+		res.Labels[i] = cluster
+		queue = append(queue[:0], neigh...)
+		for len(queue) > 0 {
+			j := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if res.Labels[j] == Noise {
+				res.Labels[j] = cluster // border or core of this cluster
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			jn := tree.InBall(pts.At(j), eps, nil)
+			if len(jn) >= minPts {
+				res.CorePoint[j] = true
+				queue = append(queue, jn...)
+			}
+		}
+		cluster++
+	}
+	res.NumClusters = cluster
+	return res
+}

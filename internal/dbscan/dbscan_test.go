@@ -1,0 +1,133 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/geom"
+)
+
+func TestEmpty(t *testing.T) {
+	res := Run(geom.NewPoints(2, 0), 1, 3)
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Fatalf("empty run = %+v", res)
+	}
+}
+
+func TestTwoBlobsAndNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := geom.NewPoints(2, 0)
+	row := make([]float64, 2)
+	for i := 0; i < 50; i++ {
+		row[0], row[1] = rng.NormFloat64()*0.1, rng.NormFloat64()*0.1
+		pts.Append(row)
+	}
+	for i := 0; i < 50; i++ {
+		row[0], row[1] = 10+rng.NormFloat64()*0.1, 10+rng.NormFloat64()*0.1
+		pts.Append(row)
+	}
+	pts.Append([]float64{100, 100}) // isolated noise point
+	res := Run(pts, 0.5, 5)
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	for i := 0; i < 50; i++ {
+		if res.Labels[i] != res.Labels[0] {
+			t.Fatalf("first blob split: label[%d]=%d", i, res.Labels[i])
+		}
+	}
+	for i := 50; i < 100; i++ {
+		if res.Labels[i] != res.Labels[50] || res.Labels[i] == res.Labels[0] {
+			t.Fatalf("second blob wrong: label[%d]=%d", i, res.Labels[i])
+		}
+	}
+	if res.Labels[100] != Noise {
+		t.Fatal("isolated point not noise")
+	}
+}
+
+func TestMinPtsBoundary(t *testing.T) {
+	// Exactly minPts points (including self) within eps makes a core.
+	pts, _ := geom.FromSlice([][]float64{
+		{0, 0}, {0.1, 0}, {0, 0.1},
+	}, 2)
+	res := Run(pts, 0.2, 3)
+	if !res.CorePoint[0] {
+		t.Fatal("point with exactly minPts neighbors (incl. self) not core")
+	}
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	// Raise minPts by one: nothing is core.
+	res = Run(pts, 0.2, 4)
+	if res.NumClusters != 0 {
+		t.Fatalf("NumClusters = %d, want 0", res.NumClusters)
+	}
+	for _, l := range res.Labels {
+		if l != Noise {
+			t.Fatal("non-core points not noise")
+		}
+	}
+}
+
+func TestChainCluster(t *testing.T) {
+	// A chain of points spaced 0.9 apart with eps=1: density-reachability
+	// must connect the whole chain into one cluster.
+	pts := geom.NewPoints(1, 20)
+	for i := 0; i < 20; i++ {
+		pts.Append([]float64{float64(i) * 0.9})
+	}
+	res := Run(pts, 1.0, 2)
+	if res.NumClusters != 1 {
+		t.Fatalf("NumClusters = %d, want 1", res.NumClusters)
+	}
+	for i, l := range res.Labels {
+		if l != 0 {
+			t.Fatalf("chain point %d has label %d", i, l)
+		}
+	}
+}
+
+func TestBorderPointAttachment(t *testing.T) {
+	// A point within eps of a core but itself non-core is a border point
+	// of that cluster, not noise. With eps=0.5, minPts=5 the centre point
+	// E is the only core; F sees only 4 neighbors (itself, A, B, E) but
+	// lies within eps of E.
+	pts, _ := geom.FromSlice([][]float64{
+		{0, 0}, {0.4, 0}, {0, 0.4}, {0.4, 0.4}, // A B C D
+		{0.2, 0.2},   // E: core (A,B,C,D,E within 0.5)
+		{0.2, -0.25}, // F: border of E's cluster
+	}, 2)
+	res := Run(pts, 0.5, 5)
+	if !res.CorePoint[4] {
+		t.Fatal("E should be core")
+	}
+	if res.CorePoint[5] {
+		t.Fatal("F should not be core")
+	}
+	if res.Labels[5] == Noise {
+		t.Fatal("border point classified as noise")
+	}
+	if res.Labels[5] != res.Labels[4] {
+		t.Fatal("border point not attached to E's cluster")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := geom.NewPoints(3, 0)
+	row := make([]float64, 3)
+	for i := 0; i < 300; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 5
+		}
+		pts.Append(row)
+	}
+	a := Run(pts, 0.6, 5)
+	b := Run(pts, 0.6, 5)
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("runs differ")
+		}
+	}
+}

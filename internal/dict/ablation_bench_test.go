@@ -1,0 +1,80 @@
+package dict
+
+// Ablation benchmarks for the dictionary's design choices (DESIGN.md §4):
+// the kd-tree candidate index of Lemma 5.6, and the sub-dictionary MBR
+// skipping of Lemma 5.10 enabled by defragmentation.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func ablationDict(b *testing.B, maxCells int) (*Dictionary, func(i int) []float64) {
+	b.Helper()
+	r := rand.New(rand.NewSource(1))
+	pts := randomPoints(r, 20000, 3, 120)
+	d := buildDict(pts, 1.0, 0.01, maxCells)
+	return d, func(i int) []float64 { return pts.At(i % pts.N()) }
+}
+
+func BenchmarkQueryIndexed(b *testing.B) {
+	d, at := ablationDict(b, 0)
+	q := NewQuerier(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Count(at(i))
+	}
+}
+
+func BenchmarkQueryNoIndex(b *testing.B) {
+	d, at := ablationDict(b, 0)
+	q := NewQuerier(d)
+	q.DisableIndex = true
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Count(at(i))
+	}
+}
+
+func BenchmarkQueryDefragmentedWithSkip(b *testing.B) {
+	d, at := ablationDict(b, 256)
+	q := NewQuerier(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Count(at(i))
+	}
+}
+
+func BenchmarkQueryDefragmentedNoSkip(b *testing.B) {
+	d, at := ablationDict(b, 256)
+	q := NewQuerier(d)
+	q.DisableMBRSkip = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Count(at(i))
+	}
+}
+
+// The ablation switches must not change results.
+func TestAblationSwitchesPreserveResults(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	pts := randomPoints(r, 2000, 3, 40)
+	d := buildDict(pts, 1.0, 0.05, 64)
+	base := NewQuerier(d)
+	noIdx := NewQuerier(d)
+	noIdx.DisableIndex = true
+	noSkip := NewQuerier(d)
+	noSkip.DisableMBRSkip = true
+	for i := 0; i < 200; i++ {
+		p := pts.At(r.Intn(pts.N()))
+		want := base.Count(p)
+		if got := noIdx.Count(p); got != want {
+			t.Fatalf("DisableIndex changed result: %d vs %d", got, want)
+		}
+		if got := noSkip.Count(p); got != want {
+			t.Fatalf("DisableMBRSkip changed result: %d vs %d", got, want)
+		}
+	}
+}

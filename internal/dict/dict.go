@@ -1,0 +1,371 @@
+// Package dict implements the two-level cell dictionary of Definition 4.2:
+// a compact summary of the entire data set in which the first level is the
+// set of non-empty cells and the second level records, per cell, the number
+// of points in each non-empty sub-cell. Points are approximated by the
+// centre of their sub-cell.
+//
+// The dictionary is organised as a set of disjoint sub-dictionaries
+// (Definition 4.4) produced by binary-space-partitioning defragmentation
+// (Section 4.2.2); each sub-dictionary carries its minimum bounding
+// rectangle so that irrelevant sub-dictionaries are skipped during
+// (eps,rho)-region queries (Lemma 5.10).
+package dict
+
+import (
+	"sort"
+
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/grid"
+	"rpdbscan/internal/kdtree"
+)
+
+// SubCell is one second-level entry: the packed position of a sub-cell
+// inside its cell and the number of points it contains.
+type SubCell struct {
+	Idx   grid.SubIdx
+	Count int32
+}
+
+// CellEntry is one first-level entry: a cell, its total point count, and
+// its non-empty sub-cells. ID is the cell's dense global id, assigned by
+// Build in ascending key order; cell graphs identify cells by this id.
+type CellEntry struct {
+	Key   grid.Key
+	ID    int32
+	Count int32
+	Subs  []SubCell
+}
+
+// SubDict is a disjoint part of the dictionary: a subset of cells plus the
+// index structures needed to query them.
+type SubDict struct {
+	Entries []CellEntry
+	// MBR bounds all sub-cell centres in this sub-dictionary
+	// (Definition 5.9).
+	MBR geom.Box
+
+	tree    *kdtree.Tree // over cell centres; payload = entry index
+	centers *geom.Points
+}
+
+// Dictionary is the complete two-level cell dictionary.
+type Dictionary struct {
+	Eps     float64
+	Rho     float64
+	Dim     int
+	Side    float64 // cell side length eps/sqrt(dim)
+	SubSide float64 // sub-cell side length Side/2^Shift
+	Shift   uint    // h-1 = ceil(log2(1/rho))
+
+	Subs []*SubDict
+
+	// Keys maps a cell id back to its key (ids are assigned in ascending
+	// key order, so Keys is sorted and IDOf is a binary search).
+	Keys []grid.Key
+	byID []*CellEntry
+
+	// NumCells and NumSubCells are totals across all sub-dictionaries.
+	NumCells    int
+	NumSubCells int
+}
+
+// IDOf returns the dense id of a cell key, if the cell is non-empty.
+func (d *Dictionary) IDOf(k grid.Key) (int32, bool) {
+	i := sort.Search(len(d.Keys), func(i int) bool { return d.Keys[i] >= k })
+	if i < len(d.Keys) && d.Keys[i] == k {
+		return int32(i), true
+	}
+	return 0, false
+}
+
+// Params fixes the geometry shared by all partial dictionaries of a run.
+type Params struct {
+	Eps float64
+	Rho float64
+	Dim int
+}
+
+func (p Params) side() float64 { return grid.Side(p.Eps, p.Dim) }
+func (p Params) shift() uint   { return grid.SubShift(p.Rho) }
+func (p Params) subSide() float64 {
+	return p.side() / float64(int64(1)<<p.shift())
+}
+
+// BuildEntry summarises one cell of the grid into a CellEntry given the
+// originating point set (Algorithm 2, Cell_Dictionary_Building map side).
+func BuildEntry(cell *grid.Cell, pts *geom.Points, p Params) CellEntry {
+	side, shift, subSide := p.side(), p.shift(), p.subSide()
+	origin := make([]float64, p.Dim)
+	cell.Key.Origin(side, origin)
+	counts := make(map[grid.SubIdx]int32, len(cell.Points))
+	for _, pi := range cell.Points {
+		counts[grid.SubIdxFor(pts.At(pi), origin, subSide, shift)]++
+	}
+	e := CellEntry{Key: cell.Key, Count: int32(len(cell.Points)), Subs: make([]SubCell, 0, len(counts))}
+	for idx, c := range counts {
+		e.Subs = append(e.Subs, SubCell{Idx: idx, Count: c})
+	}
+	// Deterministic order independent of map iteration.
+	sort.Slice(e.Subs, func(i, j int) bool {
+		a, b := e.Subs[i].Idx, e.Subs[j].Idx
+		if a.Hi != b.Hi {
+			return a.Hi < b.Hi
+		}
+		return a.Lo < b.Lo
+	})
+	return e
+}
+
+// Build assembles a dictionary from cell entries (typically the union of all
+// partitions' entries) and defragments it so no sub-dictionary exceeds
+// maxCellsPerSub cells. maxCellsPerSub <= 0 keeps a single sub-dictionary.
+func Build(entries []CellEntry, p Params, maxCellsPerSub int) *Dictionary {
+	d := &Dictionary{
+		Eps:     p.Eps,
+		Rho:     p.Rho,
+		Dim:     p.Dim,
+		Side:    p.side(),
+		SubSide: p.subSide(),
+		Shift:   p.shift(),
+	}
+	// Assign dense ids in ascending key order. The assignment is a pure
+	// function of the cell-key set, so every decoded replica of the
+	// dictionary agrees on ids without shipping them.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key < entries[j].Key })
+	d.Keys = make([]grid.Key, len(entries))
+	for i := range entries {
+		entries[i].ID = int32(i)
+		d.Keys[i] = entries[i].Key
+		d.NumCells++
+		d.NumSubCells += len(entries[i].Subs)
+	}
+	groups := defragment(entries, p, maxCellsPerSub)
+	d.Subs = make([]*SubDict, 0, len(groups))
+	d.byID = make([]*CellEntry, len(entries))
+	for _, g := range groups {
+		sd := newSubDict(g, d)
+		d.Subs = append(d.Subs, sd)
+		for i := range sd.Entries {
+			d.byID[sd.Entries[i].ID] = &sd.Entries[i]
+		}
+	}
+	return d
+}
+
+// defragment recursively applies binary space partitioning to the cells:
+// each step sorts by the widest axis of the current cell bounding box and
+// cuts at the median, which minimises the size difference between the two
+// components (Section 4.2.2, Figure 6).
+func defragment(entries []CellEntry, p Params, maxCells int) [][]CellEntry {
+	if maxCells <= 0 || len(entries) <= maxCells {
+		if len(entries) == 0 {
+			return nil
+		}
+		return [][]CellEntry{entries}
+	}
+	dim := p.Dim
+	lo := make([]int32, dim)
+	hi := make([]int32, dim)
+	for i := 0; i < dim; i++ {
+		lo[i] = entries[0].Key.Coord(i)
+		hi[i] = lo[i]
+	}
+	for _, e := range entries[1:] {
+		for i := 0; i < dim; i++ {
+			c := e.Key.Coord(i)
+			if c < lo[i] {
+				lo[i] = c
+			}
+			if c > hi[i] {
+				hi[i] = c
+			}
+		}
+	}
+	axis, widest := 0, hi[0]-lo[0]
+	for i := 1; i < dim; i++ {
+		if w := hi[i] - lo[i]; w > widest {
+			widest, axis = w, i
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		ci, cj := entries[i].Key.Coord(axis), entries[j].Key.Coord(axis)
+		if ci != cj {
+			return ci < cj
+		}
+		return entries[i].Key < entries[j].Key
+	})
+	mid := len(entries) / 2
+	out := defragment(entries[:mid], p, maxCells)
+	return append(out, defragment(entries[mid:], p, maxCells)...)
+}
+
+func newSubDict(entries []CellEntry, d *Dictionary) *SubDict {
+	sd := &SubDict{Entries: entries, MBR: geom.NewBox(d.Dim)}
+	sd.centers = geom.NewPoints(d.Dim, len(entries))
+	origin := make([]float64, d.Dim)
+	center := make([]float64, d.Dim)
+	for _, e := range entries {
+		e.Key.Origin(d.Side, origin)
+		e.Key.Center(d.Side, center)
+		sd.centers.Append(center)
+		// Bound the MBR by the whole cell box rather than the exact
+		// sub-cell centres: a (slightly) larger MBR only makes the
+		// Lemma 5.10 skip test conservative, never wrong, and avoids
+		// decoding every sub-cell position at load time.
+		sd.MBR.Extend(origin)
+		for i := range center {
+			center[i] = origin[i] + d.Side
+		}
+		sd.MBR.Extend(center)
+	}
+	sd.tree = kdtree.Build(sd.centers, nil)
+	return sd
+}
+
+// Lookup returns the entry for a cell key, or nil if the cell is empty.
+func (d *Dictionary) Lookup(k grid.Key) *CellEntry {
+	id, ok := d.IDOf(k)
+	if !ok {
+		return nil
+	}
+	return d.byID[id]
+}
+
+// Entry returns the entry for a cell id.
+func (d *Dictionary) Entry(id int32) *CellEntry { return d.byID[id] }
+
+// SizeBits returns the dictionary size in bits per Lemma 4.3:
+// 32*(|cell|+|sub-cell|) for densities, plus 32*d*|cell| for exact cell
+// positions and d*(h-1) bits per sub-cell for sub-cell ordering positions.
+func (d *Dictionary) SizeBits() int64 {
+	cells := int64(d.NumCells)
+	subs := int64(d.NumSubCells)
+	dd := int64(d.Dim)
+	h1 := int64(d.Shift)
+	return 32*(cells+subs) + 32*dd*cells + dd*h1*subs
+}
+
+// TotalPoints returns the sum of cell counts (the data set size N).
+func (d *Dictionary) TotalPoints() int64 {
+	var n int64
+	for _, sd := range d.Subs {
+		for i := range sd.Entries {
+			n += int64(sd.Entries[i].Count)
+		}
+	}
+	return n
+}
+
+// Querier performs (eps,rho)-region queries against a dictionary. It holds
+// reusable scratch buffers and must not be shared between goroutines.
+type Querier struct {
+	d        *Dictionary
+	halfDiag float64 // half the cell diagonal = eps/2
+	origin   []float64
+	center   []float64
+	cand     []int
+	// SkippedSubDicts counts sub-dictionaries pruned by Lemma 5.10 since
+	// the querier was created; used by instrumentation and tests.
+	SkippedSubDicts int64
+
+	// DisableIndex makes candidate-cell lookup scan every entry instead
+	// of using the kd-tree — the ablation of Lemma 5.6's index. Results
+	// are identical; only cost changes.
+	DisableIndex bool
+	// DisableMBRSkip turns off the sub-dictionary pruning of Lemma 5.10
+	// — the ablation of dictionary defragmentation's benefit. Results
+	// are identical; only cost changes.
+	DisableMBRSkip bool
+}
+
+// NewQuerier returns a querier for d.
+func NewQuerier(d *Dictionary) *Querier {
+	return &Querier{
+		d:        d,
+		halfDiag: d.Eps / 2,
+		origin:   make([]float64, d.Dim),
+		center:   make([]float64, d.Dim),
+	}
+}
+
+// Query performs an (eps,rho)-region query for point p (Definition 5.1):
+// it finds every sub-cell whose centre is within eps of p. It returns the
+// total number of points in those sub-cells and appends to cells the id of
+// every cell contributing at least one such sub-cell (the neighbor cells NC
+// of Algorithm 3 line 13). cells may be nil when only the count matters.
+func (q *Querier) Query(p []float64, wantCells bool, cells []int32) (count int64, outCells []int32) {
+	d := q.d
+	eps := d.Eps
+	eps2 := eps * eps
+	// A cell can contain a qualifying sub-cell centre only if its own
+	// centre is within eps + halfDiag of p (any cell point is within
+	// halfDiag of the cell centre).
+	candR := eps + q.halfDiag
+	for _, sd := range d.Subs {
+		if sd.MBR.Empty() {
+			continue
+		}
+		if !q.DisableMBRSkip && sd.MBR.Outside(p, eps) {
+			q.SkippedSubDicts++
+			continue // Lemma 5.10: no (eps,rho)-neighbor in this sub-dictionary
+		}
+		q.cand = q.cand[:0]
+		if q.DisableIndex {
+			for ei := range sd.Entries {
+				if geom.Dist2(p, sd.centers.At(ei)) <= candR*candR {
+					q.cand = append(q.cand, ei)
+				}
+			}
+		} else {
+			q.cand = sd.tree.InBall(p, candR, q.cand)
+		}
+		for _, ei := range q.cand {
+			e := &sd.Entries[ei]
+			e.Key.Origin(d.Side, q.origin)
+			// Fully contained cell: the farthest cell corner is within
+			// eps of p, so every sub-cell centre qualifies without a
+			// per-sub-cell distance check (Example 5.5, cell level).
+			var far2 float64
+			for i := 0; i < d.Dim; i++ {
+				d1 := p[i] - q.origin[i]
+				d2 := q.origin[i] + d.Side - p[i]
+				if d1 < 0 {
+					d1 = -d1
+				}
+				if d2 < 0 {
+					d2 = -d2
+				}
+				if d2 > d1 {
+					d1 = d2
+				}
+				far2 += d1 * d1
+			}
+			matched := false
+			if far2 <= eps2 {
+				for _, sc := range e.Subs {
+					count += int64(sc.Count)
+				}
+				matched = true
+			} else {
+				for _, sc := range e.Subs {
+					grid.SubCenter(sc.Idx, q.origin, d.SubSide, d.Shift, q.center)
+					if geom.Dist2(p, q.center) <= eps2 {
+						count += int64(sc.Count)
+						matched = true
+					}
+				}
+			}
+			if matched && wantCells {
+				cells = append(cells, e.ID)
+			}
+		}
+	}
+	return count, cells
+}
+
+// Count returns only the approximate neighborhood size of p (the core-test
+// quantity of Algorithm 3 lines 7-9).
+func (q *Querier) Count(p []float64) int64 {
+	n, _ := q.Query(p, false, nil)
+	return n
+}

@@ -1,0 +1,183 @@
+package dict
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rpdbscan/internal/grid"
+)
+
+// Binary wire format used when the dictionary is broadcast to workers.
+// Header:
+//
+//	magic "RPD1" | dim uint16 | shift uint16 | eps float64 | rho float64
+//	numCells uint32
+//
+// Then per cell: key coords (dim x int32), count uint32, numSubs uint32,
+// and per sub-cell a packed position of ceil(dim*shift/8) bytes followed by
+// a uint32 count. Sub-dictionary boundaries are not encoded; the receiver
+// re-defragments locally, which is what the paper's workers do when memory
+// bounds differ from the builder's.
+const magic = "RPD1"
+
+// subBytes returns the number of bytes needed for one packed sub-cell
+// position: ceil(dim*shift/8), the d*(h-1) bits of Lemma 4.3 rounded up to
+// whole bytes.
+func subBytes(dim int, shift uint) int {
+	return (dim*int(shift) + 7) / 8
+}
+
+// Encode serialises the dictionary. The result length is the broadcast
+// payload size tracked by the engine.
+func (d *Dictionary) Encode() []byte {
+	var entries []CellEntry
+	for _, sd := range d.Subs {
+		entries = append(entries, sd.Entries...)
+	}
+	return EncodeEntries(entries, Params{Eps: d.Eps, Rho: d.Rho, Dim: d.Dim})
+}
+
+// EncodeEntries serialises raw cell entries without building the query
+// structures of a full Dictionary — the driver-side broadcast path of
+// Algorithm 2: workers build their own indexes when they Decode.
+func EncodeEntries(entries []CellEntry, p Params) []byte {
+	shift := p.shift()
+	sb := subBytes(p.Dim, shift)
+	size := 4 + 2 + 2 + 8 + 8 + 4
+	for i := range entries {
+		size += 4*p.Dim + 4 + 4 + len(entries[i].Subs)*(sb+4)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Dim))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(shift))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Eps))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Rho))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(entries)))
+	for i := range entries {
+		e := &entries[i]
+		buf = append(buf, string(e.Key)...)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(e.Count))
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(e.Subs)))
+		for _, sc := range e.Subs {
+			buf = appendPacked(buf, sc.Idx, sb)
+			buf = binary.BigEndian.AppendUint32(buf, uint32(sc.Count))
+		}
+	}
+	return buf
+}
+
+// Stats summarises entries by the Lemma 4.3 accounting without building a
+// Dictionary.
+type Stats struct {
+	NumCells    int
+	NumSubCells int
+	SizeBits    int64
+}
+
+// StatsOf computes dictionary statistics for a set of entries.
+func StatsOf(entries []CellEntry, p Params) Stats {
+	var s Stats
+	for i := range entries {
+		s.NumCells++
+		s.NumSubCells += len(entries[i].Subs)
+	}
+	dd := int64(p.Dim)
+	h1 := int64(p.shift())
+	s.SizeBits = 32*int64(s.NumCells+s.NumSubCells) + 32*dd*int64(s.NumCells) + dd*h1*int64(s.NumSubCells)
+	return s
+}
+
+// appendPacked writes the low n bytes of the 128-bit index, big-endian.
+func appendPacked(buf []byte, idx grid.SubIdx, n int) []byte {
+	var tmp [16]byte
+	binary.BigEndian.PutUint64(tmp[:8], idx.Hi)
+	binary.BigEndian.PutUint64(tmp[8:], idx.Lo)
+	return append(buf, tmp[16-n:]...)
+}
+
+func unpack(b []byte) grid.SubIdx {
+	var tmp [16]byte
+	copy(tmp[16-len(b):], b)
+	return grid.SubIdx{
+		Hi: binary.BigEndian.Uint64(tmp[:8]),
+		Lo: binary.BigEndian.Uint64(tmp[8:]),
+	}
+}
+
+// Decode reconstructs a dictionary from its wire form, re-defragmenting
+// with the given sub-dictionary bound (<= 0 keeps one sub-dictionary).
+func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
+	if len(buf) < 4+2+2+8+8+4 || string(buf[:4]) != magic {
+		return nil, fmt.Errorf("dict: bad header")
+	}
+	off := 4
+	dim := int(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	shift := uint(binary.BigEndian.Uint16(buf[off:]))
+	off += 2
+	eps := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	rho := math.Float64frombits(binary.BigEndian.Uint64(buf[off:]))
+	off += 8
+	numCells := int(binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	// Validate geometry before using it for offsets: a packed sub-cell
+	// position must fit the 128-bit SubIdx (Definition 4.1's d*(h-1)
+	// bits), and eps/rho must be usable.
+	if dim < 1 || dim > 128 || int(shift)*dim > 128 {
+		return nil, fmt.Errorf("dict: implausible geometry dim=%d shift=%d", dim, shift)
+	}
+	if !(eps > 0) || !(rho > 0) || math.IsInf(eps, 0) || math.IsInf(rho, 0) {
+		return nil, fmt.Errorf("dict: implausible parameters eps=%g rho=%g", eps, rho)
+	}
+	sb := subBytes(dim, shift)
+	// Bound allocations by the actual payload size, not the header's
+	// claimed cell count, so corrupt input cannot balloon memory.
+	remaining := len(buf) - off
+	perSub := sb + 4
+	capHint := numCells
+	if maxCells := remaining / (4*dim + 8); capHint > maxCells {
+		capHint = maxCells
+	}
+	entries := make([]CellEntry, 0, capHint)
+	// All sub-cells share one arena to avoid a slice allocation per cell.
+	arena := make([]SubCell, 0, remaining/perSub)
+	for c := 0; c < numCells; c++ {
+		need := 4*dim + 8
+		if off+need > len(buf) {
+			return nil, fmt.Errorf("dict: truncated cell %d", c)
+		}
+		key := grid.Key(buf[off : off+4*dim])
+		off += 4 * dim
+		count := int32(binary.BigEndian.Uint32(buf[off:]))
+		off += 4
+		nsubs := int(binary.BigEndian.Uint32(buf[off:]))
+		off += 4
+		start := len(arena)
+		for s := 0; s < nsubs; s++ {
+			if off+sb+4 > len(buf) {
+				return nil, fmt.Errorf("dict: truncated sub-cell in cell %d", c)
+			}
+			idx := unpack(buf[off : off+sb])
+			off += sb
+			sc := int32(binary.BigEndian.Uint32(buf[off:]))
+			off += 4
+			arena = append(arena, SubCell{Idx: idx, Count: sc})
+		}
+		entries = append(entries, CellEntry{
+			Key: key, Count: count,
+			Subs: arena[start:len(arena):len(arena)],
+		})
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("dict: %d trailing bytes", len(buf)-off)
+	}
+	p := Params{Eps: eps, Rho: rho, Dim: dim}
+	if p.shift() != shift {
+		// The shift is derived from rho; a mismatch means corruption.
+		return nil, fmt.Errorf("dict: shift %d inconsistent with rho %g", shift, rho)
+	}
+	return Build(entries, p, maxCellsPerSub), nil
+}

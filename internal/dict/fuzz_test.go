@@ -1,0 +1,41 @@
+package dict
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics and never accepts input that
+// fails to round-trip: the broadcast payload crosses worker boundaries, so
+// robust parsing is a hard requirement.
+func FuzzDecode(f *testing.F) {
+	r := rand.New(rand.NewSource(1))
+	pts := randomPoints(r, 200, 3, 10)
+	d := buildDict(pts, 1.0, 0.05, 8)
+	valid := d.Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RPD1"))
+	f.Add([]byte{})
+	mut := bytes.Clone(valid)
+	mut[10] ^= 0xff
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data, 4)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must re-encode to a decodable payload with the
+		// same totals.
+		again, err := Decode(got.Encode(), 4)
+		if err != nil {
+			t.Fatalf("re-encode of accepted payload failed: %v", err)
+		}
+		if again.NumCells != got.NumCells || again.NumSubCells != got.NumSubCells {
+			t.Fatalf("round trip changed totals: %d/%d vs %d/%d",
+				again.NumCells, again.NumSubCells, got.NumCells, got.NumSubCells)
+		}
+	})
+}

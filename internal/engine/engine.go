@@ -1,0 +1,396 @@
+// Package engine provides the parallel execution substrate that stands in
+// for Apache Spark in the original RP-DBSCAN system. A Cluster executes
+// stages of independent tasks on a bounded goroutine pool, measures every
+// task's cost, and computes the makespan those costs would have on a
+// virtual cluster of W workers using the same greedy in-order scheduling a
+// MapReduce scheduler applies.
+//
+// The virtual-cluster makespan is what the experiment harness reports as
+// "elapsed time": it reproduces the quantities the paper measures (per-split
+// elapsed time, slowest/fastest load imbalance, speed-up versus cores)
+// deterministically, independent of how many physical cores this machine
+// has. Real wall-clock time is also recorded per stage.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageStats records the measured execution of one stage: the per-task
+// costs plus the real wall-clock duration of the stage.
+type StageStats struct {
+	// Name identifies the stage (e.g. "core-marking").
+	Name string
+	// Phase groups stages for breakdown reporting (e.g. "I-1", "II").
+	Phase string
+	// Costs holds the measured duration of each task.
+	Costs []time.Duration
+	// Wall is the real elapsed time of the whole stage.
+	Wall time.Duration
+	// Bytes optionally accounts payload size (broadcasts, shuffles).
+	Bytes int64
+}
+
+// Total returns the sum of all task costs.
+func (s *StageStats) Total() time.Duration {
+	var t time.Duration
+	for _, c := range s.Costs {
+		t += c
+	}
+	return t
+}
+
+// Max returns the largest task cost, or 0 for an empty stage.
+func (s *StageStats) Max() time.Duration {
+	var m time.Duration
+	for _, c := range s.Costs {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Min returns the smallest task cost, or 0 for an empty stage.
+func (s *StageStats) Min() time.Duration {
+	if len(s.Costs) == 0 {
+		return 0
+	}
+	m := s.Costs[0]
+	for _, c := range s.Costs[1:] {
+		if c < m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Imbalance returns the slowest/fastest task-cost ratio, the load-imbalance
+// metric of Section 7.3.1. A stage with fewer than two tasks, or a zero
+// fastest task, reports 1.
+func (s *StageStats) Imbalance() float64 {
+	if len(s.Costs) < 2 {
+		return 1
+	}
+	min, max := s.Min(), s.Max()
+	if min <= 0 {
+		return 1
+	}
+	return float64(max) / float64(min)
+}
+
+// Makespan returns the completion time of the stage on a virtual cluster of
+// w workers under greedy in-order scheduling: each task is assigned, in
+// submission order, to the worker that frees up first.
+func (s *StageStats) Makespan(w int) time.Duration {
+	if w < 1 {
+		w = 1
+	}
+	if len(s.Costs) == 0 {
+		return 0
+	}
+	free := make([]time.Duration, w) // min-heap by free time
+	for _, c := range s.Costs {
+		// Pop the earliest-free worker (index 0 after sift).
+		siftDown(free)
+		free[0] += c
+	}
+	var m time.Duration
+	for _, f := range free {
+		if f > m {
+			m = f
+		}
+	}
+	return m
+}
+
+// siftDown restores the min at free[0] for the tiny worker heap. Worker
+// counts are small (tens), so an O(w) scan-and-swap is simpler and fast.
+func siftDown(free []time.Duration) {
+	mi := 0
+	for i := 1; i < len(free); i++ {
+		if free[i] < free[mi] {
+			mi = i
+		}
+	}
+	free[0], free[mi] = free[mi], free[0]
+}
+
+// Report collects the ordered stages of one algorithm run.
+type Report struct {
+	// Workers is the virtual worker count used for simulated totals.
+	Workers int
+	Stages  []*StageStats
+}
+
+// SimulatedElapsed returns the total simulated elapsed time: the sum over
+// stages of their makespan on the report's virtual cluster. Stages run one
+// after another, as MapReduce stages are barrier-separated.
+func (r *Report) SimulatedElapsed() time.Duration {
+	var t time.Duration
+	for _, s := range r.Stages {
+		t += s.Makespan(r.Workers)
+	}
+	return t
+}
+
+// WallElapsed returns the summed real wall time of all stages.
+func (r *Report) WallElapsed() time.Duration {
+	var t time.Duration
+	for _, s := range r.Stages {
+		t += s.Wall
+	}
+	return t
+}
+
+// PhaseBreakdown returns the simulated elapsed time grouped by phase label,
+// plus the phase order of first appearance.
+func (r *Report) PhaseBreakdown() (map[string]time.Duration, []string) {
+	m := make(map[string]time.Duration)
+	var order []string
+	for _, s := range r.Stages {
+		if _, ok := m[s.Phase]; !ok {
+			order = append(order, s.Phase)
+		}
+		m[s.Phase] += s.Makespan(r.Workers)
+	}
+	return m, order
+}
+
+// Stage returns the first stage with the given name, or nil.
+func (r *Report) Stage(name string) *StageStats {
+	for _, s := range r.Stages {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// MergeOf combines the stage lists of several reports in order (used when
+// an algorithm run is assembled from sub-runs).
+func MergeOf(workers int, reports ...*Report) *Report {
+	out := &Report{Workers: workers}
+	for _, r := range reports {
+		out.Stages = append(out.Stages, r.Stages...)
+	}
+	return out
+}
+
+// String formats the report as a per-stage table.
+func (r *Report) String() string {
+	out := fmt.Sprintf("report (workers=%d, simulated=%v):\n", r.Workers, r.SimulatedElapsed())
+	for _, s := range r.Stages {
+		out += fmt.Sprintf("  [%-5s] %-28s tasks=%-4d total=%-12v makespan=%-12v imbalance=%.2f\n",
+			s.Phase, s.Name, len(s.Costs), s.Total(), s.Makespan(r.Workers), s.Imbalance())
+	}
+	return out
+}
+
+// Cluster executes stages and accumulates a Report. It is safe for a single
+// run at a time (stages execute sequentially, tasks within a stage in
+// parallel).
+type Cluster struct {
+	// Workers is the virtual worker count (the "cores" of the paper's
+	// scalability experiments).
+	Workers int
+	// Executors is the number of worker machines: broadcast payloads are
+	// loaded once per executor, not once per task, as on Spark. Zero
+	// defaults to ceil(Workers/4), matching the paper's 4-core nodes.
+	Executors int
+	// Parallelism bounds real concurrent goroutines; defaults to
+	// GOMAXPROCS.
+	Parallelism int
+	// MaxTaskRetries is how many times a panicking task is re-executed
+	// before the panic propagates, mirroring Spark's task re-execution.
+	// Zero defaults to 2.
+	MaxTaskRetries int
+	// FaultInjector, when set, is consulted before every task attempt;
+	// returning true makes the attempt fail. It exists for fault-
+	// tolerance testing.
+	FaultInjector func(stage string, task, attempt int) bool
+
+	mu     sync.Mutex
+	report Report
+}
+
+// New returns a cluster simulating w virtual workers.
+func New(w int) *Cluster {
+	return &Cluster{Workers: w, Parallelism: runtime.GOMAXPROCS(0)}
+}
+
+// ExecutorCount resolves the effective executor count.
+func (c *Cluster) ExecutorCount() int {
+	if c.Executors > 0 {
+		return c.Executors
+	}
+	e := (c.Workers + 3) / 4
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
+// Report returns the accumulated report.
+func (c *Cluster) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep := c.report
+	rep.Workers = c.Workers
+	return &rep
+}
+
+// Reset clears the accumulated report.
+func (c *Cluster) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.report = Report{}
+}
+
+// RunStage executes n independent tasks, measuring each, and appends the
+// stage to the report. fn is called with task indices 0..n-1, possibly
+// concurrently from multiple goroutines.
+func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageStats {
+	s := &StageStats{Name: name, Phase: phase, Costs: make([]time.Duration, n)}
+	start := time.Now()
+	par := c.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	if par > n {
+		par = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var failure atomic.Value // first exhausted-retries failure, if any
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failure.Load() != nil {
+					return
+				}
+				t0 := time.Now()
+				if err := c.runWithRetry(name, i, fn); err != nil {
+					failure.CompareAndSwap(nil, err)
+					return
+				}
+				s.Costs[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	if f := failure.Load(); f != nil {
+		// Exhausted retries mean a real bug; surface it loudly on the
+		// caller's goroutine.
+		panic(f)
+	}
+	s.Wall = time.Since(start)
+	c.append(s)
+	return s
+}
+
+// runWithRetry executes task i, re-running it after a panic up to
+// MaxTaskRetries times, the way a MapReduce scheduler re-executes failed
+// tasks. Tasks must therefore be idempotent (every stage in this codebase
+// writes only to its own task's slot). It returns a non-nil error only
+// when retries are exhausted; RunStage turns that into a panic on the
+// caller's goroutine.
+func (c *Cluster) runWithRetry(stage string, i int, fn func(int)) error {
+	retries := c.MaxTaskRetries
+	if retries <= 0 {
+		retries = 2
+	}
+	var err error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err = c.attempt(stage, i, attempt, fn); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("engine: stage %q task %d failed after %d attempts: %w",
+		stage, i, retries+1, err)
+}
+
+func (c *Cluster) attempt(stage string, i, attempt int, fn func(int)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("task panic: %v", r)
+		}
+	}()
+	if c.FaultInjector != nil && c.FaultInjector(stage, i, attempt) {
+		return fmt.Errorf("injected fault (attempt %d)", attempt)
+	}
+	fn(i)
+	return nil
+}
+
+// Serial measures a single driver-side action as a one-task stage.
+func (c *Cluster) Serial(phase, name string, fn func()) *StageStats {
+	s := &StageStats{Name: name, Phase: phase}
+	t0 := time.Now()
+	fn()
+	d := time.Since(t0)
+	s.Costs = []time.Duration{d}
+	s.Wall = d
+	c.append(s)
+	return s
+}
+
+// Broadcast accounts a payload broadcast to every virtual worker and
+// measures the driver-side cost of producing it. The per-worker load cost
+// is measured where the payload is actually consumed (inside worker tasks).
+func (c *Cluster) Broadcast(phase, name string, produce func() []byte) []byte {
+	var payload []byte
+	s := &StageStats{Name: name, Phase: phase}
+	t0 := time.Now()
+	payload = produce()
+	d := time.Since(t0)
+	s.Costs = []time.Duration{d}
+	s.Wall = d
+	s.Bytes = int64(len(payload))
+	c.append(s)
+	return payload
+}
+
+func (c *Cluster) append(s *StageStats) {
+	c.mu.Lock()
+	c.report.Stages = append(c.report.Stages, s)
+	c.mu.Unlock()
+}
+
+// SpeedUp computes the ratio of simulated elapsed time at baseWorkers to
+// that at each of the worker counts, for a fixed set of recorded stages.
+// The paper's Figure 15 uses baseWorkers = 5.
+func SpeedUp(r *Report, baseWorkers int, workerCounts []int) []float64 {
+	base := remake(r, baseWorkers).SimulatedElapsed()
+	out := make([]float64, len(workerCounts))
+	for i, w := range workerCounts {
+		e := remake(r, w).SimulatedElapsed()
+		if e <= 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(base) / float64(e)
+	}
+	return out
+}
+
+func remake(r *Report, w int) *Report {
+	return &Report{Workers: w, Stages: r.Stages}
+}
+
+// SortedCosts returns a copy of the stage's task costs in ascending order
+// (useful for percentile reporting in the harness).
+func (s *StageStats) SortedCosts() []time.Duration {
+	out := make([]time.Duration, len(s.Costs))
+	copy(out, s.Costs)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// traceDTO is the JSON shape of an exported report.
+type traceDTO struct {
+	Workers          int             `json:"workers"`
+	SimulatedElapsed int64           `json:"simulated_elapsed_ns"`
+	WallElapsed      int64           `json:"wall_elapsed_ns"`
+	Stages           []traceStageDTO `json:"stages"`
+}
+
+type traceStageDTO struct {
+	Name      string  `json:"name"`
+	Phase     string  `json:"phase"`
+	TaskCosts []int64 `json:"task_costs_ns"`
+	Wall      int64   `json:"wall_ns"`
+	Makespan  int64   `json:"makespan_ns"`
+	Imbalance float64 `json:"imbalance"`
+	Bytes     int64   `json:"bytes,omitempty"`
+}
+
+// WriteJSON exports the report — per-stage task costs, makespans, and
+// imbalance — for external analysis and plotting.
+func (r *Report) WriteJSON(w io.Writer) error {
+	dto := traceDTO{
+		Workers:          r.Workers,
+		SimulatedElapsed: int64(r.SimulatedElapsed()),
+		WallElapsed:      int64(r.WallElapsed()),
+	}
+	for _, s := range r.Stages {
+		st := traceStageDTO{
+			Name:      s.Name,
+			Phase:     s.Phase,
+			TaskCosts: make([]int64, len(s.Costs)),
+			Wall:      int64(s.Wall),
+			Makespan:  int64(s.Makespan(r.Workers)),
+			Imbalance: s.Imbalance(),
+			Bytes:     s.Bytes,
+		}
+		for i, c := range s.Costs {
+			st.TaskCosts[i] = int64(c)
+		}
+		dto.Stages = append(dto.Stages, st)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(dto)
+}
+
+// ReadJSON parses a report exported by WriteJSON. Round-tripping preserves
+// stage costs exactly.
+func ReadJSON(r io.Reader) (*Report, error) {
+	var dto traceDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return nil, err
+	}
+	rep := &Report{Workers: dto.Workers}
+	for _, st := range dto.Stages {
+		stage := &StageStats{
+			Name:  st.Name,
+			Phase: st.Phase,
+			Wall:  time.Duration(st.Wall),
+			Bytes: st.Bytes,
+			Costs: make([]time.Duration, len(st.TaskCosts)),
+		}
+		for i, c := range st.TaskCosts {
+			stage.Costs[i] = time.Duration(c)
+		}
+		rep.Stages = append(rep.Stages, stage)
+	}
+	return rep, nil
+}

@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	r := &Report{Workers: 4, Stages: []*StageStats{
+		{Name: "a", Phase: "I", Costs: []time.Duration{3, 1, 2}, Wall: 7},
+		{Name: "b", Phase: "II", Costs: []time.Duration{10}, Wall: 10, Bytes: 99},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Workers != 4 || len(got.Stages) != 2 {
+		t.Fatalf("shape changed: %+v", got)
+	}
+	if got.SimulatedElapsed() != r.SimulatedElapsed() {
+		t.Fatalf("elapsed changed: %v vs %v", got.SimulatedElapsed(), r.SimulatedElapsed())
+	}
+	b := got.Stage("b")
+	if b == nil || b.Bytes != 99 || b.Costs[0] != 10 {
+		t.Fatalf("stage b corrupted: %+v", b)
+	}
+	if a := got.Stage("a"); a.Imbalance() != 3 {
+		t.Fatalf("imbalance changed: %v", a.Imbalance())
+	}
+}
+
+func TestTraceJSONFields(t *testing.T) {
+	r := &Report{Workers: 2, Stages: []*StageStats{
+		{Name: "x", Phase: "II", Costs: []time.Duration{5, 5}},
+	}}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"workers": 2`, `"task_costs_ns"`, `"makespan_ns"`, `"imbalance"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("JSON missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+// Ablation benchmark for the spanning-forest edge reduction of Section
+// 6.1.4: merging with reduction keeps later tournament rounds small;
+// without it, cyclic full edges accumulate.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// denseSubgraphs builds k subgraphs over a clustered cell universe where
+// each partition contributes many full edges inside shared dense blocks —
+// the situation edge reduction exists for.
+func denseSubgraphs(k, blocks, blockSize int, seed int64) []*Graph {
+	r := rand.New(rand.NewSource(seed))
+	nCells := blocks * blockSize
+	gs := make([]*Graph, k)
+	for i := range gs {
+		gs[i] = New(nCells)
+	}
+	owner := make([]int, nCells)
+	for c := range owner {
+		owner[c] = r.Intn(k)
+		gs[owner[c]].SetVertex(int32(c), Core)
+	}
+	for b := 0; b < blocks; b++ {
+		base := b * blockSize
+		for i := 0; i < blockSize; i++ {
+			from := int32(base + i)
+			for e := 0; e < 8; e++ {
+				to := int32(base + r.Intn(blockSize))
+				gs[owner[from]].AddEdge(from, to)
+			}
+		}
+	}
+	return gs
+}
+
+func BenchmarkTournamentWithReduction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gs := denseSubgraphs(16, 40, 60, 1)
+		b.StartTimer()
+		Tournament(gs, nil, nil)
+	}
+}
+
+func BenchmarkTournamentNoReduction(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gs := denseSubgraphs(16, 40, 60, 1)
+		b.StartTimer()
+		// Same tournament, but matches keep cycles.
+		for len(gs) > 1 {
+			n := len(gs) / 2
+			odd := len(gs)%2 == 1
+			for j := 0; j < n; j++ {
+				gs[2*j].MergeKeepingCycles(gs[2*j+1])
+				if odd && j == n-1 {
+					gs[2*j].MergeKeepingCycles(gs[2*j+2])
+				}
+			}
+			next := make([]*Graph, 0, n)
+			for j := 0; j < n; j++ {
+				next = append(next, gs[2*j])
+			}
+			gs = next
+		}
+	}
+}
+
+// MergeKeepingCycles must produce the same clustering as Merge.
+func TestMergeKeepingCyclesSameClusters(t *testing.T) {
+	a := denseSubgraphs(8, 10, 20, 3)
+	b := denseSubgraphs(8, 10, 20, 3)
+	g1 := Tournament(a, nil, nil)
+	g2 := b[0]
+	for _, g := range b[1:] {
+		g2.MergeKeepingCycles(g)
+	}
+	c1, n1 := g1.CoreComponents()
+	c2, n2 := g2.CoreComponents()
+	if n1 != n2 {
+		t.Fatalf("cluster counts differ: %d vs %d", n1, n2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("cell %d: cluster %d vs %d", i, c1[i], c2[i])
+		}
+	}
+	if g2.NumEdges() <= g1.NumEdges() {
+		t.Fatalf("no-reduction kept %d edges, reduction kept %d — ablation not exercising cycles",
+			g2.NumEdges(), g1.NumEdges())
+	}
+}

@@ -1,0 +1,383 @@
+// Package graph implements the cell graph of Definition 5.8 and its
+// progressive merging (Section 6.1). Vertices are cells identified by the
+// dense integer ids the two-level cell dictionary assigns (ascending cell
+// key order), typed core, non-core, or undetermined (owned by another
+// partition); edges are reachability relationships typed full, partial, or
+// undetermined.
+//
+// Edges are held as sorted, deduplicated slices, one per type: merging two
+// subgraphs is a linear merge, re-typing scans only the undetermined set
+// (Section 6.1.3), and spanning-forest reduction scans only the full set
+// (Section 6.1.4), which the reduction itself keeps no larger than the
+// number of core cells. Everything is deterministic: no map iteration
+// order is ever observable.
+package graph
+
+import "sort"
+
+// VertexType classifies a cell in a cell (sub)graph.
+type VertexType uint8
+
+const (
+	// Undetermined marks a cell owned by another partition (Vun). It is
+	// the zero value: cells a subgraph has no knowledge of are
+	// undetermined.
+	Undetermined VertexType = iota
+	// Core marks a core cell (Vc, Definition 3.2).
+	Core
+	// NonCore marks a determined non-core cell (Vnc).
+	NonCore
+)
+
+// EdgeType classifies a reachability edge.
+type EdgeType uint8
+
+const (
+	// EdgeUndetermined: the successor cell's type is not yet known (Eun).
+	EdgeUndetermined EdgeType = iota
+	// EdgeFull: fully directly reachable, both cells core (Ef, Def. 3.3).
+	EdgeFull
+	// EdgePartial: partially directly reachable, successor non-core
+	// (Ep, Def. 3.4).
+	EdgePartial
+)
+
+// EdgeKey identifies a directed edge between cell ids. Full edges are
+// canonicalised so From <= To, because full-edge direction is disregarded
+// (Section 6.1.3).
+type EdgeKey struct {
+	From, To int32
+}
+
+func edgeLess(a, b EdgeKey) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	return a.To < b.To
+}
+
+// edgeSet is a sorted, deduplicated slice of edges with an unsorted
+// pending buffer for cheap appends.
+type edgeSet struct {
+	sorted  []EdgeKey
+	pending []EdgeKey
+}
+
+func (s *edgeSet) add(e EdgeKey) {
+	s.pending = append(s.pending, e)
+}
+
+// compact folds pending appends into the sorted slice, deduplicating.
+func (s *edgeSet) compact() {
+	if len(s.pending) == 0 {
+		return
+	}
+	sort.Slice(s.pending, func(i, j int) bool { return edgeLess(s.pending[i], s.pending[j]) })
+	s.sorted = mergeDedup(s.sorted, s.pending)
+	s.pending = s.pending[:0]
+}
+
+// mergeDedup merges two sorted slices into a new sorted slice without
+// duplicates.
+func mergeDedup(a, b []EdgeKey) []EdgeKey {
+	out := make([]EdgeKey, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var e EdgeKey
+		switch {
+		case i >= len(a):
+			e = b[j]
+			j++
+		case j >= len(b):
+			e = a[i]
+			i++
+		case edgeLess(a[i], b[j]):
+			e = a[i]
+			i++
+		case edgeLess(b[j], a[i]):
+			e = b[j]
+			j++
+		default: // equal: take one, advance both
+			e = a[i]
+			i++
+			j++
+		}
+		if len(out) == 0 || out[len(out)-1] != e {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (s *edgeSet) len() int {
+	s.compact()
+	return len(s.sorted)
+}
+
+func (s *edgeSet) contains(e EdgeKey) bool {
+	s.compact()
+	i := sort.Search(len(s.sorted), func(i int) bool { return !edgeLess(s.sorted[i], e) })
+	return i < len(s.sorted) && s.sorted[i] == e
+}
+
+// union folds other into s (both compacted).
+func (s *edgeSet) union(other *edgeSet) {
+	s.compact()
+	other.compact()
+	if len(other.sorted) == 0 {
+		return
+	}
+	if len(s.sorted) == 0 {
+		s.sorted = other.sorted
+		return
+	}
+	s.sorted = mergeDedup(s.sorted, other.sorted)
+}
+
+// Graph is a cell (sub)graph over a fixed universe of numCells cell ids.
+type Graph struct {
+	// Type holds every cell's type as known to this subgraph, indexed by
+	// cell id; unknown cells read Undetermined.
+	Type []VertexType
+
+	full    edgeSet // canonical: From < To
+	partial edgeSet
+	undet   edgeSet
+}
+
+// New returns an empty graph over numCells cells.
+func New(numCells int) *Graph {
+	return &Graph{Type: make([]VertexType, numCells)}
+}
+
+// NumEdges returns the number of edges currently in the graph.
+func (g *Graph) NumEdges() int {
+	return g.full.len() + g.partial.len() + g.undet.len()
+}
+
+// EdgeTypeOf reports the current type of the edge from->to, if present.
+// Full edges match in either direction.
+func (g *Graph) EdgeTypeOf(from, to int32) (EdgeType, bool) {
+	cf, ct := from, to
+	if ct < cf {
+		cf, ct = ct, cf
+	}
+	if g.full.contains(EdgeKey{cf, ct}) {
+		return EdgeFull, true
+	}
+	if g.partial.contains(EdgeKey{from, to}) {
+		return EdgePartial, true
+	}
+	if g.undet.contains(EdgeKey{from, to}) {
+		return EdgeUndetermined, true
+	}
+	return 0, false
+}
+
+// SetVertex records the determined type of an owned cell. A determined
+// type is never demoted back to Undetermined.
+func (g *Graph) SetVertex(id int32, t VertexType) {
+	if g.Type[id] != Undetermined {
+		return
+	}
+	g.Type[id] = t
+}
+
+// AddEdge records a directly-reachable relationship from a core cell to a
+// neighbor cell (Algorithm 3 lines 14-16). Self-edges are meaningless and
+// dropped. The edge type is resolved from the currently known vertex
+// types.
+func (g *Graph) AddEdge(from, to int32) {
+	if from == to {
+		return
+	}
+	g.insertTyped(from, to)
+}
+
+// insertTyped stores the edge in the set its successor's current type
+// dictates.
+func (g *Graph) insertTyped(from, to int32) {
+	switch g.Type[to] {
+	case Core:
+		if to < from {
+			from, to = to, from
+		}
+		g.full.add(EdgeKey{from, to})
+	case NonCore:
+		g.partial.add(EdgeKey{from, to})
+	default:
+		g.undet.add(EdgeKey{from, to})
+	}
+}
+
+// Merge folds other into g (Definition 6.2): vertices union with promotion
+// of undetermined cells, edges union. It then re-types undetermined edges
+// (Section 6.1.3) and removes redundant full edges via a spanning forest
+// (Section 6.1.4). It returns g. other must not be used afterwards: its
+// edge storage may be cannibalised.
+func (g *Graph) Merge(other *Graph) *Graph {
+	g.absorb(other)
+	g.DetectEdgeTypes()
+	g.ReduceFullEdges()
+	return g
+}
+
+// MergeKeepingCycles is Merge without the spanning-forest edge reduction:
+// the ablation of Section 6.1.4. Clustering results are identical; the
+// retained cycles only cost time and memory in later rounds.
+func (g *Graph) MergeKeepingCycles(other *Graph) *Graph {
+	g.absorb(other)
+	g.DetectEdgeTypes()
+	return g
+}
+
+func (g *Graph) absorb(other *Graph) {
+	for id, t := range other.Type {
+		if t != Undetermined {
+			g.SetVertex(int32(id), t)
+		}
+	}
+	g.full.union(&other.full)
+	g.partial.union(&other.partial)
+	g.undet.union(&other.undet)
+}
+
+// DetectEdgeTypes resolves every undetermined edge whose successor cell
+// has become determined. Only the undetermined set is scanned.
+func (g *Graph) DetectEdgeTypes() {
+	g.undet.compact()
+	kept := g.undet.sorted[:0]
+	for _, e := range g.undet.sorted {
+		if g.Type[e.To] == Undetermined {
+			kept = append(kept, e)
+			continue
+		}
+		g.insertTyped(e.From, e.To)
+	}
+	g.undet.sorted = kept
+	// Newly typed full edges were canonicalised on insert, which can
+	// introduce duplicates of existing entries; compact dedups them.
+	g.full.compact()
+	g.partial.compact()
+}
+
+// ReduceFullEdges removes full edges that close a cycle among core cells,
+// keeping a spanning forest. The surviving forest has the same expressive
+// power: one path between connected core cells suffices (Section 6.1.4).
+// After reduction the full set holds fewer edges than there are core
+// cells, which keeps later merge rounds cheap. Scanning in sorted order
+// makes the surviving forest deterministic.
+func (g *Graph) ReduceFullEdges() {
+	g.full.compact()
+	uf := NewUnionFind(len(g.Type))
+	kept := g.full.sorted[:0]
+	for _, e := range g.full.sorted {
+		if uf.Union(int(e.From), int(e.To)) {
+			kept = append(kept, e)
+		}
+	}
+	g.full.sorted = kept
+}
+
+// Tournament merges the subgraphs in parallel rounds (Figure 9a), pairing
+// graphs and folding an odd leftover into the last match, so a tournament
+// over k splits takes the rounds of the paper's Table 7 (40 splits -> 20
+// -> 10 -> 5 -> 2 -> 1: five rounds). After every round, trace (if
+// non-nil) receives the round number and the total edges remaining across
+// surviving graphs; round 0 reports the pre-merge total. runMatches
+// executes the independent matches of one round; nil runs them serially.
+func Tournament(gs []*Graph, trace func(round int, edges int64), runMatches func(n int, match func(int))) *Graph {
+	if len(gs) == 0 {
+		return New(0)
+	}
+	if trace != nil {
+		trace(0, totalEdges(gs))
+	}
+	round := 0
+	for len(gs) > 1 {
+		round++
+		n := len(gs) / 2
+		odd := len(gs)%2 == 1
+		match := func(i int) {
+			gs[2*i].Merge(gs[2*i+1])
+			if odd && i == n-1 {
+				gs[2*i].Merge(gs[2*i+2])
+			}
+		}
+		if runMatches != nil {
+			runMatches(n, match)
+		} else {
+			for i := 0; i < n; i++ {
+				match(i)
+			}
+		}
+		next := make([]*Graph, 0, n)
+		for i := 0; i < n; i++ {
+			next = append(next, gs[2*i])
+		}
+		gs = next
+		if trace != nil {
+			trace(round, totalEdges(gs))
+		}
+	}
+	g := gs[0]
+	// A single subgraph (k=1) never went through Merge: finalise it.
+	g.DetectEdgeTypes()
+	g.ReduceFullEdges()
+	return g
+}
+
+func totalEdges(gs []*Graph) int64 {
+	var n int64
+	for _, g := range gs {
+		n += int64(g.NumEdges())
+	}
+	return n
+}
+
+// CoreComponents returns a cluster id per cell (indexed by cell id, -1 for
+// cells that are not core) and the number of clusters: the connected
+// components over full edges (each spanning tree of Figure 10b). Ids are
+// dense, assigned in ascending order of each component's smallest cell id,
+// and therefore deterministic.
+func (g *Graph) CoreComponents() ([]int32, int) {
+	g.full.compact()
+	uf := NewUnionFind(len(g.Type))
+	for _, e := range g.full.sorted {
+		uf.Union(int(e.From), int(e.To))
+	}
+	comp := make([]int32, len(g.Type))
+	clusterOf := make(map[int]int32)
+	var next int32
+	for id := range g.Type {
+		if g.Type[id] != Core {
+			comp[id] = -1
+			continue
+		}
+		root := uf.Find(id)
+		c, ok := clusterOf[root]
+		if !ok {
+			c = next
+			clusterOf[root] = c
+			next++
+		}
+		comp[id] = c
+	}
+	return comp, int(next)
+}
+
+// PartialPredecessors maps every non-core cell that is the target of a
+// partial edge to its predecessor core cells (the PC set of Algorithm 4
+// line 18). Predecessors are sorted for determinism.
+func (g *Graph) PartialPredecessors() map[int32][]int32 {
+	g.partial.compact()
+	out := make(map[int32][]int32)
+	for _, e := range g.partial.sorted {
+		out[e.To] = append(out[e.To], e.From)
+	}
+	for k := range out {
+		s := out[k]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return out
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind(4)
+	if u.Connected(0, 1) {
+		t.Fatal("fresh elements connected")
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("first union reported redundant")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("redundant union reported fresh")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	for i := 0; i < 4; i++ {
+		if !u.Connected(0, i) {
+			t.Fatalf("element %d not connected", i)
+		}
+	}
+	if u.Len() != 4 {
+		t.Fatalf("Len = %d", u.Len())
+	}
+	if idx := u.Add(); idx != 4 || u.Connected(0, 4) {
+		t.Fatal("Add broken")
+	}
+}
+
+// Property: union-find connectivity matches a naive labelling.
+func TestUnionFindProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		u := NewUnionFind(n)
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for k := 0; k < 80; k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			u.Union(a, b)
+			relabel(label[a], label[b])
+		}
+		for k := 0; k < 40; k++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if u.Connected(a, b) != (label[a] == label[b]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetVertexPromotion(t *testing.T) {
+	g := New(2)
+	g.SetVertex(0, Core)
+	if g.Type[0] != Core {
+		t.Fatal("vertex not set")
+	}
+	g.SetVertex(0, NonCore) // must not demote/overwrite
+	if g.Type[0] != Core {
+		t.Fatal("determined vertex overwritten")
+	}
+}
+
+func TestAddEdgeTyping(t *testing.T) {
+	g := New(4)
+	g.SetVertex(0, Core)
+	g.SetVertex(1, Core)
+	g.SetVertex(2, NonCore)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3) // 3 unknown
+	g.AddEdge(0, 0) // self edge dropped
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if et, ok := g.EdgeTypeOf(0, 1); !ok || et != EdgeFull {
+		t.Fatal("core->core edge not full")
+	}
+	if et, ok := g.EdgeTypeOf(0, 2); !ok || et != EdgePartial {
+		t.Fatal("core->noncore edge not partial")
+	}
+	if et, ok := g.EdgeTypeOf(0, 3); !ok || et != EdgeUndetermined {
+		t.Fatal("core->unknown edge not undetermined")
+	}
+}
+
+func TestFullEdgeCanonicalisation(t *testing.T) {
+	g := New(2)
+	g.SetVertex(0, Core)
+	g.SetVertex(1, Core)
+	g.AddEdge(1, 0) // reverse direction
+	g.AddEdge(0, 1)
+	if g.NumEdges() != 1 {
+		t.Fatalf("reverse full edges not deduped: %d edges", g.NumEdges())
+	}
+}
+
+func TestMergePromotesAndRetypes(t *testing.T) {
+	// Partition 1 owns cell 0 (core) with an edge to cell 1 (unknown).
+	g1 := New(2)
+	g1.SetVertex(0, Core)
+	g1.AddEdge(0, 1)
+	// Partition 2 owns cell 1 (core).
+	g2 := New(2)
+	g2.SetVertex(1, Core)
+
+	g := g1.Merge(g2)
+	if g.Type[1] != Core {
+		t.Fatal("merge did not promote cell 1")
+	}
+	if et, ok := g.EdgeTypeOf(0, 1); !ok || et != EdgeFull {
+		t.Fatal("edge not retyped to full")
+	}
+}
+
+func TestReduceFullEdgesKeepsForest(t *testing.T) {
+	g := New(3)
+	for id := int32(0); id < 3; id++ {
+		g.SetVertex(id, Core)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0) // closes a cycle
+	g.ReduceFullEdges()
+	if g.NumEdges() != 2 {
+		t.Fatalf("after reduction %d edges, want 2", g.NumEdges())
+	}
+	comp, n := g.CoreComponents()
+	if n != 1 {
+		t.Fatalf("components = %d, want 1", n)
+	}
+	for id := 0; id < 3; id++ {
+		if comp[id] != 0 {
+			t.Fatalf("cell %d not in component 0: %v", id, comp)
+		}
+	}
+}
+
+func TestCoreComponentsSeparatesClusters(t *testing.T) {
+	g := New(5)
+	for id := int32(0); id < 5; id++ {
+		g.SetVertex(id, Core)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	comp, n := g.CoreComponents()
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[0] == comp[2] || comp[4] == comp[0] || comp[4] == comp[2] {
+		t.Fatalf("component assignment wrong: %v", comp)
+	}
+	// Canonical numbering: first component (smallest id) is 0.
+	if comp[0] != 0 || comp[2] != 1 || comp[4] != 2 {
+		t.Fatalf("component numbering not canonical: %v", comp)
+	}
+}
+
+func TestCoreComponentsNonCore(t *testing.T) {
+	g := New(2)
+	g.SetVertex(0, Core)
+	g.SetVertex(1, NonCore)
+	comp, n := g.CoreComponents()
+	if n != 1 || comp[0] != 0 || comp[1] != -1 {
+		t.Fatalf("comp = %v, n = %d", comp, n)
+	}
+}
+
+func TestPartialPredecessors(t *testing.T) {
+	g := New(3)
+	g.SetVertex(0, Core)
+	g.SetVertex(1, Core)
+	g.SetVertex(2, NonCore)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	pp := g.PartialPredecessors()
+	if len(pp) != 1 || len(pp[2]) != 2 {
+		t.Fatalf("PartialPredecessors = %v", pp)
+	}
+	if pp[2][0] != 0 || pp[2][1] != 1 {
+		t.Fatal("predecessors not sorted")
+	}
+}
+
+func TestTournamentRoundsAndTrace(t *testing.T) {
+	// 40 subgraphs must merge in exactly 5 rounds (paper Table 7).
+	gs := make([]*Graph, 40)
+	for i := range gs {
+		gs[i] = New(40)
+		gs[i].SetVertex(int32(i), Core)
+		if i > 0 {
+			gs[i].AddEdge(int32(i), int32(i-1))
+		}
+	}
+	var rounds []int
+	var counts []int64
+	g := Tournament(gs, func(r int, e int64) {
+		rounds = append(rounds, r)
+		counts = append(counts, e)
+	}, nil)
+	if rounds[len(rounds)-1] != 5 {
+		t.Fatalf("tournament took %d rounds, want 5", rounds[len(rounds)-1])
+	}
+	if counts[0] != 39 {
+		t.Fatalf("round 0 edges = %d, want 39", counts[0])
+	}
+	// Edge counts must be monotone non-increasing.
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("edge counts increased: %v", counts)
+		}
+	}
+	// A chain of 40 core cells is one cluster with 39 forest edges.
+	comp, n := g.CoreComponents()
+	if n != 1 {
+		t.Fatalf("clusters = %d, want 1", n)
+	}
+	for id := range comp {
+		if comp[id] != 0 {
+			t.Fatalf("cell %d not in the single cluster", id)
+		}
+	}
+	if g.NumEdges() != 39 {
+		t.Fatalf("final edges = %d, want 39 (spanning tree)", g.NumEdges())
+	}
+}
+
+func TestTournamentSingleGraph(t *testing.T) {
+	g0 := New(2)
+	g0.SetVertex(0, Core)
+	g0.SetVertex(1, Core)
+	g0.AddEdge(0, 1)
+	g0.AddEdge(1, 0)
+	g := Tournament([]*Graph{g0}, nil, nil)
+	if g.NumEdges() != 1 {
+		t.Fatalf("single-graph tournament left %d edges, want 1", g.NumEdges())
+	}
+}
+
+func TestTournamentEmpty(t *testing.T) {
+	g := Tournament(nil, nil, nil)
+	if g.NumEdges() != 0 || len(g.Type) != 0 {
+		t.Fatal("empty tournament not empty")
+	}
+}
+
+// Property: clustering from a tournament is independent of how vertices and
+// edges are split across subgraphs.
+func TestTournamentPartitionInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nCells := 5 + r.Intn(20)
+		type edge struct{ a, b int32 }
+		var edges []edge
+		for i := 0; i < nCells*2; i++ {
+			a, b := int32(r.Intn(nCells)), int32(r.Intn(nCells))
+			if a != b {
+				edges = append(edges, edge{a, b})
+			}
+		}
+		build := func(k int) ([]int32, int) {
+			// Assign each cell to one of k partitions; each partition's
+			// subgraph knows its own cells' types and outgoing edges.
+			owner := make([]int, nCells)
+			for i := range owner {
+				owner[i] = r.Intn(k)
+			}
+			gs := make([]*Graph, k)
+			for i := range gs {
+				gs[i] = New(nCells)
+			}
+			for c := 0; c < nCells; c++ {
+				gs[owner[c]].SetVertex(int32(c), Core)
+			}
+			for _, e := range edges {
+				gs[owner[e.a]].AddEdge(e.a, e.b)
+			}
+			g := Tournament(gs, nil, nil)
+			return g.CoreComponents()
+		}
+		c1, n1 := build(1)
+		c2, n2 := build(1 + r.Intn(8))
+		if n1 != n2 {
+			return false
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

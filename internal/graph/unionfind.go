@@ -1,0 +1,62 @@
+package graph
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// rank. It is used for the spanning-forest edge reduction of Section 6.1.4
+// and for extracting clusters from the global cell graph.
+type UnionFind struct {
+	parent []int32
+	rank   []int8
+}
+
+// NewUnionFind returns a union-find over n singleton elements.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int32, n), rank: make([]int8, n)}
+	for i := range u.parent {
+		u.parent[i] = int32(i)
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Add appends a new singleton element and returns its index.
+func (u *UnionFind) Add() int {
+	u.parent = append(u.parent, int32(len(u.parent)))
+	u.rank = append(u.rank, 0)
+	return len(u.parent) - 1
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	root := x
+	for u.parent[root] != int32(root) {
+		root = int(u.parent[root])
+	}
+	for u.parent[x] != int32(root) {
+		u.parent[x], x = int32(root), int(u.parent[x])
+	}
+	return root
+}
+
+// Union merges the sets of a and b and reports whether they were previously
+// disjoint.
+func (u *UnionFind) Union(a, b int) bool {
+	ra, rb := u.Find(a), u.Find(b)
+	if ra == rb {
+		return false
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = int32(ra)
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+	return true
+}
+
+// Connected reports whether a and b are in the same set.
+func (u *UnionFind) Connected(a, b int) bool {
+	return u.Find(a) == u.Find(b)
+}

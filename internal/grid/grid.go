@@ -1,0 +1,227 @@
+// Package grid implements the cell grid of Definition 3.1: the data space is
+// partitioned into d-dimensional hypercubes whose diagonal is the DBSCAN
+// radius eps, so that any two points in one cell are within eps of each
+// other. Cells are addressed by quantised integer coordinates encoded into a
+// compact string Key, which is hashable and ordered.
+//
+// The package also provides sub-cell indexing for the two-level cell
+// dictionary (Definition 4.1): each cell splits into 2^(d*(h-1)) sub-cells
+// where h = 1 + ceil(log2(1/rho)). A sub-cell's position inside its cell is
+// identified by d*(h-1) bits; because this can exceed 64 bits (e.g. 13
+// dimensions at rho=0.01 needs 91 bits), SubIdx is a 128-bit value.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"rpdbscan/internal/geom"
+)
+
+// Side returns the cell side length for radius eps in dim dimensions. The
+// side is eps/sqrt(dim) so the cell diagonal equals eps.
+func Side(eps float64, dim int) float64 {
+	return eps / math.Sqrt(float64(dim))
+}
+
+// Key is the encoded integer coordinate vector of a cell: 4 bytes per
+// dimension, big-endian, with the sign bit flipped so byte-wise ordering
+// matches numeric ordering. A Key is usable as a map key and is
+// lexicographically sortable.
+type Key string
+
+// coordOf quantises a single coordinate.
+func coordOf(x, side float64) int32 {
+	c := math.Floor(x / side)
+	if c > math.MaxInt32 || c < math.MinInt32 {
+		panic(fmt.Sprintf("grid: cell coordinate %g overflows int32 (coordinate %g, side %g)", c, x, side))
+	}
+	return int32(c)
+}
+
+// KeyFor returns the Key of the cell containing point p for the given side
+// length.
+func KeyFor(p []float64, side float64) Key {
+	buf := make([]byte, 4*len(p))
+	for i, x := range p {
+		putCoord(buf[4*i:], coordOf(x, side))
+	}
+	return Key(buf)
+}
+
+// EncodeKey packs integer cell coordinates into a Key.
+func EncodeKey(coords []int32) Key {
+	buf := make([]byte, 4*len(coords))
+	for i, c := range coords {
+		putCoord(buf[4*i:], c)
+	}
+	return Key(buf)
+}
+
+func putCoord(b []byte, c int32) {
+	u := uint32(c) ^ 0x80000000 // flip sign bit for order-preserving bytes
+	b[0] = byte(u >> 24)
+	b[1] = byte(u >> 16)
+	b[2] = byte(u >> 8)
+	b[3] = byte(u)
+}
+
+func getCoord(b string) int32 {
+	u := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	return int32(u ^ 0x80000000)
+}
+
+// Dim returns the dimensionality encoded in the key.
+func (k Key) Dim() int { return len(k) / 4 }
+
+// Coord returns the i-th integer coordinate of the key.
+func (k Key) Coord(i int) int32 { return getCoord(string(k[4*i:])) }
+
+// DecodeKey unpacks a Key into integer cell coordinates.
+func DecodeKey(k Key) []int32 {
+	coords := make([]int32, k.Dim())
+	for i := range coords {
+		coords[i] = k.Coord(i)
+	}
+	return coords
+}
+
+// Origin writes the minimum corner of cell k into out, which must have
+// length k.Dim().
+func (k Key) Origin(side float64, out []float64) {
+	for i := range out {
+		out[i] = float64(k.Coord(i)) * side
+	}
+}
+
+// Center writes the centre point of cell k into out.
+func (k Key) Center(side float64, out []float64) {
+	for i := range out {
+		out[i] = (float64(k.Coord(i)) + 0.5) * side
+	}
+}
+
+// Cell is a grid cell together with the indices of the points it contains.
+type Cell struct {
+	Key Key
+	// Points holds indices into the originating data set.
+	Points []int
+}
+
+// Grid maps every non-empty cell key to its points (no cells are created for
+// empty regions, as in Figure 4b).
+type Grid struct {
+	Eps  float64
+	Side float64
+	Dim  int
+	// Cells indexes non-empty cells by key.
+	Cells map[Key]*Cell
+}
+
+// Build assigns every point of pts to its cell.
+func Build(pts *geom.Points, eps float64) *Grid {
+	g := &Grid{
+		Eps:   eps,
+		Side:  Side(eps, pts.Dim),
+		Dim:   pts.Dim,
+		Cells: make(map[Key]*Cell),
+	}
+	n := pts.N()
+	for i := 0; i < n; i++ {
+		k := KeyFor(pts.At(i), g.Side)
+		c := g.Cells[k]
+		if c == nil {
+			c = &Cell{Key: k}
+			g.Cells[k] = c
+		}
+		c.Points = append(c.Points, i)
+	}
+	return g
+}
+
+// NumCells returns the number of non-empty cells.
+func (g *Grid) NumCells() int { return len(g.Cells) }
+
+// SubShift returns h-1 = ceil(log2(1/rho)) for the approximation parameter
+// rho of Definition 4.1. rho >= 1 yields 0 (no sub-division: one sub-cell
+// per cell).
+func SubShift(rho float64) uint {
+	if rho >= 1 {
+		return 0
+	}
+	return uint(math.Ceil(math.Log2(1 / rho)))
+}
+
+// SubIdx identifies a sub-cell inside its cell using d*(h-1) bits packed
+// into a 128-bit value (dimension-major, first dimension in the highest
+// bits). It is comparable and therefore usable as a map key.
+type SubIdx struct {
+	Hi, Lo uint64
+}
+
+// shiftLeft returns s << n for n < 64.
+func (s SubIdx) shiftLeft(n uint) SubIdx {
+	if n == 0 {
+		return s
+	}
+	return SubIdx{Hi: s.Hi<<n | s.Lo>>(64-n), Lo: s.Lo << n}
+}
+
+func (s SubIdx) or(v uint64) SubIdx {
+	return SubIdx{Hi: s.Hi, Lo: s.Lo | v}
+}
+
+// SubIdxFor computes the sub-cell index of point p inside the cell with the
+// given origin. shift is SubShift(rho); subSide is the sub-cell side length
+// cellSide / 2^shift.
+func SubIdxFor(p, origin []float64, subSide float64, shift uint) SubIdx {
+	var idx SubIdx
+	max := int64(1)<<shift - 1
+	for i, x := range p {
+		v := int64(math.Floor((x - origin[i]) / subSide))
+		// Guard against floating-point edge effects at the cell boundary.
+		if v < 0 {
+			v = 0
+		} else if v > max {
+			v = max
+		}
+		idx = idx.shiftLeft(shift).or(uint64(v))
+	}
+	return idx
+}
+
+// SubCoord extracts the per-dimension sub-cell coordinates from idx into
+// out, which must have length dim.
+func SubCoord(idx SubIdx, shift uint, dim int, out []int64) {
+	mask := uint64(1)<<shift - 1
+	for i := dim - 1; i >= 0; i-- {
+		out[i] = int64(idx.Lo & mask)
+		idx = shiftRight(idx, shift)
+	}
+}
+
+func shiftRight(s SubIdx, n uint) SubIdx {
+	if n == 0 {
+		return s
+	}
+	return SubIdx{Hi: s.Hi >> n, Lo: s.Lo>>n | s.Hi<<(64-n)}
+}
+
+// SubCenter writes the centre point of the sub-cell idx (inside the cell
+// whose minimum corner is origin) into out.
+func SubCenter(idx SubIdx, origin []float64, subSide float64, shift uint, out []float64) {
+	dim := len(out)
+	mask := uint64(1)<<shift - 1
+	for i := dim - 1; i >= 0; i-- {
+		out[i] = origin[i] + (float64(idx.Lo&mask)+0.5)*subSide
+		idx = shiftRight(idx, shift)
+	}
+}
+
+// NeighborCellRadius returns the per-dimension integer radius r such that
+// every cell containing a point within eps of a query point has each cell
+// coordinate within r of the query point's cell coordinate. Since the cell
+// side is eps/sqrt(d), r = ceil(sqrt(d)).
+func NeighborCellRadius(dim int) int32 {
+	return int32(math.Ceil(math.Sqrt(float64(dim))))
+}

@@ -1,0 +1,229 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/geom"
+)
+
+func TestSideDiagonalIsEps(t *testing.T) {
+	for dim := 1; dim <= 13; dim++ {
+		s := Side(1.5, dim)
+		diag := s * math.Sqrt(float64(dim))
+		if math.Abs(diag-1.5) > 1e-12 {
+			t.Fatalf("dim %d: diagonal = %v, want 1.5", dim, diag)
+		}
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	coords := []int32{0, -1, 7, math.MaxInt32, math.MinInt32, 42}
+	k := EncodeKey(coords)
+	got := DecodeKey(k)
+	for i := range coords {
+		if got[i] != coords[i] {
+			t.Fatalf("coord %d: got %d, want %d", i, got[i], coords[i])
+		}
+	}
+	if k.Dim() != len(coords) {
+		t.Fatalf("Dim = %d, want %d", k.Dim(), len(coords))
+	}
+}
+
+func TestKeyOrderPreserving(t *testing.T) {
+	// Byte-wise key ordering must match numeric ordering per coordinate.
+	a := EncodeKey([]int32{-5})
+	b := EncodeKey([]int32{-1})
+	c := EncodeKey([]int32{0})
+	d := EncodeKey([]int32{3})
+	if !(a < b && b < c && c < d) {
+		t.Fatalf("key order broken: %q %q %q %q", a, b, c, d)
+	}
+}
+
+func TestKeyForAndOrigin(t *testing.T) {
+	side := 0.5
+	p := []float64{1.2, -0.3}
+	k := KeyFor(p, side)
+	want := []int32{2, -1}
+	got := DecodeKey(k)
+	if got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("KeyFor = %v, want %v", got, want)
+	}
+	origin := make([]float64, 2)
+	k.Origin(side, origin)
+	if origin[0] != 1.0 || origin[1] != -0.5 {
+		t.Fatalf("Origin = %v, want [1 -0.5]", origin)
+	}
+	center := make([]float64, 2)
+	k.Center(side, center)
+	if center[0] != 1.25 || center[1] != -0.25 {
+		t.Fatalf("Center = %v, want [1.25 -0.25]", center)
+	}
+}
+
+func TestBuildAssignsEveryPoint(t *testing.T) {
+	pts, _ := geom.FromSlice([][]float64{
+		{0.1, 0.1}, {0.15, 0.12}, {5, 5}, {-3, 2},
+	}, 2)
+	g := Build(pts, 1.0)
+	total := 0
+	for _, c := range g.Cells {
+		total += len(c.Points)
+	}
+	if total != pts.N() {
+		t.Fatalf("grid holds %d points, want %d", total, pts.N())
+	}
+	if g.NumCells() != 3 {
+		t.Fatalf("NumCells = %d, want 3", g.NumCells())
+	}
+}
+
+func TestCellDiagonalProperty(t *testing.T) {
+	// Any two points mapped to the same cell must be within eps.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(5)
+		eps := 0.1 + r.Float64()*3
+		side := Side(eps, dim)
+		p := make([]float64, dim)
+		q := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			p[i] = r.Float64()*20 - 10
+		}
+		// q perturbed within the same cell as p.
+		for i := 0; i < dim; i++ {
+			lo := math.Floor(p[i]/side) * side
+			q[i] = lo + r.Float64()*side*0.999
+		}
+		if KeyFor(p, side) != KeyFor(q, side) {
+			return true // different cells: nothing to check
+		}
+		return geom.Dist(p, q) <= eps+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubShift(t *testing.T) {
+	cases := []struct {
+		rho  float64
+		want uint
+	}{
+		{1.0, 0}, {0.5, 1}, {0.25, 2}, {0.1, 4}, {0.05, 5}, {0.01, 7},
+	}
+	for _, c := range cases {
+		if got := SubShift(c.rho); got != c.want {
+			t.Errorf("SubShift(%v) = %d, want %d", c.rho, got, c.want)
+		}
+	}
+}
+
+func TestSubIdxRoundTrip(t *testing.T) {
+	// 13 dimensions at shift 7 needs 91 bits: exercises the 128-bit path.
+	dim := 13
+	shift := uint(7)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		want := make([]int64, dim)
+		var idx SubIdx
+		for i := 0; i < dim; i++ {
+			want[i] = rng.Int63n(1 << shift)
+			idx = idx.shiftLeft(shift).or(uint64(want[i]))
+		}
+		got := make([]int64, dim)
+		SubCoord(idx, shift, dim, got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d dim %d: got %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSubIdxForAndCenter(t *testing.T) {
+	dim := 2
+	shift := uint(2) // 4 sub-cells per side
+	cellSide := 1.0
+	subSide := cellSide / 4
+	origin := []float64{2, -1}
+	p := []float64{2.6, -0.9} // sub coords (2, 0)
+	idx := SubIdxFor(p, origin, subSide, shift)
+	coords := make([]int64, dim)
+	SubCoord(idx, shift, dim, coords)
+	if coords[0] != 2 || coords[1] != 0 {
+		t.Fatalf("sub coords = %v, want [2 0]", coords)
+	}
+	center := make([]float64, dim)
+	SubCenter(idx, origin, subSide, shift, center)
+	if math.Abs(center[0]-2.625) > 1e-12 || math.Abs(center[1]-(-0.875)) > 1e-12 {
+		t.Fatalf("SubCenter = %v, want [2.625 -0.875]", center)
+	}
+}
+
+// Property: a point is always within subSide*sqrt(d)/2 of its sub-cell
+// centre (half the sub-cell diagonal) — the approximation bound that drives
+// Lemma 5.2.
+func TestSubCellApproximationBound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(5)
+		shift := uint(r.Intn(7))
+		eps := 0.2 + r.Float64()*2
+		side := Side(eps, dim)
+		subSide := side / float64(int64(1)<<shift)
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = r.Float64()*10 - 5
+		}
+		k := KeyFor(p, side)
+		origin := make([]float64, dim)
+		k.Origin(side, origin)
+		idx := SubIdxFor(p, origin, subSide, shift)
+		center := make([]float64, dim)
+		SubCenter(idx, origin, subSide, shift, center)
+		bound := subSide * math.Sqrt(float64(dim)) / 2
+		return geom.Dist(p, center) <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a point always lies inside its own cell's box [origin,
+// origin+side) per dimension — KeyFor, Origin, and Side are consistent.
+func TestPointInOwnCellProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(6)
+		eps := 0.05 + r.Float64()*4
+		side := Side(eps, dim)
+		p := make([]float64, dim)
+		for i := range p {
+			p[i] = r.Float64()*2000 - 1000
+		}
+		k := KeyFor(p, side)
+		origin := make([]float64, dim)
+		k.Origin(side, origin)
+		for i := range p {
+			if p[i] < origin[i]-1e-9 || p[i] >= origin[i]+side+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborCellRadius(t *testing.T) {
+	if NeighborCellRadius(1) != 1 || NeighborCellRadius(2) != 2 || NeighborCellRadius(4) != 2 || NeighborCellRadius(5) != 3 {
+		t.Fatalf("NeighborCellRadius wrong: %d %d %d %d",
+			NeighborCellRadius(1), NeighborCellRadius(2), NeighborCellRadius(4), NeighborCellRadius(5))
+	}
+}

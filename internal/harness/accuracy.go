@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"rpdbscan/internal/baselines/naive"
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/dbscan"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/metrics"
+)
+
+// AccuracyRow is one cell of Table 4: the Rand index of RP-DBSCAN against
+// exact DBSCAN on one synthetic set at one rho.
+type AccuracyRow struct {
+	Dataset     string
+	Rho         float64
+	RandIndex   float64
+	ClustersRP  int
+	ClustersRef int
+}
+
+// accuracySet pairs a generator with the eps/minPts used on it.
+type accuracySet struct {
+	name   string
+	pts    *geom.Points
+	eps    float64
+	minPts int
+}
+
+func accuracySets(s Scale) []accuracySet {
+	// The paper uses 100k-point Moons, Blobs, and Chameleon; sizes scale
+	// with s.N (these sets are cheap, so use at least 5000 points for a
+	// meaningful border population).
+	n := s.N
+	if n < 5000 {
+		n = 5000
+	}
+	return []accuracySet{
+		{"Moons", datagen.Moons(n, 0.04, s.Seed), 0.10, s.minPtsFor(10)},
+		{"Blobs", datagen.Blobs(n, 5, 0.4, s.Seed+1), 0.30, s.minPtsFor(10)},
+		{"Chameleon", datagen.Chameleon(n, s.Seed+2), 1.0, s.minPtsFor(10)},
+	}
+}
+
+// NaiveRow compares the naive random-split family (Section 2.2.1) with
+// RP-DBSCAN on the same accuracy set: the motivation for the two-level
+// cell dictionary is that random splits alone lose accuracy.
+type NaiveRow struct {
+	Dataset string
+	// RINaive and RIRP are Rand indexes against exact DBSCAN.
+	RINaive float64
+	RIRP    float64
+}
+
+// NaiveComparison quantifies Section 2.2.1's accuracy-loss claim.
+func NaiveComparison(s Scale) ([]NaiveRow, error) {
+	s = s.norm()
+	var rows []NaiveRow
+	for _, set := range accuracySets(s) {
+		ref := dbscan.Run(set.pts, set.eps, set.minPts)
+		nres := naive.Run(set.pts, naive.Config{
+			Eps: set.eps, MinPts: set.minPts,
+			NumSplits: s.Partitions, Seed: s.Seed,
+		}, engine.New(s.Workers))
+		rres, err := core.Run(set.pts, core.Config{
+			Eps: set.eps, MinPts: set.minPts, Rho: 0.01,
+			NumPartitions: s.Partitions, Seed: s.Seed,
+		}, engine.New(s.Workers))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, NaiveRow{
+			Dataset: set.name,
+			RINaive: metrics.RandIndex(ref.Labels, nres.Labels),
+			RIRP:    metrics.RandIndex(ref.Labels, rres.Labels),
+		})
+	}
+	return rows, nil
+}
+
+// ClusterImage is one panel of Figure 16: a 2-d accuracy set with
+// RP-DBSCAN's cluster labels, ready to render.
+type ClusterImage struct {
+	Name   string
+	Points *geom.Points
+	Labels []int
+}
+
+// Figure16 reproduces Figure 16: RP-DBSCAN's clustering of the Moons,
+// Blobs, and Chameleon sets at the default rho = 0.01.
+func Figure16(s Scale) ([]ClusterImage, error) {
+	s = s.norm()
+	var out []ClusterImage
+	for _, set := range accuracySets(s) {
+		res, err := core.Run(set.pts, core.Config{
+			Eps: set.eps, MinPts: set.minPts, Rho: 0.01,
+			NumPartitions: s.Partitions, Seed: s.Seed,
+		}, engine.New(s.Workers))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ClusterImage{Name: set.name, Points: set.pts, Labels: res.Labels})
+	}
+	return out, nil
+}
+
+// Accuracy reproduces Table 4 (and the Figure 16 check): the Rand index
+// between RP-DBSCAN and exact DBSCAN for rho in {0.10, 0.05, 0.01}.
+func Accuracy(s Scale) ([]AccuracyRow, error) {
+	s = s.norm()
+	rhos := []float64{0.10, 0.05, 0.01}
+	var rows []AccuracyRow
+	for _, set := range accuracySets(s) {
+		ref := dbscan.Run(set.pts, set.eps, set.minPts)
+		for _, rho := range rhos {
+			res, err := core.Run(set.pts, core.Config{
+				Eps: set.eps, MinPts: set.minPts, Rho: rho,
+				NumPartitions: s.Partitions, Seed: s.Seed,
+			}, engine.New(s.Workers))
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AccuracyRow{
+				Dataset:     set.name,
+				Rho:         rho,
+				RandIndex:   metrics.RandIndex(ref.Labels, res.Labels),
+				ClustersRP:  res.NumClusters,
+				ClustersRef: ref.NumClusters,
+			})
+		}
+	}
+	return rows, nil
+}

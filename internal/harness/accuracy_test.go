@@ -1,0 +1,59 @@
+package harness
+
+import "testing"
+
+func TestFigure16Images(t *testing.T) {
+	s := quick()
+	imgs, err := Figure16(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(imgs) != 3 {
+		t.Fatalf("images = %d, want 3", len(imgs))
+	}
+	names := map[string]bool{}
+	for _, img := range imgs {
+		names[img.Name] = true
+		if img.Points.N() != len(img.Labels) {
+			t.Fatalf("%s: %d points but %d labels", img.Name, img.Points.N(), len(img.Labels))
+		}
+		clusters := map[int]bool{}
+		for _, l := range img.Labels {
+			if l >= 0 {
+				clusters[l] = true
+			}
+		}
+		if len(clusters) == 0 {
+			t.Fatalf("%s: no clusters found", img.Name)
+		}
+	}
+	for _, want := range []string{"Moons", "Blobs", "Chameleon"} {
+		if !names[want] {
+			t.Fatalf("missing image %q", want)
+		}
+	}
+}
+
+func TestNaiveComparison(t *testing.T) {
+	s := quick()
+	rows, err := NaiveComparison(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.RIRP < 0.99 {
+			t.Errorf("%s: RP RandIndex %.4f < 0.99", r.Dataset, r.RIRP)
+		}
+		if r.RINaive <= 0 || r.RINaive > 1 {
+			t.Errorf("%s: naive RandIndex %v out of range", r.Dataset, r.RINaive)
+		}
+		// Section 2.2.1's claim: the dictionary-backed algorithm is at
+		// least as accurate as the naive random split.
+		if r.RINaive > r.RIRP+1e-9 {
+			t.Errorf("%s: naive (%.4f) beat RP (%.4f)", r.Dataset, r.RINaive, r.RIRP)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package harness
+
+// Anatomy experiments (Section 7.6): dictionary compactness (Table 5) and
+// progressive-merging edge reduction (Figure 17 / Table 7).
+
+// DictSizeRow is one cell of Table 5: the two-level cell dictionary size as
+// a fraction of the data set size for one data set at one eps.
+type DictSizeRow struct {
+	Dataset string
+	Eps     float64
+	// Ratio is dictionary bits / data bits, where the data set is
+	// accounted at 32 bits per coordinate as in the paper (Table 3 data
+	// are float32).
+	Ratio float64
+	// Bits is the dictionary size by the Lemma 4.3 formula; Bytes the
+	// actual encoded broadcast payload.
+	Bits  int64
+	Bytes int
+	Cells int
+	Subs  int
+}
+
+// DictionarySize reproduces Table 5: dictionary size across the eps sweep
+// of each data set. The paper's observation — size shrinks as eps grows,
+// and is a small fraction of the data — is scale-independent.
+func DictionarySize(s Scale) ([]DictSizeRow, error) {
+	s = s.norm()
+	var rows []DictSizeRow
+	for _, ds := range SuiteDatasets(s) {
+		dataBits := int64(ds.Points.N()) * int64(ds.Points.Dim) * 32
+		for _, eps := range ds.EpsSweep() {
+			res, err := RunAlgorithm(AlgoRP, ds.Points, eps, s.minPtsFor(ds.MinPts), s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DictSizeRow{
+				Dataset: ds.Name,
+				Eps:     eps,
+				Ratio:   float64(res.DictSizeBits) / float64(dataBits),
+				Bits:    res.DictSizeBits,
+				Bytes:   res.DictBytes,
+				Cells:   res.Cells,
+				Subs:    res.SubCells,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// EdgeReductionRow is one column of Table 7: the edges remaining after each
+// merge round for one data set at one eps.
+type EdgeReductionRow struct {
+	Dataset string
+	Eps     float64
+	// Edges[i] is the total edge count after round i (index 0 = before
+	// merging starts).
+	Edges []int64
+}
+
+// EdgeReduction reproduces Figure 17 / Table 7: progressive graph merging
+// shrinks the edge set every round, so the final merge always fits one
+// machine.
+func EdgeReduction(s Scale) ([]EdgeReductionRow, error) {
+	s = s.norm()
+	var rows []EdgeReductionRow
+	for _, ds := range SuiteDatasets(s) {
+		for _, eps := range ds.EpsSweep() {
+			res, err := RunAlgorithm(AlgoRP, ds.Points, eps, s.minPtsFor(ds.MinPts), s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, EdgeReductionRow{
+				Dataset: ds.Name,
+				Eps:     eps,
+				Edges:   res.EdgesPerRound,
+			})
+		}
+	}
+	return rows, nil
+}

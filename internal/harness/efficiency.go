@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"time"
+
+	"rpdbscan/internal/engine"
+)
+
+// EfficiencyRow is one cell of Figures 11/13/14 (and Table 6): one
+// algorithm on one data set at one eps.
+type EfficiencyRow struct {
+	Dataset   string
+	Eps       float64
+	Algorithm string
+	// Elapsed is the simulated total elapsed time (Figure 11 / Table 6).
+	Elapsed time.Duration
+	// Imbalance is the slowest/fastest local-clustering ratio
+	// (Figure 13).
+	Imbalance float64
+	// Processed is the total number of points processed across splits
+	// (Figure 14).
+	Processed int64
+	// Clusters is a sanity datum: the number of clusters found.
+	Clusters int
+}
+
+// EfficiencyConfig restricts the sweep; zero values mean "all".
+type EfficiencyConfig struct {
+	// Datasets filters by data set name.
+	Datasets []string
+	// Algorithms filters the algorithm list.
+	Algorithms []string
+	// EpsIndices selects positions of the per-data-set eps sweep
+	// (0..3 for eps10/8 .. eps10).
+	EpsIndices []int
+}
+
+// Efficiency runs the overall-comparison sweep behind Figure 11 (elapsed
+// time), Figure 13 (load imbalance), and Figure 14 (data duplication): six
+// algorithms times four data sets times four eps values by default.
+func Efficiency(s Scale, cfg EfficiencyConfig) ([]EfficiencyRow, error) {
+	s = s.norm()
+	algos := cfg.Algorithms
+	if len(algos) == 0 {
+		algos = AllAlgorithms()
+	}
+	epsIdx := cfg.EpsIndices
+	if len(epsIdx) == 0 {
+		epsIdx = []int{0, 1, 2, 3}
+	}
+	var rows []EfficiencyRow
+	for _, ds := range SuiteDatasets(s) {
+		if len(cfg.Datasets) > 0 && !contains(cfg.Datasets, ds.Name) {
+			continue
+		}
+		sweep := ds.EpsSweep()
+		for _, ei := range epsIdx {
+			eps := sweep[ei]
+			for _, algo := range algos {
+				res, err := RunAlgorithm(algo, ds.Points, eps, s.minPtsFor(ds.MinPts), s)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, EfficiencyRow{
+					Dataset:   ds.Name,
+					Eps:       eps,
+					Algorithm: algo,
+					Elapsed:   res.Elapsed,
+					Imbalance: res.Imbalance,
+					Processed: res.Processed,
+					Clusters:  res.NumClusters,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// BreakdownRow is one bar of Figure 12: the fraction of RP-DBSCAN's
+// elapsed time spent in each phase on one data set.
+type BreakdownRow struct {
+	Dataset string
+	// Phases maps "I-1", "I-2", "II", "III-1", "III-2" to fractions
+	// summing to 1.
+	Phases map[string]float64
+	Order  []string
+	Total  time.Duration
+}
+
+// Breakdown reproduces Figure 12: RP-DBSCAN's per-phase time share on each
+// data set at eps10/2 (the mid-sweep epsilon).
+func Breakdown(s Scale) ([]BreakdownRow, error) {
+	s = s.norm()
+	var rows []BreakdownRow
+	for _, ds := range SuiteDatasets(s) {
+		res, err := RunAlgorithm(AlgoRP, ds.Points, ds.Eps10/2, s.minPtsFor(ds.MinPts), s)
+		if err != nil {
+			return nil, err
+		}
+		m, order := res.Report.PhaseBreakdown()
+		total := res.Report.SimulatedElapsed()
+		row := BreakdownRow{Dataset: ds.Name, Phases: make(map[string]float64), Order: order, Total: total}
+		for ph, d := range m {
+			if total > 0 {
+				row.Phases[ph] = float64(d) / float64(total)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// SpeedUpRow is one line of Figure 15: an algorithm's speed-up at each
+// worker count relative to 5 workers.
+type SpeedUpRow struct {
+	Algorithm string
+	Workers   []int
+	SpeedUp   []float64
+}
+
+// SpeedUp reproduces Figure 15: scalability to the number of cores on the
+// Cosmo50 stand-in at eps10/4 (the paper's eps = 0.02 on Cosmo50). Task
+// costs are measured once per algorithm; the makespan is then re-scheduled
+// for each worker count, exactly how a deterministic scheduler would place
+// the same tasks on differently sized clusters.
+func SpeedUp(s Scale, algos ...string) ([]SpeedUpRow, error) {
+	s = s.norm()
+	if len(algos) == 0 {
+		algos = AllAlgorithms()
+	}
+	workers := []int{5, 10, 20, 40}
+	// The split count must cover the largest cluster measured, as in the
+	// paper's deployment (40 splits on 40 cores).
+	if s.Partitions < workers[len(workers)-1] {
+		s.Partitions = workers[len(workers)-1]
+	}
+	ds := SuiteDatasets(s)[1] // SimCosmo
+	eps := ds.Eps10 / 4
+	var rows []SpeedUpRow
+	for _, algo := range algos {
+		res, err := RunAlgorithm(algo, ds.Points, eps, s.minPtsFor(ds.MinPts), s)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, SpeedUpRow{
+			Algorithm: algo,
+			Workers:   workers,
+			SpeedUp:   engine.SpeedUp(res.Report, 5, workers),
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,155 @@
+package harness
+
+// Appendix B experiments on synthetic Gaussian mixtures: data skewness
+// (Figures 18-19, Table 8) and data size (Figures 20-21).
+
+import (
+	"time"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/geom"
+)
+
+// synthEps is the eps the appendix uses on [0,100]^d mixtures.
+const synthEps = 5.0
+
+// SkewAlphas are the skewness coefficients of Appendix B.1.
+func SkewAlphas() []float64 { return []float64{1.0 / 8, 1.0 / 4, 1.0 / 2, 1} }
+
+// synthMixture builds the appendix mixture: ten components on [0,100]^dim.
+func synthMixture(n, dim int, alpha float64, seed int64) *geom.Points {
+	return datagen.Mixture(datagen.MixtureConfig{
+		N: n, Dim: dim, Components: 10, Span: 100, Alpha: alpha,
+	}, seed)
+}
+
+// SkewStatsRow describes one Figure 18 data set: how concentrated the
+// mixture is at each skewness coefficient (the paper shows scatter plots;
+// we report the occupancy share of the densest 1% of coarse space).
+type SkewStatsRow struct {
+	Alpha float64
+	// TopCellShare is the fraction of points in the single densest
+	// coarse cell (5-unit grid) — rises with alpha.
+	TopCellShare float64
+}
+
+// SkewStats summarises the Figure 18 data sets (2-d mixtures).
+func SkewStats(s Scale) []SkewStatsRow {
+	s = s.norm()
+	var rows []SkewStatsRow
+	for _, alpha := range SkewAlphas() {
+		pts := synthMixture(s.N, 2, alpha, s.Seed)
+		counts := map[[2]int]int{}
+		for i := 0; i < pts.N(); i++ {
+			p := pts.At(i)
+			counts[[2]int{int(p[0] / 5), int(p[1] / 5)}]++
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		rows = append(rows, SkewStatsRow{Alpha: alpha, TopCellShare: float64(max) / float64(pts.N())})
+	}
+	return rows
+}
+
+// SkewDictRow is one cell of Table 8: dictionary size for a mixture at one
+// (dim, alpha).
+type SkewDictRow struct {
+	Dim   int
+	Alpha float64
+	Bytes int
+	Bits  int64
+}
+
+// SkewDictionarySize reproduces Table 8: the dictionary shrinks as skew
+// rises (fewer non-empty cells) and grows with dimensionality.
+func SkewDictionarySize(s Scale) ([]SkewDictRow, error) {
+	s = s.norm()
+	var rows []SkewDictRow
+	for _, dim := range []int{3, 4, 5} {
+		for _, alpha := range SkewAlphas() {
+			pts := synthMixture(s.N, dim, alpha, s.Seed)
+			res, err := RunAlgorithm(AlgoRP, pts, synthEps, s.minPtsFor(20), s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SkewDictRow{Dim: dim, Alpha: alpha, Bytes: res.DictBytes, Bits: res.DictSizeBits})
+		}
+	}
+	return rows, nil
+}
+
+// SkewRunRow is one point of Figure 19: RP-DBSCAN's load imbalance and
+// elapsed time at one (dim, alpha).
+type SkewRunRow struct {
+	Dim       int
+	Alpha     float64
+	Imbalance float64
+	Elapsed   time.Duration
+}
+
+// SkewImpact reproduces Figure 19: load imbalance grows mildly with data
+// skewness — nowhere near the region-split blowup — and elapsed time
+// follows.
+func SkewImpact(s Scale) ([]SkewRunRow, error) {
+	s = s.norm()
+	var rows []SkewRunRow
+	for _, dim := range []int{3, 4, 5} {
+		for _, alpha := range SkewAlphas() {
+			pts := synthMixture(s.N, dim, alpha, s.Seed)
+			res, err := RunAlgorithm(AlgoRP, pts, synthEps, s.minPtsFor(20), s)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, SkewRunRow{Dim: dim, Alpha: alpha, Imbalance: res.Imbalance, Elapsed: res.Elapsed})
+		}
+	}
+	return rows, nil
+}
+
+// SizeRunRow is one point of Figures 20-21: elapsed time and phase
+// breakdown at one data size multiplier.
+type SizeRunRow struct {
+	// Multiplier scales the base N (the paper runs 5-80 GB, a x16
+	// range).
+	Multiplier int
+	N          int
+	Elapsed    time.Duration
+	Phases     map[string]float64
+	Order      []string
+}
+
+// SizeScaling reproduces Figure 20 (near-linear elapsed time in data size)
+// and Figure 21 (Phase II's share grows with size) on the appendix's 5-d
+// mixture at alpha = 8.
+func SizeScaling(s Scale) ([]SizeRunRow, error) {
+	s = s.norm()
+	base := s.N / 4
+	if base < 500 {
+		base = 500
+	}
+	var rows []SizeRunRow
+	for _, mult := range []int{1, 2, 4, 8, 16} {
+		n := base * mult
+		pts := synthMixture(n, 5, 8, s.Seed)
+		res, err := RunAlgorithm(AlgoRP, pts, synthEps, s.minPtsFor(20), s)
+		if err != nil {
+			return nil, err
+		}
+		m, order := res.Report.PhaseBreakdown()
+		total := res.Elapsed
+		ph := make(map[string]float64, len(m))
+		for k, v := range m {
+			if total > 0 {
+				ph[k] = float64(v) / float64(total)
+			}
+		}
+		rows = append(rows, SizeRunRow{
+			Multiplier: mult, N: n, Elapsed: total, Phases: ph, Order: order,
+		})
+	}
+	return rows, nil
+}

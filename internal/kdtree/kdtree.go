@@ -1,0 +1,203 @@
+// Package kdtree provides a static kd-tree over d-dimensional points with
+// ball range queries. The two-level cell dictionary indexes cell centres
+// with it so an (eps,rho)-region query touches O(log |cell|) nodes plus a
+// constant number of candidate cells (Lemma 5.6), independent of the
+// dimension-exponential size of the naive coordinate-box enumeration.
+package kdtree
+
+import (
+	"rpdbscan/internal/geom"
+)
+
+// Tree is an immutable kd-tree built over a fixed point set. Each indexed
+// point carries an integer payload (typically an index into a cell table).
+type Tree struct {
+	dim    int
+	coords []float64 // flat, item-major, reordered during build
+	items  []int     // payloads, parallel to points
+	nodes  []node
+	root   int
+}
+
+type node struct {
+	// Leaf nodes have count > 0 and start indexing into coords/items.
+	// Internal nodes have count == 0 and left/right children.
+	start, count int
+	axis         int
+	split        float64
+	left, right  int
+	bounds       geom.Box
+}
+
+const leafSize = 16
+
+// Build constructs a kd-tree over pts. payload[i] is attached to point i; a
+// nil payload attaches i itself. pts may be empty.
+func Build(pts *geom.Points, payload []int) *Tree {
+	n := pts.N()
+	t := &Tree{
+		dim:    pts.Dim,
+		coords: make([]float64, len(pts.Coords)),
+		items:  make([]int, n),
+	}
+	copy(t.coords, pts.Coords)
+	for i := range t.items {
+		if payload != nil {
+			t.items[i] = payload[i]
+		} else {
+			t.items[i] = i
+		}
+	}
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	t.root = t.build(order, 0, n)
+	// Apply the final permutation: rebuild coords/items in tree order.
+	nc := make([]float64, len(t.coords))
+	ni := make([]int, n)
+	for pos, orig := range order {
+		copy(nc[pos*t.dim:(pos+1)*t.dim], t.coords[orig*t.dim:(orig+1)*t.dim])
+		ni[pos] = t.items[orig]
+	}
+	t.coords, t.items = nc, ni
+	return t
+}
+
+// build recursively partitions order[lo:hi] and returns the node index.
+func (t *Tree) build(order []int, lo, hi int) int {
+	b := geom.NewBox(t.dim)
+	for _, idx := range order[lo:hi] {
+		b.Extend(t.at(idx))
+	}
+	if hi-lo <= leafSize {
+		t.nodes = append(t.nodes, node{start: lo, count: hi - lo, bounds: b, left: -1, right: -1})
+		return len(t.nodes) - 1
+	}
+	// Split along the widest axis at the median.
+	axis := 0
+	widest := b.Max[0] - b.Min[0]
+	for i := 1; i < t.dim; i++ {
+		if w := b.Max[i] - b.Min[i]; w > widest {
+			widest, axis = w, i
+		}
+	}
+	seg := order[lo:hi]
+	mid := lo + (hi-lo)/2
+	t.selectNth(seg, (hi-lo)/2, axis)
+	self := len(t.nodes)
+	t.nodes = append(t.nodes, node{axis: axis, split: t.at(order[mid])[axis], bounds: b})
+	l := t.build(order, lo, mid)
+	r := t.build(order, mid, hi)
+	t.nodes[self].left = l
+	t.nodes[self].right = r
+	return self
+}
+
+func (t *Tree) at(i int) []float64 {
+	return t.coords[i*t.dim : (i+1)*t.dim]
+}
+
+// selectNth partially orders seg so seg[n] holds the element of rank n by
+// the given axis (Hoare quickselect with median-of-three pivots) — an
+// O(len) median step that replaces a full sort during tree construction.
+func (t *Tree) selectNth(seg []int, n, axis int) {
+	lo, hi := 0, len(seg)-1
+	val := func(i int) float64 { return t.at(seg[i])[axis] }
+	for lo < hi {
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		if val(mid) < val(lo) {
+			seg[mid], seg[lo] = seg[lo], seg[mid]
+		}
+		if val(hi) < val(lo) {
+			seg[hi], seg[lo] = seg[lo], seg[hi]
+		}
+		if val(hi) < val(mid) {
+			seg[hi], seg[mid] = seg[mid], seg[hi]
+		}
+		pivot := val(mid)
+		i, j := lo, hi
+		for i <= j {
+			for val(i) < pivot {
+				i++
+			}
+			for val(j) > pivot {
+				j--
+			}
+			if i <= j {
+				seg[i], seg[j] = seg[j], seg[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.items) }
+
+// InBall appends to dst the payloads of all points within radius r of q and
+// returns the extended slice.
+func (t *Tree) InBall(q []float64, r float64, dst []int) []int {
+	if t.root < 0 {
+		return dst
+	}
+	r2 := r * r
+	return t.inBall(t.root, q, r2, dst)
+}
+
+func (t *Tree) inBall(ni int, q []float64, r2 float64, dst []int) []int {
+	nd := &t.nodes[ni]
+	if nd.bounds.MinDist2(q) > r2 {
+		return dst
+	}
+	if nd.count > 0 || nd.left < 0 {
+		for i := nd.start; i < nd.start+nd.count; i++ {
+			if geom.Dist2(q, t.at(i)) <= r2 {
+				dst = append(dst, t.items[i])
+			}
+		}
+		return dst
+	}
+	dst = t.inBall(nd.left, q, r2, dst)
+	dst = t.inBall(nd.right, q, r2, dst)
+	return dst
+}
+
+// Visit calls fn for every payload whose point is within radius r of q. It
+// avoids the allocation of InBall when the caller only needs to iterate.
+func (t *Tree) Visit(q []float64, r float64, fn func(payload int)) {
+	if t.root < 0 {
+		return
+	}
+	t.visit(t.root, q, r*r, fn)
+}
+
+func (t *Tree) visit(ni int, q []float64, r2 float64, fn func(int)) {
+	nd := &t.nodes[ni]
+	if nd.bounds.MinDist2(q) > r2 {
+		return
+	}
+	if nd.count > 0 || nd.left < 0 {
+		for i := nd.start; i < nd.start+nd.count; i++ {
+			if geom.Dist2(q, t.at(i)) <= r2 {
+				fn(t.items[i])
+			}
+		}
+		return
+	}
+	t.visit(nd.left, q, r2, fn)
+	t.visit(nd.right, q, r2, fn)
+}

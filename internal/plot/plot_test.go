@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"rpdbscan/internal/geom"
+)
+
+func TestScatterSVGBasics(t *testing.T) {
+	pts, _ := geom.FromSlice([][]float64{{0, 0}, {1, 1}, {2, 0}}, 2)
+	svg := string(ScatterSVG(pts, []int{0, 1, -1}, Options{Title: "demo"}))
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	if strings.Count(svg, "<circle") != 3 {
+		t.Fatalf("rendered %d circles, want 3", strings.Count(svg, "<circle"))
+	}
+	if !strings.Contains(svg, noiseColor) {
+		t.Fatal("noise point not rendered in noise colour")
+	}
+	if !strings.Contains(svg, ">demo</text>") {
+		t.Fatal("title missing")
+	}
+}
+
+func TestScatterSVGNilLabels(t *testing.T) {
+	pts, _ := geom.FromSlice([][]float64{{0, 0}, {5, 5}}, 2)
+	svg := string(ScatterSVG(pts, nil, Options{}))
+	if strings.Count(svg, "<circle") != 2 {
+		t.Fatal("unlabeled points not rendered")
+	}
+}
+
+func TestScatterSVGSubsampling(t *testing.T) {
+	pts := geom.NewPoints(2, 1000)
+	for i := 0; i < 1000; i++ {
+		pts.Append([]float64{float64(i), float64(i % 7)})
+	}
+	svg := string(ScatterSVG(pts, nil, Options{MaxPoints: 100}))
+	circles := strings.Count(svg, "<circle")
+	if circles > 110 || circles < 90 {
+		t.Fatalf("subsampled to %d circles, want ~100", circles)
+	}
+}
+
+func TestScatterSVGEmptyAndDegenerate(t *testing.T) {
+	empty := geom.NewPoints(2, 0)
+	if svg := string(ScatterSVG(empty, nil, Options{})); !strings.Contains(svg, "<svg") {
+		t.Fatal("empty input broke rendering")
+	}
+	// All points identical: scale must not blow up.
+	same, _ := geom.FromSlice([][]float64{{3, 3}, {3, 3}}, 2)
+	svg := string(ScatterSVG(same, nil, Options{}))
+	if !strings.Contains(svg, "<circle") {
+		t.Fatal("degenerate input not rendered")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("degenerate input produced NaN/Inf coordinates")
+	}
+}

@@ -1,0 +1,55 @@
+package pointio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV checks the CSV reader never panics and that accepted input
+// round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("# comment\n\n1.5e10,-2\n")
+	f.Add("x,y\n")
+	f.Add("")
+	f.Add("1\n2\n3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		pts, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, pts); err != nil {
+			t.Fatalf("write of accepted points failed: %v", err)
+		}
+		again, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.N() != pts.N() || again.Dim != pts.Dim {
+			t.Fatalf("round trip changed shape: %dx%d vs %dx%d",
+				again.N(), again.Dim, pts.N(), pts.Dim)
+		}
+	})
+}
+
+// FuzzReadBinary checks the binary reader never panics on arbitrary bytes.
+func FuzzReadBinary(f *testing.F) {
+	var buf bytes.Buffer
+	pts, _ := ReadCSV(strings.NewReader("1,2\n3,4\n"))
+	_ = WriteBinary(&buf, pts)
+	f.Add(buf.Bytes())
+	f.Add([]byte("RPPT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("write of accepted points failed: %v", err)
+		}
+	})
+}

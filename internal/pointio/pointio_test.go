@@ -1,0 +1,92 @@
+package pointio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/geom"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	pts := datagen.Moons(200, 0.05, 1)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != pts.N() || got.Dim != pts.Dim {
+		t.Fatalf("shape changed: %dx%d", got.N(), got.Dim)
+	}
+	for i := range pts.Coords {
+		if got.Coords[i] != pts.Coords[i] {
+			t.Fatalf("coordinate %d changed: %v vs %v", i, got.Coords[i], pts.Coords[i])
+		}
+	}
+}
+
+func TestCSVCommentsAndBlanks(t *testing.T) {
+	in := "# header\n1,2\n\n3,4\n"
+	pts, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts.N() != 2 || pts.At(1)[1] != 4 {
+		t.Fatalf("parsed %+v", pts)
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("non-numeric field accepted")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	pts := datagen.Mixture(datagen.MixtureConfig{N: 500, Dim: 13, Components: 3, Alpha: 1}, 2)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != pts.N() || got.Dim != pts.Dim {
+		t.Fatalf("shape changed: %dx%d", got.N(), got.Dim)
+	}
+	for i := range pts.Coords {
+		if got.Coords[i] != pts.Coords[i] {
+			t.Fatal("coordinates changed")
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("XX")); err == nil {
+		t.Fatal("short header accepted")
+	}
+	if _, err := ReadBinary(strings.NewReader("XXXX\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00\x00")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	pts := geom.NewPoints(2, 1)
+	pts.Append([]float64{1, 2})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated data accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package rpdbscan
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func twoBlobs(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, 0, n)
+	for i := 0; i < n/2; i++ {
+		out = append(out, []float64{rng.NormFloat64() * 0.2, rng.NormFloat64() * 0.2})
+	}
+	for i := 0; i < n-n/2; i++ {
+		out = append(out, []float64{8 + rng.NormFloat64()*0.2, 8 + rng.NormFloat64()*0.2})
+	}
+	return out
+}
+
+func TestClusterBasic(t *testing.T) {
+	pts := twoBlobs(400, 1)
+	res, err := Cluster(pts, Options{Eps: 0.6, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("NumClusters = %d, want 2", res.NumClusters)
+	}
+	if len(res.Labels) != 400 || len(res.Core) != 400 {
+		t.Fatal("output sizes wrong")
+	}
+	if res.Labels[0] == res.Labels[399] {
+		t.Fatal("distinct blobs share a cluster")
+	}
+}
+
+func TestClusterMatchesExact(t *testing.T) {
+	pts := twoBlobs(600, 2)
+	approx, err := Cluster(pts, Options{Eps: 0.6, MinPts: 5, Partitions: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ExactDBSCAN(pts, 0.6, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri := RandIndex(approx.Labels, exact.Labels); ri < 0.999 {
+		t.Fatalf("RandIndex vs exact = %.4f", ri)
+	}
+}
+
+func TestClusterFlat(t *testing.T) {
+	rows := twoBlobs(200, 3)
+	flat := make([]float64, 0, len(rows)*2)
+	for _, r := range rows {
+		flat = append(flat, r...)
+	}
+	a, err := ClusterFlat(flat, 2, Options{Eps: 0.6, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(rows, Options{Eps: 0.6, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("flat and sliced APIs disagree")
+		}
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	res, err := Cluster(twoBlobs(500, 4), Options{Eps: 0.6, MinPts: 5, Partitions: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DictionaryBytes <= 0 || res.Stats.Cells <= 0 {
+		t.Fatalf("stats missing: %+v", res.Stats)
+	}
+	if len(res.Stats.Phases) != 5 {
+		t.Fatalf("phases = %v", res.Stats.Phases)
+	}
+	if res.Stats.LoadImbalance < 1 {
+		t.Fatalf("LoadImbalance = %v", res.Stats.LoadImbalance)
+	}
+	if res.Stats.Elapsed <= 0 || res.Stats.Wall <= 0 {
+		t.Fatalf("elapsed not recorded: %+v", res.Stats)
+	}
+}
+
+func TestClusterErrors(t *testing.T) {
+	if _, err := Cluster([][]float64{{1, 2}}, Options{Eps: 0, MinPts: 5}); err == nil {
+		t.Fatal("zero eps accepted")
+	}
+	if _, err := Cluster([][]float64{{1, 2}, {1}}, Options{Eps: 1, MinPts: 5}); err == nil {
+		t.Fatal("ragged input accepted")
+	}
+	if _, err := ClusterFlat([]float64{1, 2, 3}, 2, Options{Eps: 1, MinPts: 5}); err == nil {
+		t.Fatal("odd flat input accepted")
+	}
+	if _, err := ClusterFlat(nil, 0, Options{Eps: 1, MinPts: 5}); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	res, err := Cluster(nil, Options{Eps: 1, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 0 || len(res.Labels) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+	if _, err := ExactDBSCAN(nil, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultConveniences(t *testing.T) {
+	pts := twoBlobs(400, 6)
+	pts = append(pts, []float64{999, 999}) // one noise point
+	res, err := Cluster(pts, Options{Eps: 0.6, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := res.ClusterSizes()
+	if len(sizes) != res.NumClusters {
+		t.Fatalf("ClusterSizes len = %d, want %d", len(sizes), res.NumClusters)
+	}
+	total := 0
+	for _, s := range sizes {
+		total += s
+	}
+	if total+res.NoiseCount() != len(pts) {
+		t.Fatalf("sizes (%d) + noise (%d) != n (%d)", total, res.NoiseCount(), len(pts))
+	}
+	if res.NoiseCount() < 1 {
+		t.Fatal("expected at least one noise point")
+	}
+	s := res.Summary()
+	if s == "" || len(s) < 40 {
+		t.Fatalf("Summary too short: %q", s)
+	}
+}
+
+func TestNoiseLabel(t *testing.T) {
+	pts := [][]float64{{0, 0}, {100, 100}, {0.1, 0}, {0, 0.1}}
+	res, err := Cluster(pts, Options{Eps: 0.5, MinPts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Labels[1] != Noise {
+		t.Fatalf("far point labelled %d, want Noise", res.Labels[1])
+	}
+}

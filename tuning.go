@@ -1,0 +1,179 @@
+package rpdbscan
+
+// Parameter-selection and capacity-planning helpers: the k-distance
+// heuristic commonly used to choose Eps, dictionary size estimation (the
+// broadcast payload of Table 5), and additional clustering-similarity
+// measures.
+
+import (
+	"fmt"
+	"sort"
+
+	"rpdbscan/internal/dict"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/grid"
+	"rpdbscan/internal/kdtree"
+	"rpdbscan/internal/metrics"
+)
+
+// KDistances returns, sorted ascending, each point's distance to its k-th
+// nearest neighbor (excluding itself). Plotting this curve and picking the
+// "knee" is the standard heuristic for choosing Eps: points left of the
+// knee are inside clusters, points right of it are noise. k is typically
+// MinPts-1.
+func KDistances(points [][]float64, k int) ([]float64, error) {
+	if len(points) == 0 {
+		return nil, nil
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("rpdbscan: k must be >= 1, got %d", k)
+	}
+	pts, err := geom.FromSlice(points, len(points[0]))
+	if err != nil {
+		return nil, fmt.Errorf("rpdbscan: %w", err)
+	}
+	n := pts.N()
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return []float64{0}, nil
+	}
+	tree := kdtree.Build(pts, nil)
+	out := make([]float64, n)
+	// Expanding-radius search: grow until at least k+1 points (self
+	// included) are inside, then take the (k+1)-th smallest distance.
+	for i := 0; i < n; i++ {
+		p := pts.At(i)
+		r := initialRadius(pts)
+		var dists []float64
+		for {
+			dists = dists[:0]
+			tree.Visit(p, r, func(j int) {
+				if j != i {
+					dists = append(dists, geom.Dist(p, pts.At(j)))
+				}
+			})
+			if len(dists) >= k {
+				break
+			}
+			r *= 2
+		}
+		sort.Float64s(dists)
+		out[i] = dists[k-1]
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
+// initialRadius guesses a starting search radius from the data extent and
+// count, assuming roughly uniform spread.
+func initialRadius(pts *geom.Points) float64 {
+	box := geom.NewBox(pts.Dim)
+	n := pts.N()
+	for i := 0; i < n; i++ {
+		box.Extend(pts.At(i))
+	}
+	widest := 0.0
+	for i := 0; i < pts.Dim; i++ {
+		if w := box.Max[i] - box.Min[i]; w > widest {
+			widest = w
+		}
+	}
+	if widest == 0 {
+		return 1
+	}
+	return widest / float64(n) * 16
+}
+
+// SuggestEps returns a heuristic Eps for the given MinPts: the k-distance
+// (k = MinPts-1) at the knee of the sorted curve, located as the point of
+// maximum distance from the chord between the curve's endpoints.
+func SuggestEps(points [][]float64, minPts int) (float64, error) {
+	ds, err := KDistances(points, minPts-1)
+	if err != nil {
+		return 0, err
+	}
+	if len(ds) == 0 {
+		return 0, fmt.Errorf("rpdbscan: no points")
+	}
+	if len(ds) < 3 {
+		return ds[len(ds)-1], nil
+	}
+	// Maximum perpendicular distance from the (0, ds[0]) - (n-1, ds[n-1])
+	// chord.
+	n := float64(len(ds) - 1)
+	x0, y0 := 0.0, ds[0]
+	x1, y1 := n, ds[len(ds)-1]
+	dx, dy := x1-x0, y1-y0
+	best, bestD := 0, 0.0
+	for i := range ds {
+		d := dy*float64(i) - dx*ds[i] + x1*y0 - y1*x0
+		if d < 0 {
+			d = -d
+		}
+		if d > bestD {
+			bestD, best = d, i
+		}
+	}
+	return ds[best], nil
+}
+
+// DictionaryEstimate summarises the two-level cell dictionary a Cluster
+// call would broadcast, letting users budget memory before running (the
+// capacity planning behind Table 5).
+type DictionaryEstimate struct {
+	Cells    int
+	SubCells int
+	// Bits is the analytical size of Lemma 4.3; Bytes the actual encoded
+	// payload size.
+	Bits  int64
+	Bytes int
+}
+
+// EstimateDictionary builds the dictionary for the given parameters and
+// reports its size without running the clustering phases.
+func EstimateDictionary(points [][]float64, eps, rho float64) (DictionaryEstimate, error) {
+	var est DictionaryEstimate
+	if len(points) == 0 {
+		return est, nil
+	}
+	if eps <= 0 {
+		return est, fmt.Errorf("rpdbscan: eps must be positive, got %g", eps)
+	}
+	if rho == 0 {
+		rho = 0.01
+	}
+	if rho < 0 {
+		return est, fmt.Errorf("rpdbscan: rho must be positive, got %g", rho)
+	}
+	pts, err := geom.FromSlice(points, len(points[0]))
+	if err != nil {
+		return est, fmt.Errorf("rpdbscan: %w", err)
+	}
+	g := grid.Build(pts, eps)
+	params := dict.Params{Eps: eps, Rho: rho, Dim: pts.Dim}
+	entries := make([]dict.CellEntry, 0, g.NumCells())
+	for _, c := range g.Cells {
+		entries = append(entries, dict.BuildEntry(c, pts, params))
+	}
+	stats := dict.StatsOf(entries, params)
+	est.Cells = stats.NumCells
+	est.SubCells = stats.NumSubCells
+	est.Bits = stats.SizeBits
+	est.Bytes = len(dict.EncodeEntries(entries, params))
+	return est, nil
+}
+
+// AdjustedRandIndex returns the chance-corrected Rand index between two
+// clusterings: 1 for identical, ~0 for independent. Negative labels are
+// all treated as one noise cluster.
+func AdjustedRandIndex(a, b []int) float64 {
+	return metrics.AdjustedRandIndex(a, b)
+}
+
+// NormalizedMutualInformation returns the NMI between two clusterings in
+// [0, 1]. Negative labels are all treated as one noise cluster.
+func NormalizedMutualInformation(a, b []int) float64 {
+	return metrics.NormalizedMutualInformation(a, b)
+}

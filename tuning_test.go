@@ -1,0 +1,140 @@
+package rpdbscan
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestKDistancesSortedAndSized(t *testing.T) {
+	pts := twoBlobs(300, 1)
+	ds, err := KDistances(pts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 300 {
+		t.Fatalf("len = %d, want 300", len(ds))
+	}
+	if !sort.Float64sAreSorted(ds) {
+		t.Fatal("k-distances not sorted")
+	}
+	if ds[0] < 0 {
+		t.Fatal("negative distance")
+	}
+}
+
+func TestKDistancesExactOnLine(t *testing.T) {
+	// Points at 0, 1, 2, ..., 9 on a line: the 1-distance of every point
+	// is exactly 1; the 2-distance is 1 for interior points, 2 at ends.
+	var pts [][]float64
+	for i := 0; i < 10; i++ {
+		pts = append(pts, []float64{float64(i)})
+	}
+	ds, err := KDistances(pts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range ds {
+		if d != 1 {
+			t.Fatalf("1-distances = %v, want all 1", ds)
+		}
+	}
+	ds, _ = KDistances(pts, 2)
+	if ds[len(ds)-1] != 2 || ds[0] != 1 {
+		t.Fatalf("2-distances = %v", ds)
+	}
+}
+
+func TestKDistancesEdgeCases(t *testing.T) {
+	if _, err := KDistances([][]float64{{1, 2}}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	ds, err := KDistances(nil, 3)
+	if err != nil || ds != nil {
+		t.Fatalf("empty input: %v %v", ds, err)
+	}
+	// Single point: k clamps; distance defined as 0.
+	ds, err = KDistances([][]float64{{1, 2}}, 3)
+	if err != nil || len(ds) != 1 || ds[0] != 0 {
+		t.Fatalf("single point: %v %v", ds, err)
+	}
+}
+
+func TestSuggestEpsSeparatesBlobNoise(t *testing.T) {
+	// Two tight blobs plus scattered noise: the suggested eps must be
+	// larger than within-blob spacing and far smaller than the blob
+	// separation.
+	rng := rand.New(rand.NewSource(3))
+	var pts [][]float64
+	for i := 0; i < 200; i++ {
+		pts = append(pts, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 200; i++ {
+		pts = append(pts, []float64{20 + rng.NormFloat64()*0.1, rng.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 20; i++ {
+		pts = append(pts, []float64{rng.Float64() * 20, 10 + rng.Float64()*10})
+	}
+	eps, err := SuggestEps(pts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eps <= 0.01 || eps >= 10 {
+		t.Fatalf("SuggestEps = %v, want within-blob scale", eps)
+	}
+	// The suggestion must actually work: clustering with it finds the two
+	// blobs.
+	res, err := Cluster(pts, Options{Eps: eps, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumClusters != 2 {
+		t.Fatalf("clustering with suggested eps found %d clusters, want 2 (eps=%v)", res.NumClusters, eps)
+	}
+}
+
+func TestEstimateDictionary(t *testing.T) {
+	pts := twoBlobs(500, 2)
+	est, err := EstimateDictionary(pts, 0.6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Cells <= 0 || est.SubCells < est.Cells || est.Bits <= 0 || est.Bytes <= 0 {
+		t.Fatalf("implausible estimate: %+v", est)
+	}
+	// The estimate must match what Cluster actually broadcasts.
+	res, err := Cluster(pts, Options{Eps: 0.6, MinPts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.DictionaryBytes != est.Bytes {
+		t.Fatalf("estimate %d bytes, actual broadcast %d", est.Bytes, res.Stats.DictionaryBytes)
+	}
+	if res.Stats.Cells != est.Cells || res.Stats.SubCells != est.SubCells {
+		t.Fatalf("cell totals differ: %d/%d vs %d/%d",
+			est.Cells, est.SubCells, res.Stats.Cells, res.Stats.SubCells)
+	}
+}
+
+func TestEstimateDictionaryErrors(t *testing.T) {
+	if _, err := EstimateDictionary([][]float64{{1}}, 0, 0.01); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := EstimateDictionary([][]float64{{1}}, 1, -1); err == nil {
+		t.Fatal("negative rho accepted")
+	}
+	if est, err := EstimateDictionary(nil, 1, 0.01); err != nil || est.Cells != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestPublicSimilarityMeasures(t *testing.T) {
+	a := []int{0, 0, 1, 1}
+	b := []int{1, 1, 0, 0}
+	if AdjustedRandIndex(a, b) != 1 {
+		t.Fatal("ARI relabel invariance broken")
+	}
+	if NormalizedMutualInformation(a, b) < 0.999 {
+		t.Fatal("NMI relabel invariance broken")
+	}
+}
