@@ -19,11 +19,14 @@
 //	-quick   small preset (n=3000, workers=8) for smoke runs
 //	-svgdir  also render Figures 16/18 as SVG files into this directory
 //	-csvdir  also write machine-readable CSVs into this directory
+//	-log-level / -log-format  structured logging (stderr); debug logs stage events
+//	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -32,6 +35,7 @@ import (
 
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/harness"
+	"rpdbscan/internal/obs"
 	"rpdbscan/internal/plot"
 )
 
@@ -42,9 +46,25 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	density := flag.Float64("density", 20, "point-density multiplier vs the calibrated reference; ~5 reproduces the paper's dense-neighborhood regime")
 	quick := flag.Bool("quick", false, "small smoke-test preset")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	log, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		slog.Error("rpbench", "err", err)
+		os.Exit(2)
+	}
+	log = log.With("cmd", "rpbench")
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, log); err != nil {
+			log.Error("debug server", "err", err)
+			os.Exit(1)
+		}
+	}
 
 	scale := harness.Scale{N: *n, Workers: *workers, MinPts: *minPts, Seed: *seed, Rho: 0.01, Density: *density}
 	if *quick {
@@ -84,7 +104,7 @@ func main() {
 			continue
 		}
 		if _, ok := all[w]; !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", w, strings.Join(order, " "))
+			log.Error("unknown experiment", "experiment", w, "have", strings.Join(order, " ")+", all")
 			os.Exit(2)
 		}
 		run[w] = true
@@ -94,8 +114,9 @@ func main() {
 			continue
 		}
 		start := time.Now()
+		log.Debug("experiment start", "experiment", name)
 		if err := all[name](scale); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			log.Error("experiment failed", "experiment", name, "err", err)
 			os.Exit(1)
 		}
 		fmt.Printf("  (%s took %v)\n\n", name, time.Since(start).Round(time.Millisecond))

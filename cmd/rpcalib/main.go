@@ -7,24 +7,38 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
+	"os"
 
 	"rpdbscan/internal/core"
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/metrics"
+	"rpdbscan/internal/obs"
 )
 
 func main() {
 	n := flag.Int("n", 20000, "points")
 	seed := flag.Int64("seed", 1, "seed")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	log, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		slog.Error("rpcalib", "err", err)
+		os.Exit(2)
+	}
+	log = log.With("cmd", "rpcalib")
 	for _, ds := range datagen.Suite(*n, *seed) {
+		log.Debug("probing data set", "dataset", ds.Name)
 		for _, eps := range ds.EpsSweep() {
+			cl := engine.New(8)
+			cl.Sink = obs.NewSink(log)
 			res, err := core.Run(ds.Points, core.Config{
 				Eps: eps, MinPts: ds.MinPts, Rho: 0.01, NumPartitions: 8,
-			}, engine.New(8))
+			}, cl)
 			if err != nil {
-				fmt.Println(ds.Name, err)
+				log.Error("run failed", "dataset", ds.Name, "eps", eps, "err", err)
 				continue
 			}
 			nn := metrics.NumNoise(res.Labels)

@@ -12,19 +12,17 @@ package main
 
 import (
 	"flag"
-	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"strings"
 
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/geom"
+	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rpdatagen: ")
 	dataset := flag.String("dataset", "", "geolife|cosmo|osm|teraclick|moons|blobs|chameleon|mixture (required)")
 	n := flag.Int("n", 20000, "number of points")
 	seed := flag.Int64("seed", 1, "RNG seed")
@@ -34,7 +32,15 @@ func main() {
 	centers := flag.Int("centers", 5, "blobs: number of centres")
 	binary := flag.Bool("binary", false, "write binary format instead of CSV")
 	out := flag.String("o", "", "output path (default stdout)")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+	log, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		slog.Error("rpdatagen", "err", err)
+		os.Exit(2)
+	}
+	log = log.With("cmd", "rpdatagen")
 
 	var pts *geom.Points
 	switch strings.ToLower(*dataset) {
@@ -65,19 +71,20 @@ func main() {
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			log.Fatal(err)
+			log.Error("create output", "err", err)
+			os.Exit(1)
 		}
 		defer f.Close()
 		w = f
 	}
-	var err error
 	if *binary {
 		err = pointio.WriteBinary(w, pts)
 	} else {
 		err = pointio.WriteCSV(w, pts)
 	}
 	if err != nil {
-		log.Fatal(err)
+		log.Error("write points", "err", err)
+		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %d points (%d-d)\n", pts.N(), pts.Dim)
+	log.Info("wrote points", "points", pts.N(), "dim", pts.Dim)
 }

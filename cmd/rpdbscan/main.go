@@ -19,19 +19,22 @@
 //	-algo       rp|esp|rbp|cbp|spark|ng|exact (default rp)
 //	-partitions number of splits (default workers)
 //	-workers    parallel workers (default GOMAXPROCS)
-//	-binary     input is rpdatagen binary format
-//	-labeled    echo coordinates with the label appended
-//	-o          output path (default stdout)
-//	-stats      print phase timings and dictionary stats to stderr
-//	-trace      write the engine report as JSON to this path
+//	-binary       input is rpdatagen binary format
+//	-labeled      echo coordinates with the label appended
+//	-o            output path (default stdout)
+//	-stats        print phase timings and dictionary stats to stderr
+//	-trace        write the engine trace to this path
+//	-trace-format report (engine JSON) or chrome (chrome://tracing timeline)
+//	-log-level    debug|info|warn|error structured log level (stderr)
+//	-log-format   text|json structured log encoding
+//	-debug-addr   serve /debug/pprof and /debug/vars on this address
 package main
 
 import (
 	"bufio"
 	"flag"
-	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"os"
 	"runtime"
 	"strconv"
@@ -45,12 +48,17 @@ import (
 	"rpdbscan/internal/dbscan"
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
+	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
 )
 
+// fatal logs the error through the structured logger and exits.
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("rpdbscan: ")
 	eps := flag.Float64("eps", 0, "DBSCAN radius (required)")
 	minPts := flag.Int("minpts", 0, "DBSCAN core threshold (required)")
 	rho := flag.Float64("rho", 0.01, "approximation rate")
@@ -61,24 +69,41 @@ func main() {
 	labeled := flag.Bool("labeled", false, "echo coordinates with label appended")
 	out := flag.String("o", "", "output path (default stdout)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
-	trace := flag.String("trace", "", "write the engine report as JSON to this path")
+	trace := flag.String("trace", "", "write the engine trace to this path")
+	traceFormat := flag.String("trace-format", "report", "trace encoding: "+obs.TraceFormats)
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	seed := flag.Int64("seed", 1, "partitioning seed")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	log, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		slog.Error("rpdbscan", "err", err)
+		os.Exit(2)
+	}
+	log = log.With("cmd", "rpdbscan")
 	if *eps <= 0 || *minPts < 1 || flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, log); err != nil {
+			fatal(log, "debug server", err)
+		}
+	}
 	pts, err := readInput(flag.Arg(0), *binary)
 	if err != nil {
-		log.Fatal(err)
+		fatal(log, "read input", err)
 	}
+	obs.Counters.PointsRead.Add(int64(pts.N()))
 
 	k := *partitions
 	if k == 0 {
 		k = *workers
 	}
 	cl := engine.New(*workers)
+	cl.Sink = obs.NewSink(log)
 	var labels []int
 	var clusters int
 	switch *algo {
@@ -88,12 +113,21 @@ func main() {
 			NumPartitions: k, Seed: *seed,
 		}, cl)
 		if err != nil {
-			log.Fatal(err)
+			fatal(log, "clustering", err)
 		}
 		labels, clusters = res.Labels, res.NumClusters
+		obs.Counters.CellsBuilt.Add(int64(res.NumCells))
+		if s := cl.Report().Stage("cell-partitioning"); s != nil {
+			obs.Counters.ShuffleBytes.Add(s.Bytes)
+		}
+		for _, s := range cl.Report().Stages {
+			if s.Phase == "III-1" {
+				obs.Counters.MergeOps.Add(int64(len(s.Costs)))
+			}
+		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "dictionary: %d cells, %d sub-cells, %d bytes\n",
-				res.NumCells, res.NumSubCells, res.DictBytes)
+			log.Info("dictionary",
+				"cells", res.NumCells, "sub_cells", res.NumSubCells, "bytes", res.DictBytes)
 		}
 	case "esp", "rbp", "cbp", "spark":
 		cfg := regionsplit.Config{
@@ -117,27 +151,29 @@ func main() {
 		res := dbscan.Run(pts, *eps, *minPts)
 		labels, clusters = res.Labels, res.NumClusters
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		log.Error("unknown algorithm", "algo", *algo)
+		os.Exit(1)
 	}
 
 	if *stats {
-		fmt.Fprintf(os.Stderr, "%d points, %d clusters\n", pts.N(), clusters)
-		fmt.Fprint(os.Stderr, cl.Report())
+		log.Info("run complete", "points", pts.N(), "clusters", clusters)
+		os.Stderr.WriteString(cl.Report().String())
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
-			log.Fatal(err)
+			fatal(log, "create trace file", err)
 		}
-		if err := cl.Report().WriteJSON(f); err != nil {
-			log.Fatal(err)
+		if err := obs.WriteTrace(f, cl.Report(), *traceFormat); err != nil {
+			fatal(log, "write trace", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			fatal(log, "close trace file", err)
 		}
+		log.Info("wrote trace", "path", *trace, "format", *traceFormat)
 	}
 	if err := writeOutput(*out, pts, labels, *labeled); err != nil {
-		log.Fatal(err)
+		fatal(log, "write output", err)
 	}
 }
 

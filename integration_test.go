@@ -7,6 +7,7 @@ package rpdbscan
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -179,6 +180,89 @@ func TestCLIPlot(t *testing.T) {
 	s := string(raw)
 	if !strings.HasPrefix(s, "<svg") || !strings.Contains(s, "<circle") || !strings.Contains(s, "moons") {
 		t.Fatal("rpplot produced malformed SVG")
+	}
+}
+
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTools(t)
+	dir := t.TempDir()
+	data := filepath.Join(dir, "pts.csv")
+	trace := filepath.Join(dir, "trace.json")
+
+	gen := exec.Command(filepath.Join(bin, "rpdatagen"),
+		"-dataset", "moons", "-n", "1200", "-o", data, "-log-format", "json")
+	genErr := &bytes.Buffer{}
+	gen.Stderr = genErr
+	if err := gen.Run(); err != nil {
+		t.Fatalf("rpdatagen: %v\n%s", err, genErr)
+	}
+	// The structured log line must be JSON with the expected fields.
+	var rec map[string]any
+	if err := json.Unmarshal(genErr.Bytes(), &rec); err != nil {
+		t.Fatalf("rpdatagen stderr is not JSON: %v\n%s", err, genErr)
+	}
+	if rec["msg"] != "wrote points" || rec["points"] != float64(1200) {
+		t.Fatalf("unexpected log record: %v", rec)
+	}
+
+	cmd := exec.Command(filepath.Join(bin, "rpdbscan"),
+		"-eps", "0.1", "-minpts", "8", "-workers", "4", "-stats",
+		"-trace", trace, "-trace-format", "chrome",
+		"-log-level", "debug", "-o", filepath.Join(dir, "labels.txt"), data)
+	stderr := &bytes.Buffer{}
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rpdbscan: %v\n%s", err, stderr)
+	}
+	// Debug logging must surface stage events; -stats must print the
+	// bytes column for the dictionary broadcast.
+	logs := stderr.String()
+	for _, want := range []string{"stage start", "stage end", "bytes="} {
+		if !strings.Contains(logs, want) {
+			t.Fatalf("stderr missing %q:\n%s", want, logs)
+		}
+	}
+	// The chrome trace must parse as JSON with begin/end pairs.
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v", err)
+	}
+	begins, ends, lanes := 0, 0, map[int]bool{}
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "B":
+			begins++
+		case "E":
+			ends++
+		case "M":
+			lanes[e.Tid] = true
+		}
+	}
+	if begins == 0 || begins != ends {
+		t.Fatalf("begin/end pairs unbalanced: B=%d E=%d", begins, ends)
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("lane metadata = %d lanes, want 4 (workers)", len(lanes))
+	}
+
+	// An invalid trace format must fail loudly.
+	bad := exec.Command(filepath.Join(bin, "rpdbscan"),
+		"-eps", "0.1", "-minpts", "8", "-trace", trace, "-trace-format", "bogus",
+		"-o", os.DevNull, data)
+	if err := bad.Run(); err == nil {
+		t.Fatal("bogus -trace-format accepted")
 	}
 }
 

@@ -160,7 +160,7 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 	// key — a seeded hash of the cell key, so no coordination is needed
 	// — lands on it (Algorithm 2 lines 5-11).
 	parts := make([]*partState, k)
-	cl.RunStage("I-1", "cell-partitioning", k, func(t int) {
+	shuffle := cl.RunStage("I-1", "cell-partitioning", k, func(t int) {
 		mine := make(map[grid.Key][]int)
 		for _, m := range chunkCells {
 			for key, idx := range m {
@@ -180,6 +180,14 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 		}
 		parts[t] = st
 	})
+	// Account the shuffle payload: every point id crosses the shuffle to
+	// its cell's partition exactly once (8 bytes per id), plus one cell
+	// key per cell.
+	for _, st := range parts {
+		for _, c := range st.cells {
+			shuffle.Bytes += int64(8*len(c.Points) + len(c.Key))
+		}
+	}
 
 	// ---- Phase I-2: cell dictionary building (Algorithm 2, part 2).
 	entriesPer := make([][]dict.CellEntry, k)

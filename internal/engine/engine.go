@@ -34,6 +34,14 @@ type StageStats struct {
 	Wall time.Duration
 	// Bytes optionally accounts payload size (broadcasts, shuffles).
 	Bytes int64
+	// Retries counts failed task attempts that were re-executed (panics
+	// and injected faults).
+	Retries int64
+	// AllocDelta is the growth of cumulative heap allocation
+	// (runtime.MemStats.TotalAlloc) across the stage, in bytes. It is a
+	// process-wide measure: concurrent allocation outside the stage is
+	// attributed to it too.
+	AllocDelta int64
 }
 
 // Total returns the sum of all task costs.
@@ -182,12 +190,21 @@ func MergeOf(workers int, reports ...*Report) *Report {
 	return out
 }
 
-// String formats the report as a per-stage table.
+// String formats the report as a per-stage table. Broadcast/shuffle
+// payload sizes and retry counts are appended only for stages that have
+// them.
 func (r *Report) String() string {
 	out := fmt.Sprintf("report (workers=%d, simulated=%v):\n", r.Workers, r.SimulatedElapsed())
 	for _, s := range r.Stages {
-		out += fmt.Sprintf("  [%-5s] %-28s tasks=%-4d total=%-12v makespan=%-12v imbalance=%.2f\n",
+		out += fmt.Sprintf("  [%-5s] %-28s tasks=%-4d total=%-12v makespan=%-12v imbalance=%.2f",
 			s.Phase, s.Name, len(s.Costs), s.Total(), s.Makespan(r.Workers), s.Imbalance())
+		if s.Bytes > 0 {
+			out += fmt.Sprintf(" bytes=%d", s.Bytes)
+		}
+		if s.Retries > 0 {
+			out += fmt.Sprintf(" retries=%d", s.Retries)
+		}
+		out += "\n"
 	}
 	return out
 }
@@ -214,6 +231,10 @@ type Cluster struct {
 	// returning true makes the attempt fail. It exists for fault-
 	// tolerance testing.
 	FaultInjector func(stage string, task, attempt int) bool
+	// Sink, when set, receives per-task span events (start, end, retry,
+	// fault, broadcast). Nil disables emission at the cost of one nil
+	// check per event site.
+	Sink EventSink
 
 	mu     sync.Mutex
 	report Report
@@ -236,12 +257,16 @@ func (c *Cluster) ExecutorCount() int {
 	return e
 }
 
-// Report returns the accumulated report.
+// Report returns the accumulated report. The stage list is copied so the
+// returned Report is not aliased by stages appended later; the StageStats
+// themselves are shared (they are immutable once appended).
 func (c *Cluster) Report() *Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	rep := c.report
-	rep.Workers = c.Workers
+	rep := Report{
+		Workers: c.Workers,
+		Stages:  append([]*StageStats(nil), c.report.Stages...),
+	}
 	return &rep
 }
 
@@ -257,7 +282,12 @@ func (c *Cluster) Reset() {
 // concurrently from multiple goroutines.
 func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageStats {
 	s := &StageStats{Name: name, Phase: phase, Costs: make([]time.Duration, n)}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	start := time.Now()
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventStageStart, Stage: name, Phase: phase, Task: -1, Time: start})
+	}
 	par := c.Parallelism
 	if par < 1 {
 		par = 1
@@ -265,7 +295,7 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 	if par > n {
 		par = n
 	}
-	var next atomic.Int64
+	var next, retries atomic.Int64
 	var wg sync.WaitGroup
 	var failure atomic.Value // first exhausted-retries failure, if any
 	for g := 0; g < par; g++ {
@@ -278,11 +308,19 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 					return
 				}
 				t0 := time.Now()
-				if err := c.runWithRetry(name, i, fn); err != nil {
+				if c.Sink != nil {
+					c.emit(Event{Kind: EventTaskStart, Stage: name, Phase: phase, Task: i, Time: t0})
+				}
+				attempt, err := c.runWithRetry(phase, name, i, fn, &retries)
+				if err != nil {
 					failure.CompareAndSwap(nil, err)
 					return
 				}
 				s.Costs[i] = time.Since(t0)
+				if c.Sink != nil {
+					c.emit(Event{Kind: EventTaskEnd, Stage: name, Phase: phase, Task: i,
+						Attempt: attempt, Time: time.Now(), Duration: s.Costs[i]})
+				}
 			}
 		}()
 	}
@@ -293,6 +331,14 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 		panic(f)
 	}
 	s.Wall = time.Since(start)
+	s.Retries = retries.Load()
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventStageEnd, Stage: name, Phase: phase, Task: -1,
+			Time: time.Now(), Duration: s.Wall})
+	}
 	c.append(s)
 	return s
 }
@@ -300,32 +346,46 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 // runWithRetry executes task i, re-running it after a panic up to
 // MaxTaskRetries times, the way a MapReduce scheduler re-executes failed
 // tasks. Tasks must therefore be idempotent (every stage in this codebase
-// writes only to its own task's slot). It returns a non-nil error only
-// when retries are exhausted; RunStage turns that into a panic on the
-// caller's goroutine.
-func (c *Cluster) runWithRetry(stage string, i int, fn func(int)) error {
+// writes only to its own task's slot). It returns the attempt that
+// succeeded, or a non-nil error only when retries are exhausted; RunStage
+// turns that into a panic on the caller's goroutine. Each failed attempt
+// that will be re-executed increments retryCount and emits an
+// EventTaskRetry.
+func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int), retryCount *atomic.Int64) (int, error) {
 	retries := c.MaxTaskRetries
 	if retries <= 0 {
 		retries = 2
 	}
 	var err error
 	for attempt := 0; attempt <= retries; attempt++ {
-		if err = c.attempt(stage, i, attempt, fn); err == nil {
-			return nil
+		if err = c.attempt(phase, stage, i, attempt, fn); err == nil {
+			return attempt, nil
+		}
+		if attempt < retries {
+			retryCount.Add(1)
+			if c.Sink != nil {
+				c.emit(Event{Kind: EventTaskRetry, Stage: stage, Phase: phase, Task: i,
+					Attempt: attempt, Time: time.Now(), Err: err})
+			}
 		}
 	}
-	return fmt.Errorf("engine: stage %q task %d failed after %d attempts: %w",
+	return 0, fmt.Errorf("engine: stage %q task %d failed after %d attempts: %w",
 		stage, i, retries+1, err)
 }
 
-func (c *Cluster) attempt(stage string, i, attempt int, fn func(int)) (err error) {
+func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("task panic: %v", r)
 		}
 	}()
 	if c.FaultInjector != nil && c.FaultInjector(stage, i, attempt) {
-		return fmt.Errorf("injected fault (attempt %d)", attempt)
+		err = fmt.Errorf("injected fault (attempt %d)", attempt)
+		if c.Sink != nil {
+			c.emit(Event{Kind: EventTaskFault, Stage: stage, Phase: phase, Task: i,
+				Attempt: attempt, Time: time.Now(), Err: err})
+		}
+		return err
 	}
 	fn(i)
 	return nil
@@ -334,11 +394,23 @@ func (c *Cluster) attempt(stage string, i, attempt int, fn func(int)) (err error
 // Serial measures a single driver-side action as a one-task stage.
 func (c *Cluster) Serial(phase, name string, fn func()) *StageStats {
 	s := &StageStats{Name: name, Phase: phase}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	t0 := time.Now()
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventStageStart, Stage: name, Phase: phase, Task: -1, Time: t0})
+	}
 	fn()
 	d := time.Since(t0)
 	s.Costs = []time.Duration{d}
 	s.Wall = d
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventStageEnd, Stage: name, Phase: phase, Task: -1,
+			Time: time.Now(), Duration: d})
+	}
 	c.append(s)
 	return s
 }
@@ -349,12 +421,21 @@ func (c *Cluster) Serial(phase, name string, fn func()) *StageStats {
 func (c *Cluster) Broadcast(phase, name string, produce func() []byte) []byte {
 	var payload []byte
 	s := &StageStats{Name: name, Phase: phase}
+	var mem0 runtime.MemStats
+	runtime.ReadMemStats(&mem0)
 	t0 := time.Now()
 	payload = produce()
 	d := time.Since(t0)
 	s.Costs = []time.Duration{d}
 	s.Wall = d
 	s.Bytes = int64(len(payload))
+	var mem1 runtime.MemStats
+	runtime.ReadMemStats(&mem1)
+	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventBroadcast, Stage: name, Phase: phase, Task: -1,
+			Time: time.Now(), Duration: d, Bytes: s.Bytes})
+	}
 	c.append(s)
 	return payload
 }

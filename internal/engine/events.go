@@ -1,0 +1,88 @@
+package engine
+
+import "time"
+
+// EventKind discriminates the task-level events a Cluster emits.
+type EventKind int
+
+const (
+	// EventStageStart fires once when a stage begins executing.
+	EventStageStart EventKind = iota
+	// EventStageEnd fires once when a stage completes; Duration carries
+	// the stage wall time and Bytes any accounted payload.
+	EventStageEnd
+	// EventTaskStart fires before a task's first attempt.
+	EventTaskStart
+	// EventTaskEnd fires after a task succeeds; Duration carries the
+	// measured task cost and Attempt the attempt that succeeded.
+	EventTaskEnd
+	// EventTaskRetry fires when an attempt failed and the task will be
+	// re-executed; Err carries the failure.
+	EventTaskRetry
+	// EventTaskFault fires when the FaultInjector failed an attempt
+	// (before the corresponding EventTaskRetry, if any attempts remain).
+	EventTaskFault
+	// EventBroadcast fires when a payload is broadcast; Bytes carries its
+	// size.
+	EventBroadcast
+)
+
+// String names the event kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventStageStart:
+		return "stage-start"
+	case EventStageEnd:
+		return "stage-end"
+	case EventTaskStart:
+		return "task-start"
+	case EventTaskEnd:
+		return "task-end"
+	case EventTaskRetry:
+		return "task-retry"
+	case EventTaskFault:
+		return "task-fault"
+	case EventBroadcast:
+		return "broadcast"
+	}
+	return "unknown"
+}
+
+// Event is one observation of the virtual cluster's execution. Fields not
+// meaningful for a kind are zero (e.g. Task is -1 for stage-level events).
+type Event struct {
+	Kind  EventKind
+	Stage string
+	Phase string
+	// Task is the task index within the stage, or -1 for stage-level
+	// events.
+	Task int
+	// Attempt is the zero-based attempt number (task events only).
+	Attempt int
+	// Time is when the event occurred.
+	Time time.Time
+	// Duration is the measured cost (task-end) or wall time (stage-end).
+	Duration time.Duration
+	// Bytes is the payload size for broadcast and stage-end events.
+	Bytes int64
+	// Err is the failure behind a retry or injected fault.
+	Err error
+}
+
+// EventSink receives execution events from a Cluster. Implementations must
+// be safe for concurrent use: task events are emitted from worker
+// goroutines. A nil sink on the Cluster disables emission entirely; the
+// hot path then costs a single pointer comparison per event site (see
+// BenchmarkRunStageNilSink).
+type EventSink interface {
+	Emit(Event)
+}
+
+// emit sends e to the sink if one is installed. Callers on hot paths
+// should guard with `if c.Sink != nil` themselves to avoid building the
+// Event at all.
+func (c *Cluster) emit(e Event) {
+	if c.Sink != nil {
+		c.Sink.Emit(e)
+	}
+}

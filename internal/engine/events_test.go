@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordSink collects emitted events for assertions.
+type recordSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *recordSink) Emit(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *recordSink) count(k EventKind) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRunStageEmitsTaskSpans(t *testing.T) {
+	sink := &recordSink{}
+	c := New(4)
+	c.Sink = sink
+	c.RunStage("II", "work", 9, func(i int) { time.Sleep(time.Microsecond) })
+	if got := sink.count(EventTaskStart); got != 9 {
+		t.Fatalf("task-start events = %d, want 9", got)
+	}
+	if got := sink.count(EventTaskEnd); got != 9 {
+		t.Fatalf("task-end events = %d, want 9", got)
+	}
+	if sink.count(EventStageStart) != 1 || sink.count(EventStageEnd) != 1 {
+		t.Fatal("stage start/end not emitted exactly once")
+	}
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	for _, e := range sink.events {
+		if e.Stage != "work" || e.Phase != "II" {
+			t.Fatalf("event mislabeled: %+v", e)
+		}
+		if e.Kind == EventTaskEnd && e.Duration <= 0 {
+			t.Fatalf("task-end without duration: %+v", e)
+		}
+	}
+}
+
+func TestFaultInjectorIncrementsRetryCounter(t *testing.T) {
+	sink := &recordSink{}
+	c := New(2)
+	c.Sink = sink
+	// Every task fails its first attempt via the injector.
+	c.FaultInjector = func(stage string, task, attempt int) bool { return attempt == 0 }
+	s := c.RunStage("II", "flaky", 6, func(i int) {})
+	if s.Retries != 6 {
+		t.Fatalf("StageStats.Retries = %d, want 6", s.Retries)
+	}
+	if got := sink.count(EventTaskRetry); got != 6 {
+		t.Fatalf("retry events = %d, want 6", got)
+	}
+	if got := sink.count(EventTaskFault); got != 6 {
+		t.Fatalf("fault events = %d, want 6", got)
+	}
+}
+
+func TestPanicRetryCountsToo(t *testing.T) {
+	c := New(1)
+	first := true
+	s := c.RunStage("II", "panicky", 1, func(i int) {
+		if first {
+			first = false
+			panic("transient")
+		}
+	})
+	if s.Retries != 1 {
+		t.Fatalf("Retries = %d, want 1", s.Retries)
+	}
+}
+
+func TestBroadcastEmitsBytes(t *testing.T) {
+	sink := &recordSink{}
+	c := New(2)
+	c.Sink = sink
+	c.Broadcast("I-2", "dict", func() []byte { return make([]byte, 77) })
+	sink.mu.Lock()
+	defer sink.mu.Unlock()
+	found := false
+	for _, e := range sink.events {
+		if e.Kind == EventBroadcast {
+			found = true
+			if e.Bytes != 77 {
+				t.Fatalf("broadcast bytes = %d, want 77", e.Bytes)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no broadcast event emitted")
+	}
+}
+
+func TestRunStageRecordsAllocDelta(t *testing.T) {
+	c := New(2)
+	var sink [][]byte
+	var mu sync.Mutex
+	s := c.RunStage("II", "alloc", 4, func(i int) {
+		b := make([]byte, 1<<16)
+		mu.Lock()
+		sink = append(sink, b)
+		mu.Unlock()
+	})
+	if s.AllocDelta < 4*(1<<16) {
+		t.Fatalf("AllocDelta = %d, want >= %d", s.AllocDelta, 4*(1<<16))
+	}
+	_ = sink
+}
+
+func TestReportIsDefensiveCopy(t *testing.T) {
+	c := New(2)
+	c.Serial("I", "a", func() {})
+	c.Serial("I", "b", func() {})
+	c.Serial("I", "c", func() {})
+	rep := c.Report()
+	if len(rep.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3", len(rep.Stages))
+	}
+	// With an aliased slice header, the cluster's next append lands in the
+	// snapshot's spare capacity, and a caller-side append to the snapshot
+	// then clobbers the cluster's own stage record. The defensive copy
+	// must isolate the two.
+	c.Serial("I", "d", func() {})
+	rep.Stages = append(rep.Stages, &StageStats{Name: "bogus"})
+	if c.Report().Stage("d") == nil {
+		t.Fatal("caller append to snapshot corrupted the cluster's report")
+	}
+	if c.Report().Stage("bogus") != nil {
+		t.Fatal("caller's bogus stage leaked into the cluster's report")
+	}
+	if len(rep.Stages) != 4 || rep.Stages[3].Name != "bogus" {
+		t.Fatalf("snapshot append misbehaved: %+v", rep.Stages)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EventStageStart, EventStageEnd, EventTaskStart,
+		EventTaskEnd, EventTaskRetry, EventTaskFault, EventBroadcast}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("kind %d has bad or duplicate name %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind not unknown")
+	}
+}
+
+func TestReportStringShowsBytesAndRetries(t *testing.T) {
+	r := &Report{Workers: 2, Stages: []*StageStats{
+		{Name: "dict", Phase: "I-2", Costs: []time.Duration{time.Millisecond}, Bytes: 12345},
+		{Name: "flaky", Phase: "II", Costs: []time.Duration{time.Millisecond}, Retries: 3},
+		{Name: "plain", Phase: "II", Costs: []time.Duration{time.Millisecond}},
+	}}
+	s := r.String()
+	if !contains(s, "bytes=12345") {
+		t.Fatalf("bytes missing from report table:\n%s", s)
+	}
+	if !contains(s, "retries=3") {
+		t.Fatalf("retries missing from report table:\n%s", s)
+	}
+}

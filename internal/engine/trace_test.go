@@ -56,3 +56,75 @@ func TestReadJSONRejectsGarbage(t *testing.T) {
 		t.Fatal("garbage accepted")
 	}
 }
+
+// roundTrip writes r and reads it back, failing the test on either error.
+func roundTrip(t *testing.T, r *Report) *Report {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestTraceRoundTripEmptyReport(t *testing.T) {
+	got := roundTrip(t, &Report{Workers: 3})
+	if got.Workers != 3 || len(got.Stages) != 0 {
+		t.Fatalf("empty report changed: %+v", got)
+	}
+	if got.SimulatedElapsed() != 0 || got.WallElapsed() != 0 {
+		t.Fatal("empty report has nonzero elapsed")
+	}
+}
+
+func TestTraceRoundTripEmptyStage(t *testing.T) {
+	got := roundTrip(t, &Report{Workers: 2, Stages: []*StageStats{
+		{Name: "empty", Phase: "I"},
+	}})
+	s := got.Stage("empty")
+	if s == nil || len(s.Costs) != 0 {
+		t.Fatalf("empty stage corrupted: %+v", s)
+	}
+	if s.Makespan(2) != 0 || s.Imbalance() != 1 {
+		t.Fatalf("empty stage aggregates wrong: makespan=%v imbalance=%v",
+			s.Makespan(2), s.Imbalance())
+	}
+}
+
+func TestTraceRoundTripZeroAndNegativeWorkers(t *testing.T) {
+	for _, w := range []int{0, -5} {
+		r := &Report{Workers: w, Stages: []*StageStats{
+			{Name: "s", Phase: "I", Costs: []time.Duration{4, 2}},
+		}}
+		got := roundTrip(t, r)
+		if got.Workers != w {
+			t.Fatalf("workers %d not preserved: got %d", w, got.Workers)
+		}
+		// Makespan clamps w<1 to 1 on both sides of the round trip.
+		if got.SimulatedElapsed() != r.SimulatedElapsed() {
+			t.Fatalf("workers=%d: elapsed %v != %v", w, got.SimulatedElapsed(), r.SimulatedElapsed())
+		}
+	}
+}
+
+func TestTraceRoundTripPreservesBytesRetriesAlloc(t *testing.T) {
+	r := &Report{Workers: 4, Stages: []*StageStats{
+		{Name: "bcast", Phase: "I-2", Costs: []time.Duration{5}, Bytes: 4096},
+		{Name: "work", Phase: "II", Costs: []time.Duration{1, 2}, Retries: 7, AllocDelta: 1 << 20},
+		{Name: "plain", Phase: "III-1", Costs: []time.Duration{3}},
+	}}
+	got := roundTrip(t, r)
+	if s := got.Stage("bcast"); s == nil || s.Bytes != 4096 {
+		t.Fatalf("bytes lost: %+v", got.Stage("bcast"))
+	}
+	if s := got.Stage("work"); s == nil || s.Retries != 7 || s.AllocDelta != 1<<20 {
+		t.Fatalf("retries/alloc lost: %+v", got.Stage("work"))
+	}
+	if s := got.Stage("plain"); s.Bytes != 0 || s.Retries != 0 || s.AllocDelta != 0 {
+		t.Fatalf("zero fields gained values: %+v", s)
+	}
+}

@@ -14,6 +14,7 @@ package harness
 
 import (
 	"fmt"
+	"log/slog"
 	"time"
 
 	"rpdbscan/internal/baselines/cbp"
@@ -25,6 +26,7 @@ import (
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
+	"rpdbscan/internal/obs"
 )
 
 // Scale sizes the experiments. The paper's absolute scales (up to 4.4
@@ -121,10 +123,13 @@ type AlgoResult struct {
 	SubCells      int
 }
 
-// RunAlgorithm executes one named algorithm over pts.
+// RunAlgorithm executes one named algorithm over pts. The run's cluster
+// feeds the obs event sink, so experiment stages update the expvar
+// counters and log (stage events at debug level) through slog.Default.
 func RunAlgorithm(algo string, pts *geom.Points, eps float64, minPts int, s Scale) (*AlgoResult, error) {
 	s = s.norm()
 	cl := engine.New(s.Workers)
+	cl.Sink = obs.NewSink(slog.Default())
 	out := &AlgoResult{Algorithm: algo, Imbalance: 1}
 	switch algo {
 	case AlgoRP:

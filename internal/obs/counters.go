@@ -1,0 +1,35 @@
+package obs
+
+import "expvar"
+
+// Counters is the process-wide registry of pipeline counters, published
+// under "rpdbscan.*" in expvar (visible at /debug/vars when the debug
+// server runs). All counters are cumulative over the process lifetime;
+// expvar.Int is internally synchronized so any goroutine may Add.
+var Counters = struct {
+	// PointsRead counts input points ingested (file readers, pipeline
+	// entry).
+	PointsRead *expvar.Int
+	// CellsBuilt counts grid cells materialized into cell dictionaries.
+	CellsBuilt *expvar.Int
+	// BroadcastBytes accumulates broadcast payload sizes (the two-level
+	// cell dictionary).
+	BroadcastBytes *expvar.Int
+	// ShuffleBytes accumulates shuffle payload sizes accounted by stages.
+	ShuffleBytes *expvar.Int
+	// TaskRetries counts failed task attempts that were re-executed
+	// (panics and injected faults).
+	TaskRetries *expvar.Int
+	// MergeOps counts cell-graph merge operations (tournament matches).
+	MergeOps *expvar.Int
+	// StagesRun counts engine stages executed.
+	StagesRun *expvar.Int
+}{
+	PointsRead:     expvar.NewInt("rpdbscan.points_read"),
+	CellsBuilt:     expvar.NewInt("rpdbscan.cells_built"),
+	BroadcastBytes: expvar.NewInt("rpdbscan.broadcast_bytes"),
+	ShuffleBytes:   expvar.NewInt("rpdbscan.shuffle_bytes"),
+	TaskRetries:    expvar.NewInt("rpdbscan.task_retries"),
+	MergeOps:       expvar.NewInt("rpdbscan.merge_ops"),
+	StagesRun:      expvar.NewInt("rpdbscan.stages_run"),
+}

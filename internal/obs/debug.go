@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"expvar"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// StartDebugServer serves runtime introspection endpoints on addr:
+// /debug/vars (the expvar registry, including the rpdbscan.* Counters) and
+// /debug/pprof/* (live CPU/heap/goroutine profiling). It returns once the
+// listener is bound, with the server running in a background goroutine, so
+// long pipeline runs can be profiled while they execute. Close the
+// returned server to stop it; a failure to bind is returned immediately.
+//
+// The mux is private — the handlers are mounted explicitly rather than
+// relying on the net/http/pprof and expvar side effects on
+// http.DefaultServeMux, which a library must not touch.
+func StartDebugServer(addr string, log *slog.Logger) (*http.Server, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if log != nil {
+				log.Error("debug server exited", "addr", addr, "err", err)
+			}
+		}
+	}()
+	if log != nil {
+		log.Info("debug server listening", "addr", ln.Addr().String())
+	}
+	return srv, nil
+}

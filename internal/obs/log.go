@@ -1,0 +1,78 @@
+// Package obs is the observability layer of the repository: structured
+// logging (log/slog), per-task event sinks for the virtual cluster,
+// Chrome-trace export of engine reports, an expvar counter registry, and
+// an optional debug HTTP server (pprof + /debug/vars).
+//
+// The package is deliberately dependency-light: it imports the engine (for
+// report and event types) but nothing algorithm-specific, so every layer —
+// core pipeline, harness, CLIs — can use it without cycles.
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// LogConfig selects the level and encoding of the process logger. Zero
+// values mean "info" and "text".
+type LogConfig struct {
+	// Level is debug|info|warn|error.
+	Level string
+	// Format is text|json.
+	Format string
+}
+
+// RegisterFlags installs the standard -log-level and -log-format flags on
+// fs (the process flag set of every CLI).
+func (c *LogConfig) RegisterFlags(fs *flag.FlagSet) {
+	fs.StringVar(&c.Level, "log-level", "info", "log level: debug|info|warn|error")
+	fs.StringVar(&c.Format, "log-format", "text", "log encoding: text|json")
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug|info|warn|error)", s)
+}
+
+// NewLogger builds a slog.Logger writing to w per the config.
+func (c LogConfig) NewLogger(w io.Writer) (*slog.Logger, error) {
+	level, err := ParseLevel(c.Level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(c.Format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("obs: unknown log format %q (want text|json)", c.Format)
+	}
+	return slog.New(h), nil
+}
+
+// Setup builds the logger and installs it as the process default
+// (slog.Default). CLIs call it right after flag.Parse.
+func (c LogConfig) Setup(w io.Writer) (*slog.Logger, error) {
+	l, err := c.NewLogger(w)
+	if err != nil {
+		return nil, err
+	}
+	slog.SetDefault(l)
+	return l, nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+
+	"rpdbscan/internal/engine"
+)
+
+// Sink adapts the engine's event stream to the observability layer: every
+// event updates the expvar Counters, and (when a logger is attached)
+// stage-level events log at Debug, task events at the trace-ish Debug-4,
+// and retries/faults at Warn. A nil *Sink is a valid engine.EventSink and
+// does nothing, so callers can wire it unconditionally.
+type Sink struct {
+	// Logger receives event logs; nil disables logging but keeps
+	// counters.
+	Logger *slog.Logger
+}
+
+// LevelTask is the sub-debug level used for per-task start/end events,
+// which are too chatty for -log-level=debug on large runs.
+const LevelTask = slog.LevelDebug - 4
+
+var _ engine.EventSink = (*Sink)(nil)
+
+// NewSink returns a sink logging through l (which may be nil for
+// counters-only operation).
+func NewSink(l *slog.Logger) *Sink { return &Sink{Logger: l} }
+
+// Emit implements engine.EventSink.
+func (s *Sink) Emit(e engine.Event) {
+	if s == nil {
+		return
+	}
+	switch e.Kind {
+	case engine.EventStageEnd:
+		Counters.StagesRun.Add(1)
+	case engine.EventTaskRetry:
+		Counters.TaskRetries.Add(1)
+	case engine.EventBroadcast:
+		Counters.BroadcastBytes.Add(e.Bytes)
+	}
+	if s.Logger == nil {
+		return
+	}
+	switch e.Kind {
+	case engine.EventStageStart:
+		s.Logger.Debug("stage start", "stage", e.Stage, "phase", e.Phase)
+	case engine.EventStageEnd:
+		s.Logger.Debug("stage end", "stage", e.Stage, "phase", e.Phase, "wall", e.Duration)
+	case engine.EventBroadcast:
+		s.Logger.Debug("broadcast", "stage", e.Stage, "phase", e.Phase,
+			"bytes", e.Bytes, "produce", e.Duration)
+	case engine.EventTaskRetry:
+		s.Logger.Warn("task retry", "stage", e.Stage, "phase", e.Phase,
+			"task", e.Task, "attempt", e.Attempt, "err", e.Err)
+	case engine.EventTaskFault:
+		s.Logger.Warn("injected fault", "stage", e.Stage, "phase", e.Phase,
+			"task", e.Task, "attempt", e.Attempt)
+	case engine.EventTaskStart:
+		s.Logger.Log(context.Background(), LevelTask, "task start", "stage", e.Stage, "task", e.Task)
+	case engine.EventTaskEnd:
+		s.Logger.Log(context.Background(), LevelTask, "task end", "stage", e.Stage, "task", e.Task,
+			"attempt", e.Attempt, "cost", e.Duration)
+	}
+}

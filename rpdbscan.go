@@ -37,6 +37,7 @@ import (
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/metrics"
+	"rpdbscan/internal/obs"
 )
 
 // Noise is the label assigned to points that belong to no cluster.
@@ -150,9 +151,23 @@ func ClusterFlat(coords []float64, dim int, opts Options) (*Result, error) {
 		cfg.Rho = 0.01
 	}
 	cl := engine.New(workers)
+	// Counters-only sink: task retries, stage counts, and broadcast bytes
+	// flow into the obs.Counters expvar registry (no logging unless the
+	// caller installed a debug-level slog default).
+	cl.Sink = obs.NewSink(nil)
 	res, err := core.Run(&geom.Points{Dim: dim, Coords: coords}, cfg, cl)
 	if err != nil {
 		return nil, err
+	}
+	obs.Counters.PointsRead.Add(int64(len(coords) / dim))
+	obs.Counters.CellsBuilt.Add(int64(res.NumCells))
+	if s := res.Report.Stage("cell-partitioning"); s != nil {
+		obs.Counters.ShuffleBytes.Add(s.Bytes)
+	}
+	for _, s := range res.Report.Stages {
+		if s.Phase == "III-1" {
+			obs.Counters.MergeOps.Add(int64(len(s.Costs)))
+		}
 	}
 	out := &Result{
 		Labels:      res.Labels,
