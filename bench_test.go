@@ -157,6 +157,21 @@ func BenchmarkFigure20And21SizeScaling(b *testing.B) {
 	}
 }
 
+func BenchmarkPhase2Batching(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.Phase2(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.RandIndex != 1 {
+				b.Fatalf("mode %s diverged: Rand index %v", r.Mode, r.RandIndex)
+			}
+		}
+	}
+}
+
 // ---- Micro-benchmarks for the hot paths.
 
 // BenchmarkRegionQuery measures one (eps,rho)-region query against a

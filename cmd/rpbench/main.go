@@ -7,7 +7,7 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21, or "all". With no arguments, "all" runs.
+// table8 fig19 fig20 fig21 phase2, or "all". With no arguments, "all" runs.
 //
 // Flags:
 //
@@ -19,11 +19,13 @@
 //	-quick   small preset (n=3000, workers=8) for smoke runs
 //	-svgdir  also render Figures 16/18 as SVG files into this directory
 //	-csvdir  also write machine-readable CSVs into this directory
+//	-phase2out  where the phase2 experiment writes BENCH_phase2.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -49,6 +51,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
+	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,8 +95,9 @@ func main() {
 		"fig19":  fig19,
 		"fig20":  fig20,
 		"fig21":  fig21,
+		"phase2": phase2,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -481,6 +485,38 @@ func fig20(s harness.Scale) error {
 	}
 	for _, r := range rows {
 		fmt.Printf("  x%-3d n=%-9d elapsed=%v\n", r.Multiplier, r.N, r.Elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+// phase2Out is where the phase2 experiment writes its JSON report (empty =
+// skip).
+var phase2Out string
+
+// phase2: Phase II hot-path benchmark — cell-batched region queries vs the
+// per-point oracle on the skewed synthetic mixture.
+func phase2(s harness.Scale) error {
+	header("Phase II: cell-batched vs per-point region queries (skewed mixture)")
+	rows, err := harness.Phase2(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-10s stage=%9.1fms  %10.0f ns/op  %8.3f allocs/op  %12.0f points/sec  RI=%.4f  speedup=%.2fx\n",
+			r.Mode, r.StageMillis, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec, r.RandIndex, r.Speedup)
+		if r.RandIndex != 1 {
+			return fmt.Errorf("phase2: mode %s diverged from batched labels (Rand index %v)", r.Mode, r.RandIndex)
+		}
+	}
+	if phase2Out != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(phase2Out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", phase2Out)
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
+	"slices"
 	"sort"
 
 	"rpdbscan/internal/dict"
@@ -19,17 +19,24 @@ import (
 )
 
 // partitionOf deals a cell to one of k pseudo random partitions: a seeded
-// hash of the cell key, so every mapper computes the same assignment with
-// no coordination (the "random key" of Algorithm 2 line 7).
+// FNV-1a hash of the cell key, so every mapper computes the same
+// assignment with no coordination (the "random key" of Algorithm 2 line
+// 7). The mix is inlined: hash/fnv costs a hasher plus an 8-byte seed
+// buffer allocation per call, and this runs once per cell per mapper. A
+// test pins the inlined hash to hash/fnv's output.
 func partitionOf(key grid.Key, seed int64, k int) int {
-	h := fnv.New64a()
-	var s [8]byte
-	for i := range s {
-		s[i] = byte(seed >> (8 * i))
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 8; i++ {
+		h = (h ^ uint64(byte(seed>>(8*i)))) * prime64
 	}
-	h.Write(s[:])
-	h.Write([]byte(key))
-	return int(h.Sum64() % uint64(k))
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint64(key[i])) * prime64
+	}
+	return int(h % uint64(k))
 }
 
 // Noise is the label assigned to points in no cluster.
@@ -52,6 +59,15 @@ type Config struct {
 	MaxCellsPerSubDict int
 	// Seed drives the pseudo random cell-to-partition assignment.
 	Seed int64
+
+	// DisableBatching answers Phase II region queries per point (the
+	// pre-batching oracle path) instead of per cell. Results are
+	// identical; only cost changes. Ablation / testing knob.
+	DisableBatching bool
+	// DisableIndex makes the dictionary querier scan entries instead of
+	// using its kd-tree index (dict.Querier.DisableIndex). Results are
+	// identical; only cost changes.
+	DisableIndex bool
 }
 
 // Validate checks the configuration.
@@ -145,8 +161,16 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 	params := dict.Params{Eps: cfg.Eps, Rho: cfg.Rho, Dim: dim}
 
 	// ---- Phase I-1: pseudo random partitioning (Algorithm 2, part 1).
-	// Map: chunk the input and assign points to cells.
-	chunkCells := make([]map[grid.Key][]int, k)
+	// Map: chunk the input, assign points to cells, and bucket each cell
+	// by its destination partition. Bucketing on the map side lets each
+	// reducer read only its own column of the [chunk][dest] matrix; the
+	// previous shuffle had all k reducers scan all k chunk maps and
+	// filter, touching every cell k times (O(k^2) in cells).
+	type keyedCell struct {
+		key    grid.Key
+		points []int
+	}
+	buckets := make([][][]keyedCell, k)
 	cl.RunStage("I-1", "cell-assignment", k, func(t int) {
 		lo, hi := t*n/k, (t+1)*n/k
 		m := make(map[grid.Key][]int)
@@ -154,19 +178,22 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 			key := grid.KeyFor(pts.At(i), side)
 			m[key] = append(m[key], i)
 		}
-		chunkCells[t] = m
+		dest := make([][]keyedCell, k)
+		for key, idx := range m {
+			d := partitionOf(key, cfg.Seed, k)
+			dest[d] = append(dest[d], keyedCell{key: key, points: idx})
+		}
+		buckets[t] = dest
 	})
-	// Reduce (shuffle): each partition gathers the cells whose random
-	// key — a seeded hash of the cell key, so no coordination is needed
-	// — lands on it (Algorithm 2 lines 5-11).
+	// Reduce (shuffle): each partition concatenates its column — the
+	// cells whose random key, a seeded hash needing no coordination,
+	// lands on it (Algorithm 2 lines 5-11).
 	parts := make([]*partState, k)
 	shuffle := cl.RunStage("I-1", "cell-partitioning", k, func(t int) {
 		mine := make(map[grid.Key][]int)
-		for _, m := range chunkCells {
-			for key, idx := range m {
-				if partitionOf(key, cfg.Seed, k) == t {
-					mine[key] = append(mine[key], idx...)
-				}
+		for _, dest := range buckets {
+			for _, kc := range dest[t] {
+				mine[kc.key] = append(mine[kc.key], kc.points...)
 			}
 		}
 		keys := make([]grid.Key, 0, len(mine))
@@ -234,47 +261,8 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 	// ---- Phase II: core marking and subgraph building (Algorithm 3).
 	numCells := stats.NumCells
 	cl.RunStage("II", "cell-graph-construction", k, func(t int) {
-		st := parts[t]
-		d := dicts[t%numExec] // tasks on one executor share its copy
-		q := dict.NewQuerier(d)
-		g := graph.New(numCells)
-		st.ids = make([]int32, len(st.cells))
-		st.cellCore = make([]bool, len(st.cells))
-		st.corePts = make([][]int, len(st.cells))
-		var neighborCells []int32
-		nc := make(map[int32]struct{})
-		for ci, cell := range st.cells {
-			id, ok := d.IDOf(cell.Key)
-			if !ok {
-				// Every owned cell is non-empty, so it must be in the
-				// dictionary; reaching here means a broadcast bug.
-				panic("rpdbscan: owned cell missing from dictionary")
-			}
-			st.ids[ci] = id
-			clear(nc)
-			for _, pi := range cell.Points {
-				neighborCells = neighborCells[:0]
-				count, cellsOut := q.Query(pts.At(pi), true, neighborCells)
-				neighborCells = cellsOut
-				if count >= int64(cfg.MinPts) {
-					res.CorePoint[pi] = true
-					st.cellCore[ci] = true
-					st.corePts[ci] = append(st.corePts[ci], pi)
-					for _, nk := range neighborCells {
-						nc[nk] = struct{}{}
-					}
-				}
-			}
-			if st.cellCore[ci] {
-				g.SetVertex(id, graph.Core)
-				for nk := range nc {
-					g.AddEdge(id, nk)
-				}
-			} else {
-				g.SetVertex(id, graph.NonCore)
-			}
-		}
-		st.subgraph = g
+		// Tasks on one executor share its dictionary copy.
+		phase2Task(pts, cfg, parts[t], dicts[t%numExec], numCells, res.CorePoint)
 	})
 	for i := range dicts {
 		dicts[i] = nil // release the executors' dictionary copies
@@ -359,4 +347,98 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 
 	res.Report = cl.Report()
 	return res, nil
+}
+
+// phase2Task runs one partition's share of Phase II — core marking and
+// cell-subgraph building (Algorithm 3) — over the owned cells of st,
+// filling st.ids/cellCore/corePts/subgraph and marking core points in
+// corePoint. The hot path batches region queries at cell granularity
+// (dict.Querier.QueryCell): one index traversal per owned cell, per-point
+// residual checks only against boundary candidates, and an early exit from
+// the core-count scan at MinPts. cfg.DisableBatching selects the per-point
+// oracle path instead; both produce identical output.
+func phase2Task(pts *geom.Points, cfg Config, st *partState, d *dict.Dictionary, numCells int, corePoint []bool) {
+	q := dict.NewQuerier(d)
+	q.DisableBatching = cfg.DisableBatching
+	q.DisableIndex = cfg.DisableIndex
+	g := graph.New(numCells)
+	st.ids = make([]int32, len(st.cells))
+	st.cellCore = make([]bool, len(st.cells))
+	st.corePts = make([][]int, len(st.cells))
+	// Sparse-set dedup of neighbor-cell ids keyed by dense cell id: inNC
+	// flags membership, ncIDs lists members for an O(|NC|) reset. Replaces
+	// a map[int32]struct{} whose hashing and clearing dominated cells with
+	// many core points.
+	inNC := make([]bool, numCells)
+	ncIDs := make([]int32, 0, 64)
+	var neighborCells []int32
+	minPts := int64(cfg.MinPts)
+	for ci, cell := range st.cells {
+		id, ok := d.IDOf(cell.Key)
+		if !ok {
+			// Every owned cell is non-empty, so it must be in the
+			// dictionary; reaching here means a broadcast bug.
+			panic("rpdbscan: owned cell missing from dictionary")
+		}
+		st.ids[ci] = id
+		for _, nid := range ncIDs {
+			inNC[nid] = false
+		}
+		ncIDs = ncIDs[:0]
+		if q.DisableBatching {
+			for _, pi := range cell.Points {
+				count, cellsOut := q.Query(pts.At(pi), true, neighborCells[:0])
+				neighborCells = cellsOut
+				if count >= minPts {
+					corePoint[pi] = true
+					st.cellCore[ci] = true
+					st.corePts[ci] = append(st.corePts[ci], pi)
+					for _, nid := range neighborCells {
+						if !inNC[nid] {
+							inNC[nid] = true
+							ncIDs = append(ncIDs, nid)
+						}
+					}
+				}
+			}
+		} else {
+			b := q.QueryCell(cell.Key)
+			for _, pi := range cell.Points {
+				p := pts.At(pi)
+				if b.CountPoint(p, minPts) < minPts {
+					continue
+				}
+				corePoint[pi] = true
+				st.cellCore[ci] = true
+				st.corePts[ci] = append(st.corePts[ci], pi)
+				neighborCells = b.AppendNeighbors(p, neighborCells[:0])
+				for _, nid := range neighborCells {
+					if !inNC[nid] {
+						inNC[nid] = true
+						ncIDs = append(ncIDs, nid)
+					}
+				}
+			}
+			if st.cellCore[ci] {
+				// Fully-inside candidates neighbor every point of the
+				// cell, so they join NC once, not once per core point.
+				for _, nid := range b.InsideCells() {
+					if !inNC[nid] {
+						inNC[nid] = true
+						ncIDs = append(ncIDs, nid)
+					}
+				}
+			}
+		}
+		if st.cellCore[ci] {
+			g.SetVertex(id, graph.Core)
+			slices.Sort(ncIDs) // deterministic edge insertion order
+			for _, nid := range ncIDs {
+				g.AddEdge(id, nid)
+			}
+		} else {
+			g.SetVertex(id, graph.NonCore)
+		}
+	}
+	st.subgraph = g
 }

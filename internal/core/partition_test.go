@@ -1,0 +1,57 @@
+package core
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/grid"
+)
+
+// fnvPartitionOf is the pre-inlining reference implementation of
+// partitionOf (hash/fnv with a heap-allocated state and seed buffer). The
+// inlined version must assign every key to the same partition, or random
+// partitions — and with them every golden clustering — silently change.
+func fnvPartitionOf(key grid.Key, seed int64, k int) int {
+	h := fnv.New64a()
+	var s [8]byte
+	for i := range s {
+		s[i] = byte(seed >> (8 * i))
+	}
+	h.Write(s[:])
+	h.Write([]byte(key))
+	return int(h.Sum64() % uint64(k))
+}
+
+func TestPartitionOfMatchesFNV(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	seeds := []int64{0, 1, -1, 42, -9_999_999_999, r.Int63(), -r.Int63()}
+	for trial := 0; trial < 2000; trial++ {
+		dim := 1 + r.Intn(6)
+		idx := make([]int32, dim)
+		for i := range idx {
+			idx[i] = int32(r.Intn(2001) - 1000)
+		}
+		key := grid.EncodeKey(idx)
+		seed := seeds[trial%len(seeds)]
+		k := 1 + r.Intn(64)
+		if got, want := partitionOf(key, seed, k), fnvPartitionOf(key, seed, k); got != want {
+			t.Fatalf("partitionOf(%q, %d, %d) = %d, want %d", key, seed, k, got, want)
+		}
+	}
+	// Empty key must hash the seed bytes alone.
+	if got, want := partitionOf(grid.Key(""), 7, 13), fnvPartitionOf(grid.Key(""), 7, 13); got != want {
+		t.Fatalf("empty key: %d, want %d", got, want)
+	}
+}
+
+func BenchmarkPartitionOf(b *testing.B) {
+	key := grid.EncodeKey([]int32{12, -7, 345})
+	b.ReportAllocs()
+	b.ResetTimer()
+	sink := 0
+	for i := 0; i < b.N; i++ {
+		sink += partitionOf(key, 42, 16)
+	}
+	_ = sink
+}

@@ -1,0 +1,71 @@
+package core
+
+// Property-style equivalence of the Phase II hot path: cell-batched region
+// queries (the default) against the per-point oracle (DisableBatching),
+// with and without the kd-tree candidate index, over skewed and uniform
+// data. Batching is a pure evaluation-order change, so Labels and
+// CorePoint must be byte-identical — not merely a Rand index of 1.
+
+import (
+	"fmt"
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/geom"
+)
+
+func assertSameClustering(t *testing.T, name string, base, got *Result) {
+	t.Helper()
+	if len(base.Labels) != len(got.Labels) {
+		t.Fatalf("%s: label length %d != %d", name, len(got.Labels), len(base.Labels))
+	}
+	for i := range base.Labels {
+		if base.Labels[i] != got.Labels[i] {
+			t.Fatalf("%s: Labels[%d] = %d, want %d", name, i, got.Labels[i], base.Labels[i])
+		}
+		if base.CorePoint[i] != got.CorePoint[i] {
+			t.Fatalf("%s: CorePoint[%d] = %v, want %v", name, i, got.CorePoint[i], base.CorePoint[i])
+		}
+	}
+	if base.NumClusters != got.NumClusters {
+		t.Fatalf("%s: NumClusters = %d, want %d", name, got.NumClusters, base.NumClusters)
+	}
+}
+
+func TestPhase2BatchingEquivalence(t *testing.T) {
+	datasets := []struct {
+		name string
+		pts  *geom.Points
+		eps  float64
+	}{
+		{"skewed", datagen.Mixture(datagen.MixtureConfig{
+			N: 4000, Dim: 2, Components: 10, Span: 100, Alpha: 3,
+		}, 21), 5.0},
+		{"uniform", datagen.Mixture(datagen.MixtureConfig{
+			N: 4000, Dim: 2, Components: 1, Span: 60, NoiseFrac: 1,
+		}, 22), 3.0},
+		{"skewed3d", datagen.Mixture(datagen.MixtureConfig{
+			N: 3000, Dim: 3, Components: 6, Span: 40, Alpha: 2,
+		}, 23), 2.5},
+	}
+	for _, ds := range datasets {
+		for _, k := range []int{1, 7} {
+			for _, maxCells := range []int{0, 32} {
+				cfg := Config{
+					Eps: ds.eps, MinPts: 15, Rho: 0.01,
+					NumPartitions: k, MaxCellsPerSubDict: maxCells,
+				}
+				cfg.DisableBatching = true
+				base := run(t, ds.pts, cfg)
+				for _, disableIndex := range []bool{false, true} {
+					got := cfg
+					got.DisableBatching = false
+					got.DisableIndex = disableIndex
+					name := fmt.Sprintf("%s/k=%d/maxCells=%d/noIndex=%v",
+						ds.name, k, maxCells, disableIndex)
+					assertSameClustering(t, name, base, run(t, ds.pts, got))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package dict
+
+// Cell-batched (eps,rho)-region queries. Phase II answers one region query
+// per point, but every point of a cell shares the same candidate-cell set:
+// any cell contributing a qualifying sub-cell to some point of the query
+// cell must have its box within eps of the query cell's box. QueryCell
+// therefore performs ONE index traversal per owned cell, classifies each
+// candidate against the whole cell box — fully inside (the box extension
+// of the Example 5.5 far-corner containment test: every sub-cell centre is
+// within eps of every point of the query cell) or boundary — and the
+// per-point work shrinks to residual checks against boundary candidates
+// plus a precomputed inside total.
+//
+// The classification is conservative in the safe direction only: a
+// candidate that fails the inside test falls back to exactly the per-point
+// arithmetic of Querier.Query, so batched and per-point results are
+// identical (the equivalence tests in this package and internal/core pin
+// this). Query remains unchanged as the correctness oracle; core's
+// DisableBatching ablation flag selects it.
+
+import (
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/grid"
+)
+
+// batchCand is one boundary candidate of a CellBatch: a cell neither
+// provably inside nor provably outside the eps-region of every point of
+// the query cell, so each point runs a residual check against it.
+type batchCand struct {
+	id    int32
+	total int64 // sum of sub-cell counts
+	off   int   // offset of this candidate's cell origin in the arena
+	subs  []SubCell
+	// centers are the candidate's precomputed sub-cell centres (flat,
+	// len(subs)*dim), decoded once at dictionary build time.
+	centers []float64
+}
+
+// CellBatch is the result of one Querier.QueryCell call: the shared
+// candidate set of a whole cell, pre-classified so that per-point queries
+// touch only boundary candidates. It is owned by the querier and reused by
+// the next QueryCell call; it must not be retained across calls or shared
+// between goroutines.
+type CellBatch struct {
+	dim  int
+	side float64
+	eps2 float64
+
+	insideCount int64
+	insideIDs   []int32
+	cands       []batchCand
+	origins     []float64 // flat arena of boundary-candidate cell origins
+	qlo, qhi    []float64 // query cell box, slack-inflated
+}
+
+// InsideCount returns the number of points in fully-inside candidates —
+// counted for every point of the query cell without any per-point work.
+func (b *CellBatch) InsideCount() int64 { return b.insideCount }
+
+// InsideCells returns the ids of fully-inside candidates: neighbor cells
+// of every point of the query cell.
+func (b *CellBatch) InsideCells() []int32 { return b.insideIDs }
+
+// NumBoundary returns the number of boundary candidates (instrumentation).
+func (b *CellBatch) NumBoundary() int { return len(b.cands) }
+
+// QueryCell performs one batched (eps,rho)-region query for the cell key,
+// which must be an owned, non-empty cell of the dictionary's grid. One
+// index traversal per sub-dictionary gathers the candidates shared by all
+// of the cell's points; see the package comment on batch.go for the
+// classification. The returned batch is reused by the next QueryCell call.
+func (q *Querier) QueryCell(key grid.Key) *CellBatch {
+	d := q.d
+	b := &q.batch
+	b.dim, b.side, b.eps2 = d.Dim, d.Side, d.Eps*d.Eps
+	b.insideCount = 0
+	b.insideIDs = b.insideIDs[:0]
+	b.cands = b.cands[:0]
+	b.origins = b.origins[:0]
+	key.Origin(d.Side, b.qlo)
+	// Slack absorbs the floating-point quantisation error of grid.KeyFor:
+	// a point can land a few ulps outside its cell's exact box, and every
+	// batch guarantee quantifies over points inside the (inflated) box.
+	// Inflation is conservative: it can only demote a candidate from
+	// inside to boundary, where exact per-point checks decide.
+	slack := d.Side * 1e-9
+	for i := 0; i < d.Dim; i++ {
+		b.qhi[i] = b.qlo[i] + d.Side + slack
+		b.qlo[i] -= slack
+	}
+	qbox := geom.Box{Min: b.qlo, Max: b.qhi}
+	// Candidate filter: every sub-cell centre of a cell lies inside that
+	// cell's box, so a cell can contribute to some point of the query box
+	// only if its box is within eps of it — equivalently, only if its
+	// centre is within eps of the query box inflated by Side/2. One such
+	// traversal per owned cell replaces one traversal per point.
+	for i := 0; i < d.Dim; i++ {
+		q.inflLo[i] = b.qlo[i] - d.Side/2
+		q.inflHi[i] = b.qhi[i] + d.Side/2
+	}
+	infl := geom.Box{Min: q.inflLo, Max: q.inflHi}
+	eps := d.Eps
+	for _, sd := range d.Subs {
+		if sd.MBR.Empty() {
+			continue
+		}
+		if !q.DisableMBRSkip && sd.MBR.OutsideBox(qbox, eps) {
+			q.SkippedSubDicts++
+			continue // Lemma 5.10, hoisted from point to cell
+		}
+		q.cand = q.cand[:0]
+		if q.DisableIndex {
+			for ei := range sd.Entries {
+				if infl.MinDist2(sd.centers.At(ei)) <= eps*eps {
+					q.cand = append(q.cand, ei)
+				}
+			}
+		} else {
+			q.cand = sd.tree.InBallBox(infl, eps, q.cand)
+		}
+		// Inset for the inside test: sub-cell centres lie at least
+		// SubSide/2 away from their cell's faces, so bmax may bound the
+		// distance to the centre hull rather than the whole box. Without
+		// it the inside class is empty — the grid diagonal equals eps, so
+		// even a cell's own far corner sits exactly at distance eps. The
+		// slack absorbs the FP rounding of the decoded centres.
+		inset := d.SubSide/2 - slack
+		if inset < 0 {
+			inset = 0
+		}
+		for _, ei := range q.cand {
+			e := &sd.Entries[ei]
+			e.Key.Origin(d.Side, q.origin)
+			// Classify against the whole query box. bmin is the squared
+			// box-to-box gap of the full boxes (candidates beyond eps
+			// contribute to no point); bmax bounds, per dimension, every
+			// |p[i]-x[i]| for p in the query box and x in the candidate's
+			// sub-centre hull. bmax <= eps^2 therefore means every centre
+			// qualifies for every point, which yields exactly the oracle's
+			// count and neighbor-cell answers; the slack margins keep that
+			// implication true under floating-point rounding as well.
+			var bmin, bmax float64
+			for i := 0; i < d.Dim; i++ {
+				clo := q.origin[i]
+				chi := clo + d.Side
+				if g := b.qlo[i] - chi; g > 0 {
+					bmin += g * g
+				} else if g := clo - b.qhi[i]; g > 0 {
+					bmin += g * g
+				}
+				hlo := clo + inset
+				hhi := chi - inset
+				m := abs(b.qhi[i] - hlo)
+				if v := abs(hhi - b.qlo[i]); v > m {
+					m = v
+				}
+				if v := abs(b.qlo[i] - hlo); v > m {
+					m = v
+				}
+				if v := abs(hhi - b.qhi[i]); v > m {
+					m = v
+				}
+				bmax += m * m
+			}
+			if bmin > b.eps2 {
+				continue // fully outside: no point of the cell can reach it
+			}
+			var sum int64
+			for _, sc := range e.Subs {
+				sum += int64(sc.Count)
+			}
+			if bmax <= b.eps2 {
+				// Fully inside: every sub-cell centre qualifies for every
+				// point of the query cell.
+				b.insideCount += sum
+				b.insideIDs = append(b.insideIDs, e.ID)
+				continue
+			}
+			b.cands = append(b.cands, batchCand{
+				id:      e.ID,
+				total:   sum,
+				off:     len(b.origins),
+				subs:    e.Subs,
+				centers: sd.SubCenters(ei, d.Dim),
+			})
+			b.origins = append(b.origins, q.origin...)
+		}
+	}
+	return b
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// CountPoint returns the (eps,rho)-region count of p, a point of the batch
+// cell. When stopAt > 0 the boundary scan stops as soon as the count
+// reaches it: callers testing count >= MinPts (Algorithm 3 lines 7-9) need
+// no exact total, and the early exit cannot change the core decision
+// because counts only grow as more candidates are scanned.
+func (b *CellBatch) CountPoint(p []float64, stopAt int64) int64 {
+	count := b.insideCount
+	for ci := range b.cands {
+		if stopAt > 0 && count >= stopAt {
+			return count
+		}
+		count += b.candCount(&b.cands[ci], p)
+	}
+	return count
+}
+
+// candCount runs the per-point residual check against one boundary
+// candidate — the same arithmetic as the per-candidate body of
+// Querier.Query, reading precomputed sub-cell centres.
+func (b *CellBatch) candCount(c *batchCand, p []float64) int64 {
+	origin := b.origins[c.off : c.off+b.dim]
+	var near2, far2 float64
+	for i := 0; i < b.dim; i++ {
+		d1 := p[i] - origin[i]
+		d2 := origin[i] + b.side - p[i]
+		if d1 < 0 {
+			near2 += d1 * d1
+			d1 = -d1
+		} else if d2 < 0 {
+			near2 += d2 * d2
+			d2 = -d2
+		}
+		if d2 > d1 {
+			d1 = d2
+		}
+		far2 += d1 * d1
+	}
+	if near2 > b.eps2 {
+		// The nearest face of the candidate box is beyond eps; every
+		// sub-cell centre (strictly interior) is farther still.
+		return 0
+	}
+	if far2 <= b.eps2 {
+		return c.total // Example 5.5 containment, per point
+	}
+	var n int64
+	dim := b.dim
+	for j := range c.subs {
+		if geom.Dist2(p, c.centers[j*dim:(j+1)*dim]) <= b.eps2 {
+			n += int64(c.subs[j].Count)
+		}
+	}
+	return n
+}
+
+// AppendNeighbors appends to dst the ids of boundary candidates with at
+// least one qualifying sub-cell for p — the residual part of the neighbor
+// cells NC of Algorithm 3 line 13. InsideCells lists the rest, shared by
+// every point of the cell, so callers union the two.
+func (b *CellBatch) AppendNeighbors(p []float64, dst []int32) []int32 {
+	dim := b.dim
+	for ci := range b.cands {
+		c := &b.cands[ci]
+		origin := b.origins[c.off : c.off+dim]
+		var near2, far2 float64
+		for i := 0; i < dim; i++ {
+			d1 := p[i] - origin[i]
+			d2 := origin[i] + b.side - p[i]
+			if d1 < 0 {
+				near2 += d1 * d1
+				d1 = -d1
+			} else if d2 < 0 {
+				near2 += d2 * d2
+				d2 = -d2
+			}
+			if d2 > d1 {
+				d1 = d2
+			}
+			far2 += d1 * d1
+		}
+		if near2 > b.eps2 {
+			continue
+		}
+		if far2 <= b.eps2 {
+			dst = append(dst, c.id) // every cell has >= 1 sub-cell
+			continue
+		}
+		for j := range c.subs {
+			if geom.Dist2(p, c.centers[j*dim:(j+1)*dim]) <= b.eps2 {
+				dst = append(dst, c.id)
+				break
+			}
+		}
+	}
+	return dst
+}

@@ -1,0 +1,74 @@
+package dict
+
+// Micro-benchmarks for the cell-batched Phase II hot path: one full
+// (eps,rho)-region-count pass over a skewed data set, per-point Query vs
+// per-cell QueryCell + CountPoint. Both do identical logical work, so the
+// ratio is the batching speedup in isolation (no graph building, no
+// engine). BenchmarkPhaseII in internal/core covers the full stage.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/grid"
+)
+
+func batchBenchData(b *testing.B) (*geom.Points, *Dictionary, *grid.Grid) {
+	b.Helper()
+	r := rand.New(rand.NewSource(7))
+	pts := skewedPoints(r, 30000, 2, 200)
+	d := buildDict(pts, 4.0, 0.03, 0)
+	g := grid.Build(pts, 4.0)
+	return pts, d, g
+}
+
+func BenchmarkQueryPoint(b *testing.B) {
+	pts, d, g := batchBenchData(b)
+	q := NewQuerier(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range g.Cells {
+			for _, pi := range cell.Points {
+				q.Count(pts.At(pi))
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pts.N()), "ns/point")
+}
+
+func BenchmarkQueryCell(b *testing.B) {
+	pts, d, g := batchBenchData(b)
+	q := NewQuerier(d)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range g.Cells {
+			batch := q.QueryCell(cell.Key)
+			for _, pi := range cell.Points {
+				batch.CountPoint(pts.At(pi), 0)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pts.N()), "ns/point")
+}
+
+// BenchmarkQueryCellEarlyExit measures the MinPts early exit available to
+// core marking (Algorithm 3): the scan stops once the count is decided.
+func BenchmarkQueryCellEarlyExit(b *testing.B) {
+	pts, d, g := batchBenchData(b)
+	q := NewQuerier(d)
+	const minPts = 20
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range g.Cells {
+			batch := q.QueryCell(cell.Key)
+			for _, pi := range cell.Points {
+				batch.CountPoint(pts.At(pi), minPts)
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pts.N()), "ns/point")
+}

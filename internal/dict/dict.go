@@ -46,6 +46,20 @@ type SubDict struct {
 
 	tree    *kdtree.Tree // over cell centres; payload = entry index
 	centers *geom.Points
+
+	// subCenters stores every entry's sub-cell centres decoded once at
+	// build time, flat and entry-major: entry ei's centres occupy
+	// subCenters[subOff[ei]*dim : subOff[ei+1]*dim]. Region queries read
+	// these instead of re-deriving grid.SubCenter per point x per
+	// sub-cell, which dominated the Phase II hot path.
+	subCenters []float64
+	subOff     []int32
+}
+
+// SubCenters returns the flat precomputed sub-cell centres of entry ei,
+// len(Entries[ei].Subs)*dim values, centre j at [j*dim:(j+1)*dim].
+func (sd *SubDict) SubCenters(ei int, dim int) []float64 {
+	return sd.subCenters[int(sd.subOff[ei])*dim : int(sd.subOff[ei+1])*dim]
 }
 
 // Dictionary is the complete two-level cell dictionary.
@@ -202,22 +216,38 @@ func defragment(entries []CellEntry, p Params, maxCells int) [][]CellEntry {
 func newSubDict(entries []CellEntry, d *Dictionary) *SubDict {
 	sd := &SubDict{Entries: entries, MBR: geom.NewBox(d.Dim)}
 	sd.centers = geom.NewPoints(d.Dim, len(entries))
+	numSubs := 0
+	for i := range entries {
+		numSubs += len(entries[i].Subs)
+	}
+	sd.subOff = make([]int32, len(entries)+1)
+	sd.subCenters = make([]float64, 0, numSubs*d.Dim)
 	origin := make([]float64, d.Dim)
 	center := make([]float64, d.Dim)
-	for _, e := range entries {
+	var off int32
+	for ei, e := range entries {
 		e.Key.Origin(d.Side, origin)
 		e.Key.Center(d.Side, center)
 		sd.centers.Append(center)
+		// Decode every sub-cell centre once, here, so region queries read
+		// a flat array instead of unpacking grid.SubCenter per point x
+		// per sub-cell.
+		sd.subOff[ei] = off
+		for _, sc := range e.Subs {
+			grid.SubCenter(sc.Idx, origin, d.SubSide, d.Shift, center)
+			sd.subCenters = append(sd.subCenters, center...)
+		}
+		off += int32(len(e.Subs))
 		// Bound the MBR by the whole cell box rather than the exact
 		// sub-cell centres: a (slightly) larger MBR only makes the
-		// Lemma 5.10 skip test conservative, never wrong, and avoids
-		// decoding every sub-cell position at load time.
+		// Lemma 5.10 skip test conservative, never wrong.
 		sd.MBR.Extend(origin)
 		for i := range center {
 			center[i] = origin[i] + d.Side
 		}
 		sd.MBR.Extend(center)
 	}
+	sd.subOff[len(entries)] = off
 	sd.tree = kdtree.Build(sd.centers, nil)
 	return sd
 }
@@ -276,16 +306,30 @@ type Querier struct {
 	// — the ablation of dictionary defragmentation's benefit. Results
 	// are identical; only cost changes.
 	DisableMBRSkip bool
+	// DisableBatching tells batching-aware callers (core's Phase II) to
+	// answer region queries with the per-point Query path instead of
+	// QueryCell — the ablation that keeps the pre-batching code as the
+	// correctness oracle. Results are identical; only cost changes.
+	DisableBatching bool
+
+	// batch and the infl buffers back QueryCell.
+	batch          CellBatch
+	inflLo, inflHi []float64
 }
 
 // NewQuerier returns a querier for d.
 func NewQuerier(d *Dictionary) *Querier {
-	return &Querier{
+	q := &Querier{
 		d:        d,
 		halfDiag: d.Eps / 2,
 		origin:   make([]float64, d.Dim),
 		center:   make([]float64, d.Dim),
+		inflLo:   make([]float64, d.Dim),
+		inflHi:   make([]float64, d.Dim),
 	}
+	q.batch.qlo = make([]float64, d.Dim)
+	q.batch.qhi = make([]float64, d.Dim)
+	return q
 }
 
 // Query performs an (eps,rho)-region query for point p (Definition 5.1):

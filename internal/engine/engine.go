@@ -42,6 +42,11 @@ type StageStats struct {
 	// process-wide measure: concurrent allocation outside the stage is
 	// attributed to it too.
 	AllocDelta int64
+	// MallocDelta is the growth of the cumulative heap allocation count
+	// (runtime.MemStats.Mallocs) across the stage — the allocs/op
+	// numerator for stage-level benchmark reporting. Process-wide, like
+	// AllocDelta.
+	MallocDelta int64
 }
 
 // Total returns the sum of all task costs.
@@ -335,6 +340,7 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	s.MallocDelta = int64(mem1.Mallocs - mem0.Mallocs)
 	if c.Sink != nil {
 		c.emit(Event{Kind: EventStageEnd, Stage: name, Phase: phase, Task: -1,
 			Time: time.Now(), Duration: s.Wall})
@@ -407,6 +413,7 @@ func (c *Cluster) Serial(phase, name string, fn func()) *StageStats {
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	s.MallocDelta = int64(mem1.Mallocs - mem0.Mallocs)
 	if c.Sink != nil {
 		c.emit(Event{Kind: EventStageEnd, Stage: name, Phase: phase, Task: -1,
 			Time: time.Now(), Duration: d})
@@ -432,6 +439,7 @@ func (c *Cluster) Broadcast(phase, name string, produce func() []byte) []byte {
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
+	s.MallocDelta = int64(mem1.Mallocs - mem0.Mallocs)
 	if c.Sink != nil {
 		c.emit(Event{Kind: EventBroadcast, Stage: name, Phase: phase, Task: -1,
 			Time: time.Now(), Duration: d, Bytes: s.Bytes})

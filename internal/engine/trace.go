@@ -15,15 +15,16 @@ type traceDTO struct {
 }
 
 type traceStageDTO struct {
-	Name       string  `json:"name"`
-	Phase      string  `json:"phase"`
-	TaskCosts  []int64 `json:"task_costs_ns"`
-	Wall       int64   `json:"wall_ns"`
-	Makespan   int64   `json:"makespan_ns"`
-	Imbalance  float64 `json:"imbalance"`
-	Bytes      int64   `json:"bytes,omitempty"`
-	Retries    int64   `json:"retries,omitempty"`
-	AllocDelta int64   `json:"alloc_delta_bytes,omitempty"`
+	Name        string  `json:"name"`
+	Phase       string  `json:"phase"`
+	TaskCosts   []int64 `json:"task_costs_ns"`
+	Wall        int64   `json:"wall_ns"`
+	Makespan    int64   `json:"makespan_ns"`
+	Imbalance   float64 `json:"imbalance"`
+	Bytes       int64   `json:"bytes,omitempty"`
+	Retries     int64   `json:"retries,omitempty"`
+	AllocDelta  int64   `json:"alloc_delta_bytes,omitempty"`
+	MallocDelta int64   `json:"malloc_delta,omitempty"`
 }
 
 // WriteJSON exports the report — per-stage task costs, makespans, and
@@ -36,15 +37,16 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	}
 	for _, s := range r.Stages {
 		st := traceStageDTO{
-			Name:       s.Name,
-			Phase:      s.Phase,
-			TaskCosts:  make([]int64, len(s.Costs)),
-			Wall:       int64(s.Wall),
-			Makespan:   int64(s.Makespan(r.Workers)),
-			Imbalance:  s.Imbalance(),
-			Bytes:      s.Bytes,
-			Retries:    s.Retries,
-			AllocDelta: s.AllocDelta,
+			Name:        s.Name,
+			Phase:       s.Phase,
+			TaskCosts:   make([]int64, len(s.Costs)),
+			Wall:        int64(s.Wall),
+			Makespan:    int64(s.Makespan(r.Workers)),
+			Imbalance:   s.Imbalance(),
+			Bytes:       s.Bytes,
+			Retries:     s.Retries,
+			AllocDelta:  s.AllocDelta,
+			MallocDelta: s.MallocDelta,
 		}
 		for i, c := range s.Costs {
 			st.TaskCosts[i] = int64(c)
@@ -66,13 +68,14 @@ func ReadJSON(r io.Reader) (*Report, error) {
 	rep := &Report{Workers: dto.Workers}
 	for _, st := range dto.Stages {
 		stage := &StageStats{
-			Name:       st.Name,
-			Phase:      st.Phase,
-			Wall:       time.Duration(st.Wall),
-			Bytes:      st.Bytes,
-			Retries:    st.Retries,
-			AllocDelta: st.AllocDelta,
-			Costs:      make([]time.Duration, len(st.TaskCosts)),
+			Name:        st.Name,
+			Phase:       st.Phase,
+			Wall:        time.Duration(st.Wall),
+			Bytes:       st.Bytes,
+			Retries:     st.Retries,
+			AllocDelta:  st.AllocDelta,
+			MallocDelta: st.MallocDelta,
+			Costs:       make([]time.Duration, len(st.TaskCosts)),
 		}
 		for i, c := range st.TaskCosts {
 			stage.Costs[i] = time.Duration(c)

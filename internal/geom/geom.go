@@ -205,3 +205,51 @@ func (b Box) Outside(p []float64, eps float64) bool {
 	}
 	return false
 }
+
+// OutsideBox reports whether the two boxes are farther than eps apart along
+// at least one coordinate — the box-level generalisation of Outside used by
+// cell-batched region queries: no point of o can be within eps of any point
+// of b when the test holds.
+func (b Box) OutsideBox(o Box, eps float64) bool {
+	for i := range b.Min {
+		if b.Max[i] < o.Min[i]-eps || b.Min[i] > o.Max[i]+eps {
+			return true
+		}
+	}
+	return false
+}
+
+// BoxMinDist2 returns the squared distance between the nearest pair of
+// points of the two boxes (zero when they intersect).
+func (b Box) BoxMinDist2(o Box) float64 {
+	var s float64
+	for i := range b.Min {
+		if d := o.Min[i] - b.Max[i]; d > 0 {
+			s += d * d
+		} else if d := b.Min[i] - o.Max[i]; d > 0 {
+			s += d * d
+		}
+	}
+	return s
+}
+
+// BoxMaxDist2 returns the squared distance between the farthest pair of
+// points of the two boxes.
+func (b Box) BoxMaxDist2(o Box) float64 {
+	var s float64
+	for i := range b.Min {
+		d1 := b.Max[i] - o.Min[i]
+		d2 := o.Max[i] - b.Min[i]
+		if d1 < 0 {
+			d1 = -d1
+		}
+		if d2 < 0 {
+			d2 = -d2
+		}
+		if d2 > d1 {
+			d1 = d2
+		}
+		s += d1 * d1
+	}
+	return s
+}

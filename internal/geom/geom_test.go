@@ -170,3 +170,69 @@ func TestOutsideImpliesFarProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBoxBoxDistances(t *testing.T) {
+	a := Box{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	b := Box{Min: []float64{3, 0}, Max: []float64{4, 1}}
+	if got := a.BoxMinDist2(b); got != 4 {
+		t.Fatalf("BoxMinDist2 disjoint = %g, want 4", got)
+	}
+	if got := a.BoxMaxDist2(b); got != 16+1 {
+		t.Fatalf("BoxMaxDist2 disjoint = %g, want 17", got)
+	}
+	c := Box{Min: []float64{0.5, 0.5}, Max: []float64{2, 2}}
+	if got := a.BoxMinDist2(c); got != 0 {
+		t.Fatalf("BoxMinDist2 overlapping = %g, want 0", got)
+	}
+	if got := a.BoxMaxDist2(c); got != 8 {
+		t.Fatalf("BoxMaxDist2 overlapping = %g, want 8", got)
+	}
+	if a.OutsideBox(b, 1.9) != true {
+		t.Fatal("OutsideBox: gap 2 > eps 1.9 not detected")
+	}
+	if a.OutsideBox(b, 2.0) != false {
+		t.Fatal("OutsideBox: gap 2 <= eps 2 misreported")
+	}
+}
+
+// Property: box-to-box min/max distances sandwich the distance between any
+// pair of contained points, and OutsideBox implies every pair is farther
+// than eps apart.
+func TestBoxBoxDistSandwichProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		dim := 1 + r.Intn(4)
+		mk := func() (Box, []float64) {
+			b := NewBox(dim)
+			var inside []float64
+			lo, hi := make([]float64, dim), make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				x, y := r.Float64()*10-5, r.Float64()*10-5
+				if x > y {
+					x, y = y, x
+				}
+				lo[i], hi[i] = x, y
+			}
+			b.Extend(lo)
+			b.Extend(hi)
+			inside = make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				inside[i] = lo[i] + r.Float64()*(hi[i]-lo[i])
+			}
+			return b, inside
+		}
+		a, pa := mk()
+		b, pb := mk()
+		d2 := Dist2(pa, pb)
+		if min := a.BoxMinDist2(b); d2 < min-1e-12 {
+			t.Fatalf("point pair closer (%g) than BoxMinDist2 (%g)", d2, min)
+		}
+		if max := a.BoxMaxDist2(b); d2 > max+1e-12 {
+			t.Fatalf("point pair farther (%g) than BoxMaxDist2 (%g)", d2, max)
+		}
+		eps := r.Float64() * 3
+		if a.OutsideBox(b, eps) && Dist2(pa, pb) <= eps*eps {
+			t.Fatal("OutsideBox true but contained points within eps")
+		}
+	}
+}

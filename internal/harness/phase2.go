@@ -1,0 +1,119 @@
+package harness
+
+// Phase II hot-path benchmark: cell-batched region queries (dict.QueryCell)
+// against the per-point oracle (core.Config.DisableBatching) on the
+// appendix's skewed mixture. The contrast isolates one stage —
+// cell-graph-construction (Algorithm 3) — via the engine's per-stage
+// accounting; clusterings must stay byte-identical (Rand index 1.0), since
+// batching only reorders evaluation. cmd/rpbench serialises the rows as
+// BENCH_phase2.json; BenchmarkPhaseII in internal/core is the testing.B
+// counterpart.
+
+import (
+	"fmt"
+	"log/slog"
+	"time"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/metrics"
+	"rpdbscan/internal/obs"
+)
+
+// phase2Stage is the engine stage name Phase II runs under.
+const phase2Stage = "cell-graph-construction"
+
+// phase2Rounds is how many times each mode runs; the fastest round is
+// reported, testing.B-style, to shed scheduler noise.
+const phase2Rounds = 3
+
+// Phase2Row reports the Phase II stage cost of one query mode.
+type Phase2Row struct {
+	// Mode is "batched" (cell-batched queries, the default path) or
+	// "per-point" (the pre-batching oracle).
+	Mode string `json:"mode"`
+	N    int    `json:"n"`
+	Dim  int    `json:"dim"`
+	// StageMillis is the summed task time of the Phase II stage across
+	// all partitions (fastest of phase2Rounds runs).
+	StageMillis float64 `json:"stage_millis"`
+	// NsPerOp is stage time per region query; one query per point.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the stage's heap-allocation count per point
+	// (process-wide Mallocs delta, so an upper bound).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// PointsPerSec is the stage's region-query throughput.
+	PointsPerSec float64 `json:"points_per_sec"`
+	// RandIndex compares this mode's clustering against the batched
+	// run's; any value other than 1 is a correctness bug.
+	RandIndex float64 `json:"rand_index"`
+	// Speedup is the per-point stage time divided by this mode's (1 for
+	// the per-point row itself).
+	Speedup float64 `json:"speedup"`
+}
+
+// Phase2 benchmarks the Phase II hot path on the skewed synthetic mixture
+// (alpha = 3, ten components): one row per query mode.
+func Phase2(s Scale) ([]Phase2Row, error) {
+	s = s.norm()
+	pts := synthMixture(s.N, 2, 3, s.Seed)
+	cfg := core.Config{
+		Eps: synthEps, MinPts: s.minPtsFor(20), Rho: s.Rho,
+		NumPartitions: s.Partitions, Seed: s.Seed,
+	}
+	type modeOut struct {
+		stage  time.Duration
+		allocs int64
+		labels []int
+	}
+	measure := func(disableBatching bool) (modeOut, error) {
+		var out modeOut
+		for round := 0; round < phase2Rounds; round++ {
+			mcfg := cfg
+			mcfg.DisableBatching = disableBatching
+			cl := engine.New(s.Workers)
+			cl.Sink = obs.NewSink(slog.Default())
+			res, err := core.Run(pts, mcfg, cl)
+			if err != nil {
+				return out, err
+			}
+			st := res.Report.Stage(phase2Stage)
+			if st == nil {
+				return out, fmt.Errorf("harness: stage %q missing from report", phase2Stage)
+			}
+			if round == 0 || st.Total() < out.stage {
+				out.stage = st.Total()
+				out.allocs = st.MallocDelta
+			}
+			out.labels = res.Labels
+		}
+		return out, nil
+	}
+	batched, err := measure(false)
+	if err != nil {
+		return nil, err
+	}
+	perPoint, err := measure(true)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(pts.N())
+	row := func(mode string, m modeOut) Phase2Row {
+		sec := m.stage.Seconds()
+		r := Phase2Row{
+			Mode: mode, N: pts.N(), Dim: pts.Dim,
+			StageMillis: float64(m.stage.Microseconds()) / 1e3,
+			NsPerOp:     float64(m.stage.Nanoseconds()) / n,
+			AllocsPerOp: float64(m.allocs) / n,
+			RandIndex:   metrics.RandIndex(batched.labels, m.labels),
+		}
+		if sec > 0 {
+			r.PointsPerSec = n / sec
+		}
+		if m.stage > 0 {
+			r.Speedup = float64(perPoint.stage) / float64(m.stage)
+		}
+		return r
+	}
+	return []Phase2Row{row("batched", batched), row("per-point", perPoint)}, nil
+}

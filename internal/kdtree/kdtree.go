@@ -176,6 +176,37 @@ func (t *Tree) inBall(ni int, q []float64, r2 float64, dst []int) []int {
 	return dst
 }
 
+// InBallBox appends to dst the payloads of all points within distance r of
+// the box b (its nearest face, or zero when inside) and returns the
+// extended slice. It is the cell-batched variant of InBall: one traversal
+// gathers the candidates shared by every query point inside b, so callers
+// amortise the index walk over a whole cell instead of paying it per point.
+// Like InBall it allocates nothing when dst has capacity.
+func (t *Tree) InBallBox(b geom.Box, r float64, dst []int) []int {
+	if t.root < 0 || b.Empty() {
+		return dst
+	}
+	return t.inBallBox(t.root, b, r*r, dst)
+}
+
+func (t *Tree) inBallBox(ni int, b geom.Box, r2 float64, dst []int) []int {
+	nd := &t.nodes[ni]
+	if nd.bounds.BoxMinDist2(b) > r2 {
+		return dst
+	}
+	if nd.count > 0 || nd.left < 0 {
+		for i := nd.start; i < nd.start+nd.count; i++ {
+			if b.MinDist2(t.at(i)) <= r2 {
+				dst = append(dst, t.items[i])
+			}
+		}
+		return dst
+	}
+	dst = t.inBallBox(nd.left, b, r2, dst)
+	dst = t.inBallBox(nd.right, b, r2, dst)
+	return dst
+}
+
 // Visit calls fn for every payload whose point is within radius r of q. It
 // avoids the allocation of InBall when the caller only needs to iterate.
 func (t *Tree) Visit(q []float64, r float64, fn func(payload int)) {

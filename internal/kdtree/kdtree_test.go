@@ -150,3 +150,65 @@ func TestInBallProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestInBallBoxMatchesBrute checks the box-ball query against a brute-force
+// scan: every point within r of the box, nothing else, zero allocations
+// when dst has capacity.
+func TestInBallBoxMatchesBrute(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		dim := 1 + r.Intn(3)
+		pts := randomPoints(r, 50+r.Intn(400), dim)
+		tr := Build(pts, nil)
+		b := geom.NewBox(dim)
+		lo, hi := make([]float64, dim), make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			x, y := r.Float64()*20-10, r.Float64()*20-10
+			if x > y {
+				x, y = y, x
+			}
+			lo[i], hi[i] = x, y
+		}
+		b.Extend(lo)
+		b.Extend(hi)
+		rad := r.Float64() * 4
+		got := tr.InBallBox(b, rad, nil)
+		var want []int
+		for i := 0; i < pts.N(); i++ {
+			if b.MinDist2(pts.At(i)) <= rad*rad {
+				want = append(want, i)
+			}
+		}
+		sort.Ints(got)
+		if len(got) != len(want) {
+			t.Fatalf("dim=%d: got %d points, want %d", dim, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("dim=%d: result %d = %d, want %d", dim, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestInBallBoxEmptyAndReuse(t *testing.T) {
+	tr := Build(geom.NewPoints(2, 0), nil)
+	b := geom.NewBox(2)
+	b.Extend([]float64{0, 0})
+	if got := tr.InBallBox(b, 1, nil); len(got) != 0 {
+		t.Fatalf("empty tree returned %v", got)
+	}
+	r := rand.New(rand.NewSource(22))
+	pts := randomPoints(r, 200, 2)
+	tr = Build(pts, nil)
+	if got := tr.InBallBox(geom.NewBox(2), 1, nil); len(got) != 0 {
+		t.Fatalf("empty box returned %v", got)
+	}
+	// dst reuse: a second query must append after truncation, not alias.
+	dst := make([]int, 0, 256)
+	a := tr.InBallBox(b, 3, dst)
+	bb := tr.InBallBox(b, 3, dst[:0])
+	if len(a) != len(bb) {
+		t.Fatalf("reused dst changed result: %d vs %d", len(a), len(bb))
+	}
+}
