@@ -30,6 +30,7 @@ experiments:
 
 fuzz:
 	$(GO) test -fuzz FuzzDecode -fuzztime 30s ./internal/dict/
+	$(GO) test -fuzz FuzzQueryCellEquivalence -fuzztime 30s ./internal/dict/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/pointio/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/pointio/
 

@@ -7,7 +7,8 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2, or "all". With no arguments, "all" runs.
+// table8 fig19 fig20 fig21 phase2 chaos, or "all". With no arguments, "all"
+// runs.
 //
 // Flags:
 //
@@ -20,6 +21,7 @@
 //	-svgdir  also render Figures 16/18 as SVG files into this directory
 //	-csvdir  also write machine-readable CSVs into this directory
 //	-phase2out  where the phase2 experiment writes BENCH_phase2.json ("" skips)
+//	-chaosout   where the chaos experiment writes BENCH_chaos.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
 package main
@@ -52,6 +54,7 @@ func main() {
 	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
 	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -96,8 +99,9 @@ func main() {
 		"fig20":  fig20,
 		"fig21":  fig21,
 		"phase2": phase2,
+		"chaos":  chaosExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -519,6 +523,53 @@ func phase2(s harness.Scale) error {
 		fmt.Printf("  wrote %s\n", phase2Out)
 	}
 	return nil
+}
+
+// chaosOut is where the chaos experiment writes its JSON report (empty =
+// skip).
+var chaosOut string
+
+// chaosExp: fault-injection sweep — clustering equivalence and bounded
+// makespan degradation under deterministic chaos.
+func chaosExp(s harness.Scale) error {
+	header("Chaos: clustering under deterministic fault injection")
+	rows, err := harness.Chaos(s, harness.DefaultChaosConfig())
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  rate=%.2f seed=%d w=%-3d identical=%-5v accounted=%-5v inj=%-4d cksum=%-4d spec=%d/%d sim=%9.1fms base=%9.1fms bound=%9.1fms\n",
+			r.Rate, r.Seed, r.Workers, r.Identical, r.Accounted,
+			r.InjectedFailures, r.ChecksumRejects, r.SpeculativeLaunches, r.SpeculativeWins,
+			r.SimulatedMillis, r.BaselineMillis, r.BoundMillis)
+		if !r.Identical {
+			return fmt.Errorf("chaos: rate=%.2f seed=%d workers=%d diverged from fault-free clustering",
+				r.Rate, r.Seed, r.Workers)
+		}
+		if !r.Accounted {
+			return fmt.Errorf("chaos: rate=%.2f seed=%d workers=%d fault ledger does not reconcile",
+				r.Rate, r.Seed, r.Workers)
+		}
+	}
+	if chaosOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chaosOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", chaosOut)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%.2f,%d,%d,%v,%v,%d,%d,%d,%d,%.3f,%.3f,%.3f",
+			r.Rate, r.Seed, r.Workers, r.Identical, r.Accounted, r.InjectedFailures,
+			r.ChecksumRejects, r.SpeculativeLaunches, r.SpeculativeWins,
+			r.SimulatedMillis, r.BaselineMillis, r.BoundMillis))
+	}
+	return writeCSV("chaos.csv",
+		"rate,seed,workers,identical,accounted,injected_failures,checksum_rejects,spec_launches,spec_wins,simulated_ms,baseline_ms,bound_ms", lines)
 }
 
 func fig21(s harness.Scale) error {

@@ -28,6 +28,14 @@
 //	-log-level    debug|info|warn|error structured log level (stderr)
 //	-log-format   text|json structured log encoding
 //	-debug-addr   serve /debug/pprof and /debug/vars on this address
+//
+// Chaos flags (deterministic fault injection; results must be identical):
+//
+//	-chaos-fail      probability of failing a task attempt
+//	-chaos-straggler probability of inflating a task into a straggler
+//	-chaos-corrupt   probability of corrupting a payload chunk in transit
+//	-chaos-delay     virtual straggler inflation (default 20ms)
+//	-chaos-seed      seed for the injected fault schedule
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"rpdbscan/internal/baselines/ngdbscan"
 	"rpdbscan/internal/baselines/rbp"
 	"rpdbscan/internal/baselines/regionsplit"
+	"rpdbscan/internal/chaos"
 	"rpdbscan/internal/core"
 	"rpdbscan/internal/dbscan"
 	"rpdbscan/internal/engine"
@@ -73,6 +82,11 @@ func main() {
 	traceFormat := flag.String("trace-format", "report", "trace encoding: "+obs.TraceFormats)
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
 	seed := flag.Int64("seed", 1, "partitioning seed")
+	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of failing a task attempt")
+	chaosStraggler := flag.Float64("chaos-straggler", 0, "chaos: probability of inflating a task into a straggler")
+	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "chaos: probability of corrupting a payload chunk")
+	chaosDelay := flag.Duration("chaos-delay", 0, "chaos: virtual straggler inflation (default 20ms)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -104,6 +118,18 @@ func main() {
 	}
 	cl := engine.New(*workers)
 	cl.Sink = obs.NewSink(log)
+	if *chaosFail > 0 || *chaosStraggler > 0 || *chaosCorrupt > 0 {
+		inj, err := chaos.New(chaos.Config{
+			Seed: *chaosSeed, FailProb: *chaosFail, StragglerProb: *chaosStraggler,
+			CorruptProb: *chaosCorrupt, StragglerDelay: *chaosDelay,
+		})
+		if err != nil {
+			fatal(log, "chaos config", err)
+		}
+		cl.Injector = inj
+		log.Info("chaos enabled", "seed", *chaosSeed, "fail", *chaosFail,
+			"straggler", *chaosStraggler, "corrupt", *chaosCorrupt)
+	}
 	var labels []int
 	var clusters int
 	switch *algo {

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/rpdbscan -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMain lets the test binary impersonate the real CLI: a child process
+// spawned with RPDBSCAN_BE_CLI=1 runs main() against its own arguments, so
+// the golden test exercises the actual flag parsing, I/O, and exit paths
+// without a separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("RPDBSCAN_BE_CLI") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI invokes the CLI (this test binary re-executed) with args.
+func runCLI(t *testing.T, args ...string) (stdout, stderr []byte) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "RPDBSCAN_BE_CLI=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("cli %v failed: %v\nstderr:\n%s", args, err, errb.Bytes())
+	}
+	return out.Bytes(), errb.Bytes()
+}
+
+var fixtureArgs = []string{
+	"-eps", "0.3", "-minpts", "4", "-workers", "4", "-partitions", "4",
+	"-seed", "1", filepath.Join("testdata", "two_blobs.csv"),
+}
+
+// TestGoldenLabels pins the CLI's exact output on a checked-in fixture:
+// the full label stream and the report fields that must stay stable
+// (clusters found, points read). Any diff is either a real regression or
+// an intentional change, in which case re-run with -update and review the
+// golden diff.
+func TestGoldenLabels(t *testing.T) {
+	golden := filepath.Join("testdata", "two_blobs.labels.golden")
+	out, _ := runCLI(t, fixtureArgs...)
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("labels diverged from %s:\n got %d bytes\nwant %d bytes\n(review and re-run with -update if intentional)",
+			golden, len(out), len(want))
+	}
+	// Pin the report-level facts too: exactly 2 clusters over 65 points.
+	labels := map[string]int{}
+	n := 0
+	for _, line := range bytes.Split(bytes.TrimSpace(out), []byte("\n")) {
+		labels[string(line)]++
+		n++
+	}
+	if n != 65 {
+		t.Fatalf("wrote %d labels, want 65", n)
+	}
+	clusters := 0
+	for l := range labels {
+		if l != "-1" {
+			clusters++
+		}
+	}
+	if clusters != 2 {
+		t.Fatalf("fixture clustered into %d clusters, want 2 (labels seen: %v)", clusters, labels)
+	}
+	if labels["-1"] == 0 || labels["-1"] > 10 {
+		t.Fatalf("noise count %d implausible for the fixture", labels["-1"])
+	}
+}
+
+// TestGoldenTraceReport pins the stage structure of the engine report the
+// CLI exports: stage names and phases are part of the observable contract
+// (dashboards and the chrome trace key off them).
+func TestGoldenTraceReport(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	args := append([]string{"-trace", tracePath, "-o", filepath.Join(t.TempDir(), "labels")}, fixtureArgs...)
+	runCLI(t, args...)
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dto struct {
+		Workers int `json:"workers"`
+		Stages  []struct {
+			Name  string `json:"name"`
+			Phase string `json:"phase"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(data, &dto); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if dto.Workers != 4 {
+		t.Fatalf("trace workers = %d, want 4", dto.Workers)
+	}
+	want := []string{
+		"cell-partitioning", "dictionary-build", "dictionary-broadcast",
+		"dictionary-load", "cell-graph-construction",
+	}
+	have := map[string]bool{}
+	for _, s := range dto.Stages {
+		have[s.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Fatalf("stage %q missing from trace (stages: %+v)", name, dto.Stages)
+		}
+	}
+}
+
+// TestChaosFlagsPreserveOutput is the CLI-level differential check: chaos
+// flags must not change a single output byte.
+func TestChaosFlagsPreserveOutput(t *testing.T) {
+	clean, _ := runCLI(t, fixtureArgs...)
+	chaotic, stderr := runCLI(t, append([]string{
+		"-chaos-fail", "0.3", "-chaos-straggler", "0.3", "-chaos-corrupt", "0.3",
+		"-chaos-seed", "9",
+	}, fixtureArgs...)...)
+	if !bytes.Equal(clean, chaotic) {
+		t.Fatalf("chaos flags changed the output labels\nstderr:\n%s", stderr)
+	}
+	if !bytes.Contains(stderr, []byte("chaos enabled")) {
+		t.Fatalf("chaos not announced on stderr:\n%s", stderr)
+	}
+}

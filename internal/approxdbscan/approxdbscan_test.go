@@ -9,6 +9,8 @@ import (
 	"rpdbscan/internal/dbscan"
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/metrics"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestEmpty(t *testing.T) {
@@ -62,7 +64,7 @@ func TestEquivalenceProperty(t *testing.T) {
 		}
 		return false
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(1))}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 1, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

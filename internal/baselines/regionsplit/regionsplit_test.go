@@ -14,6 +14,8 @@ import (
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/metrics"
+
+	"rpdbscan/internal/testutil"
 )
 
 type runner struct {
@@ -151,7 +153,7 @@ func TestRegionCountInvarianceProperty(t *testing.T) {
 		split := esp.Run(pts, cfg, engine.New(4))
 		return metrics.RandIndex(base.Labels, split.Labels) >= 0.99
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(4))}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 4, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,221 @@
+// Package chaos is a deterministic, seed-driven fault injector for the
+// virtual-cluster engine. It decides every injection — failing a task
+// attempt, inflating a task into a straggler, corrupting a chunk of a
+// checksummed payload transfer — as a pure FNV-1a hash of
+// (seed, kind, stage, task, attempt-or-chunk) mapped to a uniform
+// fraction in [0, 1) and compared against the configured probability.
+//
+// Purity buys three properties the chaos harness depends on:
+//
+//   - Reproducibility: a run is replayed exactly from its seed, regardless
+//     of goroutine interleaving or physical core count.
+//   - Worker independence: decisions never look at which worker runs a
+//     task, so the same faults hit at every simulated cluster size.
+//   - Monotonicity: the hash fraction for a given site is fixed, so the
+//     set of sites that fire at probability p is a subset of the set at
+//     any p' > p. Fault totals therefore grow monotonically with the
+//     rate, which is what lets the harness assert bounded degradation.
+package chaos
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes an Injector. The zero value injects nothing.
+type Config struct {
+	// Seed drives every probabilistic decision. Two injectors with equal
+	// configs produce identical fault schedules.
+	Seed int64
+	// FailProb is the per-attempt probability of failing a task attempt
+	// (only attempts below MaxFaultsPerTask are eligible).
+	FailProb float64
+	// StragglerProb is the per-task probability of inflating the task's
+	// virtual cost by StragglerDelay.
+	StragglerProb float64
+	// StragglerDelay is the virtual inflation for straggler tasks. Zero
+	// defaults to 20ms.
+	StragglerDelay time.Duration
+	// CorruptProb is the per-chunk, per-transfer-attempt probability of
+	// corrupting a checksummed payload chunk (attempts below
+	// MaxFaultsPerTask only).
+	CorruptProb float64
+	// MaxFaultsPerTask bounds consecutive injections at one site so chaos
+	// alone can never exhaust the engine's retry budget (engine default:
+	// 2 retries, i.e. 3 attempts). Zero defaults to 2; it must stay at or
+	// below the engine's configured retry count.
+	MaxFaultsPerTask int
+	// Schedule lists scripted failures applied in addition to the
+	// probabilistic ones — exact (stage, task) sites that must fail their
+	// first Attempts attempts. Useful for targeted regression tests.
+	Schedule []Fault
+}
+
+// Fault is one scripted failure site in Config.Schedule.
+type Fault struct {
+	// Stage and Task address the site.
+	Stage string
+	Task  int
+	// Attempts is how many initial attempts fail; zero means 1.
+	Attempts int
+}
+
+// Stats is the injector's own tally of what it injected, for reconciling
+// against the engine's per-stage FaultStats ledger.
+type Stats struct {
+	// Failures counts FailTask calls that returned true.
+	Failures int64
+	// Stragglers counts tasks whose cost was inflated; StragglerDelay is
+	// the summed inflation.
+	Stragglers     int64
+	StragglerDelay time.Duration
+	// Corruptions counts CorruptFetch calls that returned true.
+	Corruptions int64
+}
+
+// Injector implements engine.Injector with seed-driven decisions. Safe for
+// concurrent use; the only mutable state is the atomic Stats tally.
+type Injector struct {
+	cfg       Config
+	delay     time.Duration
+	maxFaults int
+	scripted  map[scheduleKey]int
+
+	failures, stragglers, corruptions atomic.Int64
+	stragglerNs                       atomic.Int64
+}
+
+type scheduleKey struct {
+	stage string
+	task  int
+}
+
+// New builds an injector from cfg. It validates probabilities so a typo'd
+// rate fails fast instead of silently clamping.
+func New(cfg Config) (*Injector, error) {
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"FailProb", cfg.FailProb}, {"StragglerProb", cfg.StragglerProb}, {"CorruptProb", cfg.CorruptProb}} {
+		if p.v < 0 || p.v > 1 {
+			return nil, fmt.Errorf("chaos: %s = %v out of [0, 1]", p.name, p.v)
+		}
+	}
+	if cfg.MaxFaultsPerTask < 0 {
+		return nil, fmt.Errorf("chaos: MaxFaultsPerTask = %d is negative", cfg.MaxFaultsPerTask)
+	}
+	in := &Injector{cfg: cfg, delay: cfg.StragglerDelay, maxFaults: cfg.MaxFaultsPerTask}
+	if in.delay == 0 {
+		in.delay = 20 * time.Millisecond
+	}
+	if in.maxFaults == 0 {
+		in.maxFaults = 2
+	}
+	if len(cfg.Schedule) > 0 {
+		in.scripted = make(map[scheduleKey]int, len(cfg.Schedule))
+		for _, f := range cfg.Schedule {
+			n := f.Attempts
+			if n <= 0 {
+				n = 1
+			}
+			if n > in.maxFaults {
+				n = in.maxFaults
+			}
+			k := scheduleKey{f.Stage, f.Task}
+			if n > in.scripted[k] {
+				in.scripted[k] = n
+			}
+		}
+	}
+	return in, nil
+}
+
+// MustNew is New for static configs known to be valid.
+func MustNew(cfg Config) *Injector {
+	in, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// FailTask implements engine.Injector.
+func (in *Injector) FailTask(stage string, task, attempt int) bool {
+	fire := false
+	if attempt < in.scripted[scheduleKey{stage, task}] {
+		fire = true
+	} else if attempt < in.maxFaults && in.roll("fail", stage, task, attempt) < in.cfg.FailProb {
+		fire = true
+	}
+	if fire {
+		in.failures.Add(1)
+	}
+	return fire
+}
+
+// TaskDelay implements engine.Injector.
+func (in *Injector) TaskDelay(stage string, task int) time.Duration {
+	if in.roll("straggle", stage, task, 0) >= in.cfg.StragglerProb {
+		return 0
+	}
+	in.stragglers.Add(1)
+	in.stragglerNs.Add(int64(in.delay))
+	return in.delay
+}
+
+// CorruptFetch implements engine.Injector.
+func (in *Injector) CorruptFetch(stage string, task, attempt, chunk int) bool {
+	if attempt >= in.maxFaults {
+		return false
+	}
+	if in.roll("corrupt", stage, task, attempt*1_000_003+chunk) >= in.cfg.CorruptProb {
+		return false
+	}
+	in.corruptions.Add(1)
+	return true
+}
+
+// Stats snapshots the injection tally.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Failures:       in.failures.Load(),
+		Stragglers:     in.stragglers.Load(),
+		StragglerDelay: time.Duration(in.stragglerNs.Load()),
+		Corruptions:    in.corruptions.Load(),
+	}
+}
+
+// ResetStats zeroes the tally (the schedule itself is stateless).
+func (in *Injector) ResetStats() {
+	in.failures.Store(0)
+	in.stragglers.Store(0)
+	in.stragglerNs.Store(0)
+	in.corruptions.Store(0)
+}
+
+// roll maps (seed, kind, stage, site, sub) to a uniform fraction in [0, 1)
+// via FNV-1a. It is the single source of randomness in the package.
+func (in *Injector) roll(kind, stage string, site, sub int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v >> (8 * i) & 0xff)) * prime64
+		}
+	}
+	mix(uint64(in.cfg.Seed))
+	for i := 0; i < len(kind); i++ {
+		h = (h ^ uint64(kind[i])) * prime64
+	}
+	h = (h ^ 0xff) * prime64 // separator: "x"+"" must differ from ""+"x"
+	for i := 0; i < len(stage); i++ {
+		h = (h ^ uint64(stage[i])) * prime64
+	}
+	mix(uint64(site))
+	mix(uint64(sub))
+	return float64(h>>11) / float64(1<<53)
+}

@@ -1,0 +1,220 @@
+package chaos
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"rpdbscan/internal/engine"
+)
+
+var _ engine.Injector = (*Injector)(nil)
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := MustNew(Config{Seed: 1})
+	for task := 0; task < 100; task++ {
+		if in.FailTask("s", task, 0) || in.CorruptFetch("s", task, 0, 0) || in.TaskDelay("s", task) != 0 {
+			t.Fatalf("zero-probability config injected at task %d", task)
+		}
+	}
+	if s := in.Stats(); s != (Stats{}) {
+		t.Fatalf("stats = %+v, want zero", s)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{FailProb: -0.1}, {FailProb: 1.1}, {StragglerProb: 2}, {CorruptProb: -1},
+		{MaxFaultsPerTask: -1},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("config %+v accepted", bad)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew did not panic on bad config")
+		}
+	}()
+	MustNew(Config{FailProb: 7})
+}
+
+func TestDecisionsDeterministicAcrossInstances(t *testing.T) {
+	cfg := Config{Seed: 42, FailProb: 0.3, StragglerProb: 0.2, CorruptProb: 0.25}
+	a, b := MustNew(cfg), MustNew(cfg)
+	for task := 0; task < 200; task++ {
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.FailTask("core-marking", task, attempt) != b.FailTask("core-marking", task, attempt) {
+				t.Fatalf("FailTask diverged at task %d attempt %d", task, attempt)
+			}
+			if a.CorruptFetch("dict-load", task, attempt, task%7) != b.CorruptFetch("dict-load", task, attempt, task%7) {
+				t.Fatalf("CorruptFetch diverged at task %d", task)
+			}
+		}
+		if a.TaskDelay("core-marking", task) != b.TaskDelay("core-marking", task) {
+			t.Fatalf("TaskDelay diverged at task %d", task)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := MustNew(Config{Seed: 1, FailProb: 0.5})
+	b := MustNew(Config{Seed: 2, FailProb: 0.5})
+	same := true
+	for task := 0; task < 64 && same; task++ {
+		same = a.FailTask("s", task, 0) == b.FailTask("s", task, 0)
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 64-task fail schedules")
+	}
+}
+
+// The fire-set at a lower probability must be a subset of the fire-set at
+// any higher probability (same seed): this is what makes fault totals
+// monotone in the rate and the harness's degradation bound assertable.
+func TestFailSetMonotoneInProbability(t *testing.T) {
+	seed := time.Now().UnixNano()
+	t.Logf("seed %d", seed) // pin for replay on failure
+	r := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < 20; trial++ {
+		p1 := r.Float64()
+		p2 := p1 + (1-p1)*r.Float64()
+		lo := MustNew(Config{Seed: seed, FailProb: p1, StragglerProb: p1, CorruptProb: p1})
+		hi := MustNew(Config{Seed: seed, FailProb: p2, StragglerProb: p2, CorruptProb: p2})
+		for task := 0; task < 50; task++ {
+			if lo.FailTask("s", task, 0) && !hi.FailTask("s", task, 0) {
+				t.Fatalf("p=%v fails task %d but p=%v does not", p1, task, p2)
+			}
+			if lo.TaskDelay("s", task) > 0 && hi.TaskDelay("s", task) == 0 {
+				t.Fatalf("p=%v straggles task %d but p=%v does not", p1, task, p2)
+			}
+			if lo.CorruptFetch("s", task, 0, 3) && !hi.CorruptFetch("s", task, 0, 3) {
+				t.Fatalf("p=%v corrupts task %d but p=%v does not", p1, task, p2)
+			}
+		}
+	}
+}
+
+func TestMaxFaultsPerTaskBoundsConsecutiveFailures(t *testing.T) {
+	in := MustNew(Config{Seed: 7, FailProb: 1, CorruptProb: 1}) // default max 2
+	for task := 0; task < 10; task++ {
+		if !in.FailTask("s", task, 0) || !in.FailTask("s", task, 1) {
+			t.Fatal("certain failure did not fire below the bound")
+		}
+		if in.FailTask("s", task, 2) {
+			t.Fatalf("task %d failed attempt 2, beyond MaxFaultsPerTask=2", task)
+		}
+		if in.CorruptFetch("s", task, 2, 0) {
+			t.Fatalf("task %d corrupted transfer attempt 2, beyond bound", task)
+		}
+	}
+}
+
+func TestScheduledFaults(t *testing.T) {
+	in := MustNew(Config{Seed: 1, Schedule: []Fault{
+		{Stage: "core-marking", Task: 3, Attempts: 2},
+		{Stage: "merge", Task: 0}, // Attempts 0 means 1
+	}})
+	if !in.FailTask("core-marking", 3, 0) || !in.FailTask("core-marking", 3, 1) {
+		t.Fatal("scripted 2-attempt fault did not fire")
+	}
+	if in.FailTask("core-marking", 3, 2) {
+		t.Fatal("scripted fault fired beyond its attempts")
+	}
+	if !in.FailTask("merge", 0, 0) || in.FailTask("merge", 0, 1) {
+		t.Fatal("scripted 1-attempt fault wrong")
+	}
+	if in.FailTask("merge", 1, 0) || in.FailTask("other", 3, 0) {
+		t.Fatal("unscripted site fired with zero FailProb")
+	}
+	// Scripted attempts are clamped to the retry-budget bound.
+	in2 := MustNew(Config{Schedule: []Fault{{Stage: "s", Task: 0, Attempts: 99}}})
+	if in2.FailTask("s", 0, 2) {
+		t.Fatal("scripted attempts not clamped to MaxFaultsPerTask")
+	}
+}
+
+func TestStatsTallyMatchesDecisions(t *testing.T) {
+	in := MustNew(Config{Seed: 11, FailProb: 0.4, StragglerProb: 0.3, CorruptProb: 0.5,
+		StragglerDelay: 7 * time.Millisecond})
+	var wantFail, wantStrag, wantCorrupt int64
+	for task := 0; task < 300; task++ {
+		if in.FailTask("s", task, 0) {
+			wantFail++
+		}
+		if in.TaskDelay("s", task) > 0 {
+			wantStrag++
+		}
+		if in.CorruptFetch("s", task, 0, 0) {
+			wantCorrupt++
+		}
+	}
+	s := in.Stats()
+	if s.Failures != wantFail || s.Stragglers != wantStrag || s.Corruptions != wantCorrupt {
+		t.Fatalf("stats %+v disagree with decisions (%d/%d/%d)", s, wantFail, wantStrag, wantCorrupt)
+	}
+	if s.StragglerDelay != time.Duration(wantStrag)*7*time.Millisecond {
+		t.Fatalf("StragglerDelay = %v, want %v", s.StragglerDelay, time.Duration(wantStrag)*7*time.Millisecond)
+	}
+	if wantFail == 0 || wantStrag == 0 || wantCorrupt == 0 {
+		t.Fatalf("degenerate trial: %d/%d/%d fired out of 300", wantFail, wantStrag, wantCorrupt)
+	}
+	in.ResetStats()
+	if in.Stats() != (Stats{}) {
+		t.Fatal("ResetStats did not zero the tally")
+	}
+}
+
+// Fire rates must roughly track the configured probability (the roll is a
+// hash, not a proper RNG, so allow a generous tolerance).
+func TestRollApproximatelyUniform(t *testing.T) {
+	in := MustNew(Config{Seed: 5, FailProb: 0.3})
+	fired := 0
+	const n = 4000
+	for task := 0; task < n; task++ {
+		if in.FailTask("uniformity", task, 0) {
+			fired++
+		}
+	}
+	got := float64(fired) / n
+	if got < 0.25 || got > 0.35 {
+		t.Fatalf("fire rate %v for p=0.3", got)
+	}
+}
+
+// Kind separation: the "fail" and "corrupt" streams must not be the same
+// hash stream in disguise.
+func TestDecisionStreamsIndependent(t *testing.T) {
+	in := MustNew(Config{Seed: 9, FailProb: 0.5, CorruptProb: 0.5})
+	same := true
+	for task := 0; task < 64 && same; task++ {
+		same = in.FailTask("s", task, 0) == in.CorruptFetch("s", task, 0, 0)
+	}
+	if same {
+		t.Fatal("fail and corrupt decision streams identical over 64 sites")
+	}
+}
+
+// End-to-end: a chaos injector driving a real engine stage must leave the
+// engine's FaultStats ledger equal to its own tally.
+func TestEngineLedgerMatchesInjector(t *testing.T) {
+	in := MustNew(Config{Seed: 3, FailProb: 0.3, StragglerProb: 0.2, StragglerDelay: time.Millisecond})
+	c := engine.New(4)
+	c.Injector = in
+	s := c.RunStage("II", "chaotic", 64, func(i int) {})
+	st := in.Stats()
+	if s.Faults.InjectedFailures != st.Failures {
+		t.Fatalf("engine counted %d injected failures, injector %d",
+			s.Faults.InjectedFailures, st.Failures)
+	}
+	if s.Faults.StragglerDelay != st.StragglerDelay {
+		t.Fatalf("engine straggler delay %v, injector %v",
+			s.Faults.StragglerDelay, st.StragglerDelay)
+	}
+	if st.Failures == 0 || st.Stragglers == 0 {
+		t.Fatalf("degenerate chaos run: %+v", st)
+	}
+}

@@ -226,7 +226,7 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 		entriesPer[t] = entries
 	})
 	var stats dict.Stats
-	payload := cl.Broadcast("I-2", "dictionary-broadcast", func() []byte {
+	payload := cl.BroadcastChecked("I-2", "dictionary-broadcast", func() []byte {
 		var all []dict.CellEntry
 		for _, e := range entriesPer {
 			all = append(all, e...)
@@ -235,7 +235,7 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 		return dict.EncodeEntries(all, params)
 	})
 	res.DictSizeBits = stats.SizeBits
-	res.DictBytes = len(payload)
+	res.DictBytes = payload.Len()
 	res.NumCells = stats.NumCells
 	res.NumSubCells = stats.NumSubCells
 	// Each executor (worker machine) loads — decodes and indexes — the
@@ -245,17 +245,21 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 		numExec = k
 	}
 	dicts := make([]*dict.Dictionary, numExec)
-	var loadErr error
+	loadErrs := make([]error, numExec)
 	cl.RunStage("I-2", "dictionary-load", numExec, func(t int) {
-		d, err := dict.Decode(payload, cfg.MaxCellsPerSubDict)
-		if err != nil {
-			loadErr = err
-			return
+		// Fetch transfers the broadcast through the engine's checksummed
+		// channel: under chaos, corrupted chunks are detected and
+		// re-transferred before the bytes ever reach the decoder.
+		buf, err := cl.Fetch(payload, t)
+		if err == nil {
+			dicts[t], err = dict.Decode(buf, cfg.MaxCellsPerSubDict)
 		}
-		dicts[t] = d
+		loadErrs[t] = err
 	})
-	if loadErr != nil {
-		return nil, fmt.Errorf("rpdbscan: dictionary load: %w", loadErr)
+	for _, err := range loadErrs {
+		if err != nil {
+			return nil, fmt.Errorf("rpdbscan: dictionary load: %w", err)
+		}
 	}
 
 	// ---- Phase II: core marking and subgraph building (Algorithm 3).

@@ -10,6 +10,8 @@ import (
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/metrics"
+
+	"rpdbscan/internal/testutil"
 )
 
 func run(t *testing.T, pts *geom.Points, cfg Config) *Result {
@@ -283,7 +285,7 @@ func TestEquivalenceProperty(t *testing.T) {
 		}
 		return false
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(1))}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 1, 15)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,6 +12,8 @@ import (
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/metrics"
+
+	"rpdbscan/internal/testutil"
 )
 
 // Labels must be dense: every id in [0, NumClusters) occurs, nothing
@@ -145,9 +147,9 @@ func TestFaultToleranceSameResult(t *testing.T) {
 	}
 	faulty := engine.New(6)
 	// Fail every task's first attempt in every stage.
-	faulty.FaultInjector = func(stage string, task, attempt int) bool {
+	faulty.Injector = engine.InjectorFunc(func(stage string, task, attempt int) bool {
 		return attempt == 0
-	}
+	})
 	res, err := Run(pts, cfg, faulty)
 	if err != nil {
 		t.Fatal(err)
@@ -172,10 +174,10 @@ func TestFaultToleranceSporadic(t *testing.T) {
 	}
 	faulty := engine.New(5)
 	var calls atomic.Int64
-	faulty.FaultInjector = func(stage string, task, attempt int) bool {
+	faulty.Injector = engine.InjectorFunc(func(stage string, task, attempt int) bool {
 		// Deterministically fail ~1/3 of first attempts across stages.
 		return attempt == 0 && calls.Add(1)%3 == 0
-	}
+	})
 	res, err := Run(pts, cfg, faulty)
 	if err != nil {
 		t.Fatal(err)
@@ -212,7 +214,7 @@ func TestScaleEquivarianceProperty(t *testing.T) {
 		// outcomes can flip; require near-identical clusterings.
 		return metrics.RandIndex(a.Labels, b.Labels) >= 0.99
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(2))}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 2, 20)); err != nil {
 		t.Fatal(err)
 	}
 }

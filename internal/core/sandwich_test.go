@@ -20,6 +20,8 @@ import (
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/dbscan"
 	"rpdbscan/internal/engine"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestTheorem54Sandwich(t *testing.T) {
@@ -79,7 +81,7 @@ func TestTheorem54Sandwich(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(3))}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 3, 25)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,11 +4,14 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"testing"
 	"testing/quick"
 
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/grid"
+
+	"rpdbscan/internal/testutil"
 )
 
 func randomPoints(r *rand.Rand, n, dim int, span float64) *geom.Points {
@@ -245,7 +248,7 @@ func TestQuerySandwichProperty(t *testing.T) {
 		}
 		return lo <= got && got <= hi
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 212, 120)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -312,6 +315,43 @@ func TestDecodeRejectsCorrupt(t *testing.T) {
 	bad := append([]byte("XXXX"), buf[4:]...)
 	if _, err := Decode(bad, 0); err == nil {
 		t.Fatal("Decode accepted bad magic")
+	}
+}
+
+// The wire checksum must reject any body corruption outright, and Reseal
+// must reopen the parser for tests that corrupt bytes on purpose.
+func TestDecodeChecksumGate(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	pts := randomPoints(r, 50, 2, 5)
+	d := buildDict(pts, 1.0, 0.1, 0)
+	buf := d.Encode()
+	for _, pos := range []int{12, 16, len(buf) / 2, len(buf) - 1} {
+		mut := append([]byte(nil), buf...)
+		mut[pos] ^= 0x01
+		_, err := Decode(mut, 0)
+		if err == nil {
+			t.Fatalf("flip at byte %d accepted", pos)
+		}
+		if !strings.Contains(err.Error(), "checksum mismatch") {
+			t.Fatalf("flip at byte %d: got %v, want checksum mismatch", pos, err)
+		}
+	}
+	// Corrupting the checksum field itself is also a mismatch.
+	mut := append([]byte(nil), buf...)
+	mut[5] ^= 0xff
+	if _, err := Decode(mut, 0); err == nil {
+		t.Fatal("corrupt checksum field accepted")
+	}
+	// Reseal restores decodability of an intact body...
+	if _, err := Decode(Reseal(mut), 0); err != nil {
+		t.Fatalf("resealed intact body rejected: %v", err)
+	}
+	// ...and routes a corrupted body past the gate into the validators.
+	mut = append([]byte(nil), buf...)
+	mut[len(mut)-1] ^= 0xff // a sub-cell count: header still parses
+	if _, err := Decode(Reseal(mut), 0); err != nil &&
+		strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatal("Reseal did not bypass the checksum gate")
 	}
 }
 

@@ -11,15 +11,47 @@ import (
 // Binary wire format used when the dictionary is broadcast to workers.
 // Header:
 //
-//	magic "RPD1" | dim uint16 | shift uint16 | eps float64 | rho float64
-//	numCells uint32
+//	magic "RPD2" | checksum uint64 | dim uint16 | shift uint16
+//	eps float64 | rho float64 | numCells uint32
 //
-// Then per cell: key coords (dim x int32), count uint32, numSubs uint32,
-// and per sub-cell a packed position of ceil(dim*shift/8) bytes followed by
-// a uint32 count. Sub-dictionary boundaries are not encoded; the receiver
-// re-defragments locally, which is what the paper's workers do when memory
-// bounds differ from the builder's.
-const magic = "RPD1"
+// The checksum is FNV-1a over everything after the checksum field itself;
+// Decode verifies it before parsing, so a payload corrupted in transit is
+// rejected at the wire boundary even when the transfer layer's own
+// per-chunk checks are disabled. Then per cell: key coords (dim x int32),
+// count uint32, numSubs uint32, and per sub-cell a packed position of
+// ceil(dim*shift/8) bytes followed by a uint32 count. Sub-dictionary
+// boundaries are not encoded; the receiver re-defragments locally, which
+// is what the paper's workers do when memory bounds differ from the
+// builder's.
+const magic = "RPD2"
+
+// checksumStart is the offset where checksummed content begins (after the
+// magic and the checksum field).
+const checksumStart = 4 + 8
+
+// fnv64a is the checksum over the wire body.
+func fnv64a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h = (h ^ uint64(b[i])) * prime64
+	}
+	return h
+}
+
+// Reseal recomputes and patches the wire checksum in place, returning buf.
+// It exists for tests and fuzzers that mutate encoded bytes and want the
+// mutation to reach the parser instead of being swallowed by the checksum
+// gate; production encoders never need it.
+func Reseal(buf []byte) []byte {
+	if len(buf) >= checksumStart && string(buf[:4]) == magic {
+		binary.BigEndian.PutUint64(buf[4:], fnv64a(buf[checksumStart:]))
+	}
+	return buf
+}
 
 // subBytes returns the number of bytes needed for one packed sub-cell
 // position: ceil(dim*shift/8), the d*(h-1) bits of Lemma 4.3 rounded up to
@@ -44,12 +76,13 @@ func (d *Dictionary) Encode() []byte {
 func EncodeEntries(entries []CellEntry, p Params) []byte {
 	shift := p.shift()
 	sb := subBytes(p.Dim, shift)
-	size := 4 + 2 + 2 + 8 + 8 + 4
+	size := checksumStart + 2 + 2 + 8 + 8 + 4
 	for i := range entries {
 		size += 4*p.Dim + 4 + 4 + len(entries[i].Subs)*(sb+4)
 	}
 	buf := make([]byte, 0, size)
 	buf = append(buf, magic...)
+	buf = binary.BigEndian.AppendUint64(buf, 0) // checksum, patched below
 	buf = binary.BigEndian.AppendUint16(buf, uint16(p.Dim))
 	buf = binary.BigEndian.AppendUint16(buf, uint16(shift))
 	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p.Eps))
@@ -65,6 +98,7 @@ func EncodeEntries(entries []CellEntry, p Params) []byte {
 			buf = binary.BigEndian.AppendUint32(buf, uint32(sc.Count))
 		}
 	}
+	binary.BigEndian.PutUint64(buf[4:], fnv64a(buf[checksumStart:]))
 	return buf
 }
 
@@ -109,10 +143,13 @@ func unpack(b []byte) grid.SubIdx {
 // Decode reconstructs a dictionary from its wire form, re-defragmenting
 // with the given sub-dictionary bound (<= 0 keeps one sub-dictionary).
 func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
-	if len(buf) < 4+2+2+8+8+4 || string(buf[:4]) != magic {
+	if len(buf) < checksumStart+2+2+8+8+4 || string(buf[:4]) != magic {
 		return nil, fmt.Errorf("dict: bad header")
 	}
-	off := 4
+	if got := binary.BigEndian.Uint64(buf[4:]); got != fnv64a(buf[checksumStart:]) {
+		return nil, fmt.Errorf("dict: checksum mismatch")
+	}
+	off := checksumStart
 	dim := int(binary.BigEndian.Uint16(buf[off:]))
 	off += 2
 	shift := uint(binary.BigEndian.Uint16(buf[off:]))

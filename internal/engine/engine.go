@@ -47,6 +47,45 @@ type StageStats struct {
 	// numerator for stage-level benchmark reporting. Process-wide, like
 	// AllocDelta.
 	MallocDelta int64
+	// Faults accounts everything the fault injector did to this stage and
+	// how the scheduler responded. All zero when no Injector is installed.
+	Faults FaultStats
+}
+
+// FaultStats records, per stage, the injected faults and the scheduler's
+// responses: it is the ledger the chaos harness reconciles against the
+// injector's own accounting ("every injected failure accounted for").
+type FaultStats struct {
+	// InjectedFailures counts task attempts failed by the Injector.
+	InjectedFailures int64
+	// BackoffVirtual is the summed virtual retry backoff added to task
+	// costs (exponential with deterministic jitter; never slept for real).
+	// It includes re-transfer backoff after checksum rejections.
+	BackoffVirtual time.Duration
+	// StragglerDelay is the summed virtual cost inflation injected into
+	// straggler tasks.
+	StragglerDelay time.Duration
+	// SpeculativeLaunches counts speculative task copies launched for
+	// stragglers; SpeculativeWins counts those that finished (in virtual
+	// time) before the straggling original.
+	SpeculativeLaunches int64
+	SpeculativeWins     int64
+	// ChecksumRejects counts corrupted payload chunks detected (and
+	// re-fetched) via per-chunk checksums.
+	ChecksumRejects int64
+}
+
+// IsZero reports whether no fault activity was recorded.
+func (f FaultStats) IsZero() bool { return f == FaultStats{} }
+
+// Add accumulates o into f (used for report-level totals).
+func (f *FaultStats) Add(o FaultStats) {
+	f.InjectedFailures += o.InjectedFailures
+	f.BackoffVirtual += o.BackoffVirtual
+	f.StragglerDelay += o.StragglerDelay
+	f.SpeculativeLaunches += o.SpeculativeLaunches
+	f.SpeculativeWins += o.SpeculativeWins
+	f.ChecksumRejects += o.ChecksumRejects
 }
 
 // Total returns the sum of all task costs.
@@ -185,6 +224,16 @@ func (r *Report) Stage(name string) *StageStats {
 	return nil
 }
 
+// TotalFaults sums the per-stage fault ledgers. A fault-free run returns
+// the zero FaultStats.
+func (r *Report) TotalFaults() FaultStats {
+	var t FaultStats
+	for _, s := range r.Stages {
+		t.Add(s.Faults)
+	}
+	return t
+}
+
 // MergeOf combines the stage lists of several reports in order (used when
 // an algorithm run is assembled from sub-runs).
 func MergeOf(workers int, reports ...*Report) *Report {
@@ -209,6 +258,11 @@ func (r *Report) String() string {
 		if s.Retries > 0 {
 			out += fmt.Sprintf(" retries=%d", s.Retries)
 		}
+		if f := s.Faults; !f.IsZero() {
+			out += fmt.Sprintf(" faults[inj=%d cksum=%d spec=%d/%d backoff=%v straggle=%v]",
+				f.InjectedFailures, f.ChecksumRejects, f.SpeculativeLaunches, f.SpeculativeWins,
+				f.BackoffVirtual.Round(time.Microsecond), f.StragglerDelay.Round(time.Microsecond))
+		}
 		out += "\n"
 	}
 	return out
@@ -232,10 +286,30 @@ type Cluster struct {
 	// before the panic propagates, mirroring Spark's task re-execution.
 	// Zero defaults to 2.
 	MaxTaskRetries int
-	// FaultInjector, when set, is consulted before every task attempt;
-	// returning true makes the attempt fail. It exists for fault-
-	// tolerance testing.
-	FaultInjector func(stage string, task, attempt int) bool
+	// Injector, when set, is consulted at every fault-injection point:
+	// before each task attempt (FailTask), after each task completes
+	// (TaskDelay, straggler inflation), and per chunk of a checksummed
+	// payload transfer (CorruptFetch). Nil disables all chaos machinery
+	// at the cost of one nil check per site; see internal/chaos for the
+	// seed-driven implementation.
+	Injector Injector
+	// RetryBackoffBase is the virtual backoff before re-executing a
+	// failed attempt: attempt a waits base<<a scaled by a deterministic
+	// jitter in [0.5,1.5) derived from (stage, task, attempt). The wait
+	// is virtual time — added to the task's recorded cost (and so to the
+	// simulated makespan), never slept — which keeps chaos runs
+	// reproducible. Zero defaults to 5ms; negative disables backoff.
+	RetryBackoffBase time.Duration
+	// RetryBackoffMax caps a single backoff wait. Zero defaults to 1s.
+	RetryBackoffMax time.Duration
+	// SpeculationFactor controls speculative re-execution of stragglers:
+	// a task whose virtual cost (measured + injected delay) reaches
+	// factor x its measured cost gets a speculative copy, launched (in
+	// virtual time) at the detection threshold; the first finisher wins.
+	// Zero defaults to 2; negative disables speculation. Only injected
+	// stragglers are speculated — without an Injector nothing straggles
+	// by more than its real measured cost.
+	SpeculationFactor float64
 	// Sink, when set, receives per-task span events (start, end, retry,
 	// fault, broadcast). Nil disables emission at the cost of one nil
 	// check per event site.
@@ -243,6 +317,68 @@ type Cluster struct {
 
 	mu     sync.Mutex
 	report Report
+	// cur points at the running stage's fault accumulator so that
+	// Fetch — called from inside task bodies — can attribute checksum
+	// rejections and re-transfer backoff to the right stage and task.
+	cur atomic.Pointer[faultAccum]
+}
+
+// Injector is the fault-injection hook the cluster consults when one is
+// installed. Implementations must be deterministic pure functions of their
+// arguments (plus an internal seed): the same schedule must replay across
+// runs, goroutine interleavings, and worker counts, or chaos failures
+// become unreproducible. Implementations must also be safe for concurrent
+// use and must bound per-task injections below the retry budget
+// (MaxTaskRetries) so injection alone can never exhaust it.
+type Injector interface {
+	// FailTask reports whether attempt `attempt` of task `task` in stage
+	// `stage` should fail with an injected error.
+	FailTask(stage string, task, attempt int) bool
+	// TaskDelay returns extra virtual time added to the task's recorded
+	// cost, simulating a straggler. Consulted once per task, after its
+	// successful attempt. Zero means no inflation.
+	TaskDelay(stage string, task int) time.Duration
+	// CorruptFetch reports whether the transfer of chunk `chunk` of a
+	// checksummed payload to task `task` should be corrupted on attempt
+	// `attempt`. The engine flips a byte in the transferred copy, so the
+	// corruption must be caught by the per-chunk checksum.
+	CorruptFetch(stage string, task, attempt, chunk int) bool
+}
+
+// InjectorFunc adapts a plain attempt-failure predicate (the historical
+// FaultInjector shape) to the Injector interface: failures only, no
+// stragglers, no corruption.
+type InjectorFunc func(stage string, task, attempt int) bool
+
+// FailTask implements Injector.
+func (f InjectorFunc) FailTask(stage string, task, attempt int) bool { return f(stage, task, attempt) }
+
+// TaskDelay implements Injector; it never inflates.
+func (f InjectorFunc) TaskDelay(string, int) time.Duration { return 0 }
+
+// CorruptFetch implements Injector; it never corrupts.
+func (f InjectorFunc) CorruptFetch(string, int, int, int) bool { return false }
+
+// faultAccum is the concurrent accumulator behind a stage's FaultStats.
+type faultAccum struct {
+	stage                                  string
+	injected, rejects, specLaunch, specWin atomic.Int64
+	backoff, straggler                     atomic.Int64 // ns
+	// extra holds, per task, virtual ns added by Fetch (re-transfer
+	// backoff after checksum rejections) to fold into the task's cost.
+	extra []atomic.Int64
+}
+
+// stats snapshots the accumulator into a FaultStats.
+func (a *faultAccum) stats() FaultStats {
+	return FaultStats{
+		InjectedFailures:    a.injected.Load(),
+		BackoffVirtual:      time.Duration(a.backoff.Load()),
+		StragglerDelay:      time.Duration(a.straggler.Load()),
+		SpeculativeLaunches: a.specLaunch.Load(),
+		SpeculativeWins:     a.specWin.Load(),
+		ChecksumRejects:     a.rejects.Load(),
+	}
 }
 
 // New returns a cluster simulating w virtual workers.
@@ -300,6 +436,9 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 	if par > n {
 		par = n
 	}
+	acc := &faultAccum{stage: name, extra: make([]atomic.Int64, n)}
+	c.cur.Store(acc)
+	defer c.cur.Store(nil)
 	var next, retries atomic.Int64
 	var wg sync.WaitGroup
 	var failure atomic.Value // first exhausted-retries failure, if any
@@ -316,12 +455,22 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 				if c.Sink != nil {
 					c.emit(Event{Kind: EventTaskStart, Stage: name, Phase: phase, Task: i, Time: t0})
 				}
-				attempt, err := c.runWithRetry(phase, name, i, fn, &retries)
+				attempt, backoff, err := c.runWithRetry(phase, name, i, fn, &retries, acc)
 				if err != nil {
 					failure.CompareAndSwap(nil, err)
 					return
 				}
-				s.Costs[i] = time.Since(t0)
+				// The recorded cost is the measured real time plus the
+				// virtual delays chaos added: retry backoff and any
+				// re-transfer backoff Fetch charged to this task.
+				cost := time.Since(t0) + backoff + time.Duration(acc.extra[i].Load())
+				if inj := c.Injector; inj != nil {
+					if d := inj.TaskDelay(name, i); d > 0 {
+						acc.straggler.Add(int64(d))
+						cost = c.speculate(phase, name, i, cost, d, acc, fn)
+					}
+				}
+				s.Costs[i] = cost
 				if c.Sink != nil {
 					c.emit(Event{Kind: EventTaskEnd, Stage: name, Phase: phase, Task: i,
 						Attempt: attempt, Time: time.Now(), Duration: s.Costs[i]})
@@ -337,6 +486,7 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 	}
 	s.Wall = time.Since(start)
 	s.Retries = retries.Load()
+	s.Faults = acc.stats()
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
@@ -353,39 +503,45 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 // MaxTaskRetries times, the way a MapReduce scheduler re-executes failed
 // tasks. Tasks must therefore be idempotent (every stage in this codebase
 // writes only to its own task's slot). It returns the attempt that
-// succeeded, or a non-nil error only when retries are exhausted; RunStage
-// turns that into a panic on the caller's goroutine. Each failed attempt
-// that will be re-executed increments retryCount and emits an
-// EventTaskRetry.
-func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int), retryCount *atomic.Int64) (int, error) {
+// succeeded plus the summed virtual backoff the retries waited, or a
+// non-nil error only when retries are exhausted; RunStage turns that into
+// a panic on the caller's goroutine. Each failed attempt that will be
+// re-executed increments retryCount, accrues a deterministic exponential
+// backoff (virtual time), and emits an EventTaskRetry carrying it.
+func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int), retryCount *atomic.Int64, acc *faultAccum) (int, time.Duration, error) {
 	retries := c.MaxTaskRetries
 	if retries <= 0 {
 		retries = 2
 	}
 	var err error
+	var backoff time.Duration
 	for attempt := 0; attempt <= retries; attempt++ {
-		if err = c.attempt(phase, stage, i, attempt, fn); err == nil {
-			return attempt, nil
+		if err = c.attempt(phase, stage, i, attempt, fn, acc); err == nil {
+			return attempt, backoff, nil
 		}
 		if attempt < retries {
 			retryCount.Add(1)
+			wait := c.backoffFor(stage, i, attempt)
+			backoff += wait
+			acc.backoff.Add(int64(wait))
 			if c.Sink != nil {
 				c.emit(Event{Kind: EventTaskRetry, Stage: stage, Phase: phase, Task: i,
-					Attempt: attempt, Time: time.Now(), Err: err})
+					Attempt: attempt, Time: time.Now(), Duration: wait, Err: err})
 			}
 		}
 	}
-	return 0, fmt.Errorf("engine: stage %q task %d failed after %d attempts: %w",
+	return 0, 0, fmt.Errorf("engine: stage %q task %d failed after %d attempts: %w",
 		stage, i, retries+1, err)
 }
 
-func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int)) (err error) {
+func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int), acc *faultAccum) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("task panic: %v", r)
 		}
 	}()
-	if c.FaultInjector != nil && c.FaultInjector(stage, i, attempt) {
+	if inj := c.Injector; inj != nil && inj.FailTask(stage, i, attempt) {
+		acc.injected.Add(1)
 		err = fmt.Errorf("injected fault (attempt %d)", attempt)
 		if c.Sink != nil {
 			c.emit(Event{Kind: EventTaskFault, Stage: stage, Phase: phase, Task: i,
@@ -395,6 +551,104 @@ func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int)) (er
 	}
 	fn(i)
 	return nil
+}
+
+// backoffFor computes the virtual wait before re-executing attempt
+// `attempt` of a task: RetryBackoffBase << attempt, scaled by a
+// deterministic jitter in [0.5, 1.5) hashed from (stage, task, attempt),
+// capped at RetryBackoffMax. Being a pure function of its arguments, the
+// same fault schedule always produces the same simulated makespan.
+func (c *Cluster) backoffFor(stage string, task, attempt int) time.Duration {
+	base := c.RetryBackoffBase
+	if base == 0 {
+		base = 5 * time.Millisecond
+	}
+	if base < 0 {
+		return 0
+	}
+	max := c.RetryBackoffMax
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	d = time.Duration(float64(d) * (0.5 + hashFrac(stage, task, attempt)))
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// hashFrac maps (stage, a, b) to a deterministic fraction in [0, 1) via
+// FNV-1a, the jitter source for retry backoff.
+func hashFrac(stage string, a, b int) float64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(stage); i++ {
+		h = (h ^ uint64(stage[i])) * prime64
+	}
+	for _, v := range [2]uint64{uint64(a), uint64(b)} {
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v >> (8 * i) & 0xff)) * prime64
+		}
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// speculate models Spark's speculative execution for an injected straggler:
+// the scheduler notices the task once it has run SpeculationFactor x its
+// measured cost, launches a copy (really re-executing fn, which checks
+// idempotence for free), and the first finisher in virtual time wins. The
+// returned duration is the task's final virtual cost. The speculative copy
+// runs on a "healthy node": the injector is not consulted for it, and a
+// panicking copy simply loses to the original.
+func (c *Cluster) speculate(phase, stage string, task int, measured, delay time.Duration, acc *faultAccum, fn func(int)) time.Duration {
+	inflated := measured + delay
+	factor := c.SpeculationFactor
+	if factor == 0 {
+		factor = 2
+	}
+	if factor < 0 {
+		return inflated
+	}
+	threshold := time.Duration(float64(measured) * factor)
+	if inflated < threshold {
+		return inflated
+	}
+	acc.specLaunch.Add(1)
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventSpecLaunch, Stage: stage, Phase: phase, Task: task,
+			Time: time.Now(), Duration: inflated})
+	}
+	t0 := time.Now()
+	ok := runRecovered(fn, task)
+	copyCost := time.Since(t0)
+	specFinish := threshold + copyCost
+	if !ok || specFinish >= inflated {
+		return inflated
+	}
+	acc.specWin.Add(1)
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventSpecWin, Stage: stage, Phase: phase, Task: task,
+			Time: time.Now(), Duration: specFinish})
+	}
+	return specFinish
+}
+
+// runRecovered executes fn(i), absorbing panics.
+func runRecovered(fn func(int), i int) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	fn(i)
+	return true
 }
 
 // Serial measures a single driver-side action as a one-task stage.

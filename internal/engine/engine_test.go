@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"rpdbscan/internal/testutil"
 )
 
 func statsWith(costs ...time.Duration) *StageStats {
@@ -89,7 +91,7 @@ func TestMakespanMatchesOracle(t *testing.T) {
 		}
 		return s.Makespan(w) == want
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 207, 300)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -112,7 +114,7 @@ func TestMakespanProperties(t *testing.T) {
 		}
 		return s.Makespan(w+1) <= m
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 208, 200)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -222,9 +224,9 @@ func TestExecutorCount(t *testing.T) {
 func TestTaskRetryOnInjectedFault(t *testing.T) {
 	c := New(4)
 	// Every task fails on its first attempt and succeeds on the second.
-	c.FaultInjector = func(stage string, task, attempt int) bool {
+	c.Injector = InjectorFunc(func(stage string, task, attempt int) bool {
 		return attempt == 0
-	}
+	})
 	var done atomic.Int64
 	s := c.RunStage("II", "flaky", 20, func(i int) { done.Add(1) })
 	if done.Load() != 20 {
@@ -232,6 +234,12 @@ func TestTaskRetryOnInjectedFault(t *testing.T) {
 	}
 	if len(s.Costs) != 20 {
 		t.Fatal("costs not recorded")
+	}
+	if s.Faults.InjectedFailures != 20 {
+		t.Fatalf("InjectedFailures = %d, want 20", s.Faults.InjectedFailures)
+	}
+	if s.Faults.BackoffVirtual <= 0 {
+		t.Fatalf("BackoffVirtual = %v, want > 0", s.Faults.BackoffVirtual)
 	}
 }
 

@@ -25,6 +25,16 @@ const (
 	// EventBroadcast fires when a payload is broadcast; Bytes carries its
 	// size.
 	EventBroadcast
+	// EventChecksumReject fires when a corrupted payload chunk is caught
+	// by its checksum during Fetch; Chunk carries the chunk index and
+	// Bytes the chunk size. The chunk is re-transferred.
+	EventChecksumReject
+	// EventSpecLaunch fires when a speculative copy of a straggler task
+	// is launched; Duration carries the straggler's inflated virtual cost.
+	EventSpecLaunch
+	// EventSpecWin fires when the speculative copy finishes first in
+	// virtual time; Duration carries the winning cost.
+	EventSpecWin
 )
 
 // String names the event kind for logs.
@@ -44,6 +54,12 @@ func (k EventKind) String() string {
 		return "task-fault"
 	case EventBroadcast:
 		return "broadcast"
+	case EventChecksumReject:
+		return "checksum-reject"
+	case EventSpecLaunch:
+		return "speculative-launch"
+	case EventSpecWin:
+		return "speculative-win"
 	}
 	return "unknown"
 }
@@ -59,6 +75,8 @@ type Event struct {
 	Task int
 	// Attempt is the zero-based attempt number (task events only).
 	Attempt int
+	// Chunk is the payload chunk index (checksum-reject events only).
+	Chunk int
 	// Time is when the event occurred.
 	Time time.Time
 	// Duration is the measured cost (task-end) or wall time (stage-end).

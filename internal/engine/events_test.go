@@ -61,7 +61,7 @@ func TestFaultInjectorIncrementsRetryCounter(t *testing.T) {
 	c := New(2)
 	c.Sink = sink
 	// Every task fails its first attempt via the injector.
-	c.FaultInjector = func(stage string, task, attempt int) bool { return attempt == 0 }
+	c.Injector = InjectorFunc(func(stage string, task, attempt int) bool { return attempt == 0 })
 	s := c.RunStage("II", "flaky", 6, func(i int) {})
 	if s.Retries != 6 {
 		t.Fatalf("StageStats.Retries = %d, want 6", s.Retries)
@@ -153,7 +153,8 @@ func TestReportIsDefensiveCopy(t *testing.T) {
 
 func TestEventKindString(t *testing.T) {
 	kinds := []EventKind{EventStageStart, EventStageEnd, EventTaskStart,
-		EventTaskEnd, EventTaskRetry, EventTaskFault, EventBroadcast}
+		EventTaskEnd, EventTaskRetry, EventTaskFault, EventBroadcast,
+		EventChecksumReject, EventSpecLaunch, EventSpecWin}
 	seen := map[string]bool{}
 	for _, k := range kinds {
 		s := k.String()

@@ -15,16 +15,56 @@ type traceDTO struct {
 }
 
 type traceStageDTO struct {
-	Name        string  `json:"name"`
-	Phase       string  `json:"phase"`
-	TaskCosts   []int64 `json:"task_costs_ns"`
-	Wall        int64   `json:"wall_ns"`
-	Makespan    int64   `json:"makespan_ns"`
-	Imbalance   float64 `json:"imbalance"`
-	Bytes       int64   `json:"bytes,omitempty"`
-	Retries     int64   `json:"retries,omitempty"`
-	AllocDelta  int64   `json:"alloc_delta_bytes,omitempty"`
-	MallocDelta int64   `json:"malloc_delta,omitempty"`
+	Name        string          `json:"name"`
+	Phase       string          `json:"phase"`
+	TaskCosts   []int64         `json:"task_costs_ns"`
+	Wall        int64           `json:"wall_ns"`
+	Makespan    int64           `json:"makespan_ns"`
+	Imbalance   float64         `json:"imbalance"`
+	Bytes       int64           `json:"bytes,omitempty"`
+	Retries     int64           `json:"retries,omitempty"`
+	AllocDelta  int64           `json:"alloc_delta_bytes,omitempty"`
+	MallocDelta int64           `json:"malloc_delta,omitempty"`
+	Faults      *traceFaultsDTO `json:"faults,omitempty"`
+}
+
+// traceFaultsDTO is the JSON shape of a stage's FaultStats; present only
+// when fault injection touched the stage.
+type traceFaultsDTO struct {
+	InjectedFailures    int64 `json:"injected_failures,omitempty"`
+	BackoffVirtualNs    int64 `json:"backoff_virtual_ns,omitempty"`
+	StragglerDelayNs    int64 `json:"straggler_delay_ns,omitempty"`
+	SpeculativeLaunches int64 `json:"speculative_launches,omitempty"`
+	SpeculativeWins     int64 `json:"speculative_wins,omitempty"`
+	ChecksumRejects     int64 `json:"checksum_rejects,omitempty"`
+}
+
+func faultsToDTO(f FaultStats) *traceFaultsDTO {
+	if f.IsZero() {
+		return nil
+	}
+	return &traceFaultsDTO{
+		InjectedFailures:    f.InjectedFailures,
+		BackoffVirtualNs:    int64(f.BackoffVirtual),
+		StragglerDelayNs:    int64(f.StragglerDelay),
+		SpeculativeLaunches: f.SpeculativeLaunches,
+		SpeculativeWins:     f.SpeculativeWins,
+		ChecksumRejects:     f.ChecksumRejects,
+	}
+}
+
+func faultsFromDTO(d *traceFaultsDTO) FaultStats {
+	if d == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		InjectedFailures:    d.InjectedFailures,
+		BackoffVirtual:      time.Duration(d.BackoffVirtualNs),
+		StragglerDelay:      time.Duration(d.StragglerDelayNs),
+		SpeculativeLaunches: d.SpeculativeLaunches,
+		SpeculativeWins:     d.SpeculativeWins,
+		ChecksumRejects:     d.ChecksumRejects,
+	}
 }
 
 // WriteJSON exports the report — per-stage task costs, makespans, and
@@ -47,6 +87,7 @@ func (r *Report) WriteJSON(w io.Writer) error {
 			Retries:     s.Retries,
 			AllocDelta:  s.AllocDelta,
 			MallocDelta: s.MallocDelta,
+			Faults:      faultsToDTO(s.Faults),
 		}
 		for i, c := range s.Costs {
 			st.TaskCosts[i] = int64(c)
@@ -75,6 +116,7 @@ func ReadJSON(r io.Reader) (*Report, error) {
 			Retries:     st.Retries,
 			AllocDelta:  st.AllocDelta,
 			MallocDelta: st.MallocDelta,
+			Faults:      faultsFromDTO(st.Faults),
 			Costs:       make([]time.Duration, len(st.TaskCosts)),
 		}
 		for i, c := range st.TaskCosts {

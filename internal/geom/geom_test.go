@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestPointsBasics(t *testing.T) {
@@ -116,7 +118,6 @@ func TestExtendBox(t *testing.T) {
 
 // Property: MinDist2 <= Dist2(p, q) <= MaxDist2 for any q inside the box.
 func TestBoxDistSandwichProperty(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		dim := 1 + r.Intn(4)
@@ -137,8 +138,7 @@ func TestBoxDistSandwichProperty(t *testing.T) {
 		d := Dist2(p, q)
 		return b.MinDist2(p) <= d+1e-9 && d <= b.MaxDist2(p)+1e-9
 	}
-	cfg := &quick.Config{MaxCount: 200, Rand: rng}
-	if err := quick.Check(f, cfg); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 7, 200)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -166,7 +166,7 @@ func TestOutsideImpliesFarProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 213, 300)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestUnionFindBasics(t *testing.T) {
@@ -62,7 +64,7 @@ func TestUnionFindProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 201, 100)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -308,7 +310,7 @@ func TestTournamentPartitionInvariance(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 202, 80)); err != nil {
 		t.Fatal(err)
 	}
 }

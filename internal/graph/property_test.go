@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/testutil"
+)
+
+// quickCfg pins testing/quick to an explicit seed (logged so a failure can
+// be replayed) instead of its default time-derived source.
+func quickCfg(t *testing.T, seed int64, max int) *quick.Config {
+	return testutil.QuickConfig(t, seed, max)
+}
+
+// Property: the partition a union-find reaches is invariant under the
+// order its unions are applied in. This is what lets the tournament merge
+// pair subgraphs in any bracket shape without changing the clustering.
+func TestUnionFindMergeOrderInvariance(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8%40) + 2
+		m := int(m8 % 80)
+		pairs := make([][2]int, m)
+		for i := range pairs {
+			pairs[i] = [2]int{r.Intn(n), r.Intn(n)}
+		}
+		apply := func(order []int) []int {
+			u := NewUnionFind(n)
+			for _, i := range order {
+				u.Union(pairs[i][0], pairs[i][1])
+			}
+			return canonical(u, n)
+		}
+		inOrder := make([]int, m)
+		for i := range inOrder {
+			inOrder[i] = i
+		}
+		shuffled := append([]int(nil), inOrder...)
+		r.Shuffle(m, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		a, b := apply(inOrder), apply(shuffled)
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 101, 300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: re-applying a union is a no-op — Union reports false and the
+// partition is unchanged.
+func TestUnionFindIdempotentRemerge(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8%40) + 2
+		u := NewUnionFind(n)
+		for i := 0; i < int(m8%60); i++ {
+			u.Union(r.Intn(n), r.Intn(n))
+		}
+		before := canonical(u, n)
+		// Re-merge every already-connected pair: all must report false.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if u.Connected(a, b) && u.Union(a, b) {
+					return false
+				}
+			}
+		}
+		after := canonical(u, n)
+		for i := range before {
+			if before[i] != after[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 102, 200)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonical maps each element to a dense component id assigned in order of
+// first appearance, so two partitions compare by slice equality.
+func canonical(u *UnionFind, n int) []int {
+	ids := map[int]int{}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		root := u.Find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// randomSubgraphs builds k subgraphs over a shared cell universe the way
+// Phase II partitions do: each cell is owned by exactly one subgraph
+// (which knows its type); edges go from owned core cells to arbitrary
+// cells, typed by the owner's local knowledge.
+func randomSubgraphs(r *rand.Rand, numCells, k int) []*Graph {
+	types := make([]VertexType, numCells)
+	owner := make([]int, numCells)
+	for id := range types {
+		if r.Float64() < 0.6 {
+			types[id] = Core
+		} else {
+			types[id] = NonCore
+		}
+		owner[id] = r.Intn(k)
+	}
+	gs := make([]*Graph, k)
+	for p := range gs {
+		gs[p] = New(numCells)
+	}
+	for id, p := range owner {
+		gs[p].SetVertex(int32(id), types[id])
+	}
+	for e := 0; e < numCells*3; e++ {
+		from := int32(r.Intn(numCells))
+		if types[from] != Core {
+			continue
+		}
+		gs[owner[from]].AddEdge(from, int32(r.Intn(numCells)))
+	}
+	return gs
+}
+
+// Property: the clustering extracted after merging all subgraphs is
+// invariant under merge order (Definition 6.2 is commutative and
+// associative up to the component structure).
+func TestGraphMergeOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		const numCells, k = 30, 5
+		build := func() []*Graph {
+			return randomSubgraphs(rand.New(rand.NewSource(seed)), numCells, k)
+		}
+		// Left-to-right fold.
+		ltr := build()
+		g1 := ltr[0]
+		for _, o := range ltr[1:] {
+			g1.Merge(o)
+		}
+		g1.DetectEdgeTypes()
+		// Shuffled fold (order derived from the same seed, offset).
+		order := rand.New(rand.NewSource(seed + 7919)).Perm(k)
+		sh := build()
+		g2 := sh[order[0]]
+		for _, i := range order[1:] {
+			g2.Merge(sh[i])
+		}
+		g2.DetectEdgeTypes()
+		c1, n1 := g1.CoreComponents()
+		c2, n2 := g2.CoreComponents()
+		if n1 != n2 {
+			return false
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 103, 120)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging a subgraph's information twice changes nothing — the
+// re-execution semantics speculative copies rely on.
+func TestGraphIdempotentRemerge(t *testing.T) {
+	f := func(seed int64) bool {
+		const numCells, k = 25, 4
+		build := func() []*Graph {
+			return randomSubgraphs(rand.New(rand.NewSource(seed)), numCells, k)
+		}
+		once := build()
+		g1 := once[0]
+		for _, o := range once[1:] {
+			g1.Merge(o)
+		}
+		// Same fold, but every subgraph is merged twice (from a fresh copy,
+		// since Merge cannibalises its argument).
+		twiceA, twiceB := build(), build()
+		g2 := twiceA[0]
+		g2.Merge(twiceB[0])
+		for i := 1; i < k; i++ {
+			g2.Merge(twiceA[i])
+			g2.Merge(twiceB[i])
+		}
+		c1, n1 := g1.CoreComponents()
+		c2, n2 := g2.CoreComponents()
+		if n1 != n2 {
+			return false
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 104, 120)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"testing/quick"
 
 	"rpdbscan/internal/geom"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestSideDiagonalIsEps(t *testing.T) {
@@ -104,7 +106,7 @@ func TestCellDiagonalProperty(t *testing.T) {
 		}
 		return geom.Dist(p, q) <= eps+1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 209, 500)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -189,7 +191,7 @@ func TestSubCellApproximationBound(t *testing.T) {
 		bound := subSide * math.Sqrt(float64(dim)) / 2
 		return geom.Dist(p, center) <= bound+1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 209, 500)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -216,7 +218,7 @@ func TestPointInOwnCellProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 209, 500)); err != nil {
 		t.Fatal(err)
 	}
 }

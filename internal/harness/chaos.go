@@ -1,0 +1,176 @@
+package harness
+
+// Chaos/differential experiment: RP-DBSCAN under deterministic fault
+// injection (internal/chaos) must produce byte-identical clusterings to the
+// fault-free run — every stage is idempotent and every injected fault is
+// either retried, speculated around, or detected by a transfer checksum —
+// while the simulated makespan degrades boundedly. cmd/rpbench serialises
+// the rows as BENCH_chaos.json; TestChaosEquivalence asserts the
+// equivalence and accounting invariants over the full sweep grid.
+
+import (
+	"time"
+
+	"rpdbscan/internal/chaos"
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+)
+
+// ChaosConfig spans the sweep grid: every Rate x Seed x Workers cell runs
+// once and is compared against the fault-free baseline at the same worker
+// count.
+type ChaosConfig struct {
+	// Rates are the fault rates swept; each is used as the failure,
+	// straggler, and corruption probability of one injector.
+	Rates []float64
+	// Seeds drive the injectors' deterministic schedules.
+	Seeds []int64
+	// Workers are the virtual cluster sizes swept.
+	Workers []int
+	// StragglerDelay is the virtual inflation per straggler; zero keeps
+	// the injector default (20ms).
+	StragglerDelay time.Duration
+}
+
+// DefaultChaosConfig returns the grid used by `rpbench chaos` and the
+// chaos equivalence test: 3 rates x 3 seeds x 2 worker counts.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Rates:   []float64{0.05, 0.15, 0.30},
+		Seeds:   []int64{1, 2, 3},
+		Workers: []int{8, 16},
+	}
+}
+
+// ChaosRow reports one cell of the sweep.
+type ChaosRow struct {
+	Rate    float64 `json:"rate"`
+	Seed    int64   `json:"seed"`
+	Workers int     `json:"workers"`
+	// Identical reports whether Labels and CorePoint came out
+	// byte-identical to the fault-free baseline. Anything but true is a
+	// correctness bug.
+	Identical bool `json:"identical"`
+	// Accounted reports whether the engine's FaultStats ledger reconciles
+	// exactly with the injector's own tally: every injected failure,
+	// straggler nanosecond, and corrupted chunk accounted for.
+	Accounted bool `json:"accounted"`
+	// Fault ledger totals (deterministic functions of rate and seed).
+	InjectedFailures    int64   `json:"injected_failures"`
+	ChecksumRejects     int64   `json:"checksum_rejects"`
+	SpeculativeLaunches int64   `json:"speculative_launches"`
+	SpeculativeWins     int64   `json:"speculative_wins"`
+	StragglerMillis     float64 `json:"straggler_millis"`
+	BackoffMillis       float64 `json:"backoff_millis"`
+	// SimulatedMillis is the chaos run's virtual makespan;
+	// BaselineMillis the fault-free run's at the same worker count.
+	SimulatedMillis float64 `json:"simulated_millis"`
+	BaselineMillis  float64 `json:"baseline_millis"`
+	// BoundMillis is the Graham bound on the chaos run's own costs
+	// (sum over stages of total/W + max): greedy scheduling can never
+	// exceed it, so WithinBound=false means the scheduler model broke.
+	BoundMillis float64 `json:"bound_millis"`
+	WithinBound bool    `json:"within_bound"`
+}
+
+// grahamBound sums, over stages, the greedy-scheduling upper bound
+// total/w + max. Every stage's makespan is at most its bound, so the
+// simulated elapsed time of the whole run is at most the sum.
+func grahamBound(rep *engine.Report, w int) time.Duration {
+	if w < 1 {
+		w = 1
+	}
+	var b time.Duration
+	for _, st := range rep.Stages {
+		b += st.Total()/time.Duration(w) + st.Max()
+	}
+	return b
+}
+
+func millis(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// Chaos sweeps fault injection over cfg's grid on the skewed synthetic
+// mixture. One row per (rate, seed, workers) cell.
+func Chaos(s Scale, cfg ChaosConfig) ([]ChaosRow, error) {
+	s = s.norm()
+	pts := synthMixture(s.N, 2, 3, s.Seed)
+	ccfg := core.Config{
+		Eps: synthEps, MinPts: s.minPtsFor(20), Rho: s.Rho,
+		NumPartitions: s.Partitions, Seed: s.Seed,
+	}
+	run := func(workers int, inj engine.Injector) (*core.Result, error) {
+		cl := engine.New(workers)
+		cl.Injector = inj
+		return core.Run(pts, ccfg, cl)
+	}
+	var rows []ChaosRow
+	for _, w := range cfg.Workers {
+		base, err := run(w, nil)
+		if err != nil {
+			return nil, err
+		}
+		baseMs := millis(base.Report.SimulatedElapsed())
+		for _, rate := range cfg.Rates {
+			for _, seed := range cfg.Seeds {
+				inj, err := chaos.New(chaos.Config{
+					Seed: seed, FailProb: rate, StragglerProb: rate,
+					CorruptProb: rate, StragglerDelay: cfg.StragglerDelay,
+				})
+				if err != nil {
+					return nil, err
+				}
+				res, err := run(w, inj)
+				if err != nil {
+					return nil, err
+				}
+				faults := res.Report.TotalFaults()
+				tally := inj.Stats()
+				sim := res.Report.SimulatedElapsed()
+				bound := grahamBound(res.Report, w)
+				rows = append(rows, ChaosRow{
+					Rate: rate, Seed: seed, Workers: w,
+					Identical: equalLabels(base.Labels, res.Labels) &&
+						equalBools(base.CorePoint, res.CorePoint),
+					Accounted: faults.InjectedFailures == tally.Failures &&
+						faults.StragglerDelay == tally.StragglerDelay &&
+						faults.ChecksumRejects == tally.Corruptions,
+					InjectedFailures:    faults.InjectedFailures,
+					ChecksumRejects:     faults.ChecksumRejects,
+					SpeculativeLaunches: faults.SpeculativeLaunches,
+					SpeculativeWins:     faults.SpeculativeWins,
+					StragglerMillis:     millis(faults.StragglerDelay),
+					BackoffMillis:       millis(faults.BackoffVirtual),
+					SimulatedMillis:     millis(sim),
+					BaselineMillis:      baseMs,
+					BoundMillis:         millis(bound),
+					WithinBound:         sim <= bound,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+func equalLabels(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -7,6 +7,8 @@ import (
 	"testing/quick"
 
 	"rpdbscan/internal/geom"
+
+	"rpdbscan/internal/testutil"
 )
 
 func randomPoints(r *rand.Rand, n, dim int) *geom.Points {
@@ -146,7 +148,7 @@ func TestInBallProperty(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 205, 100)); err != nil {
 		t.Fatal(err)
 	}
 }

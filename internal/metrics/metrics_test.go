@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"rpdbscan/internal/testutil"
 )
 
 func TestRandIndexIdentical(t *testing.T) {
@@ -61,7 +63,7 @@ func TestRandIndexSymmetric(t *testing.T) {
 		x, y := RandIndex(a, b), RandIndex(b, a)
 		return x == y && x >= 0 && x <= 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 203, 200)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -171,7 +173,7 @@ func TestNMISymmetricProperty(t *testing.T) {
 		}
 		return diff < 1e-9 && adiff < 1e-9 && x >= 0 && x <= 1
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	if err := quick.Check(f, testutil.QuickConfig(t, 204, 150)); err != nil {
 		t.Fatal(err)
 	}
 }

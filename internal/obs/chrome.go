@@ -18,6 +18,7 @@ type chromeEvent struct {
 	Ts   float64        `json:"ts"` // microseconds
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -75,6 +76,32 @@ func WriteChromeTrace(w io.Writer, r *engine.Report) error {
 				chromeEvent{Name: s.Name, Cat: s.Phase, Ph: "B", Ts: micros(start), Pid: 0, Tid: wk, Args: args},
 				chromeEvent{Name: s.Name, Cat: s.Phase, Ph: "E", Ts: micros(start + cost), Pid: 0, Tid: wk},
 			)
+		}
+		// Chaos activity shows up as a global instant event ("I") at the
+		// stage barrier, carrying the stage's fault ledger.
+		if !s.Faults.IsZero() {
+			f := s.Faults
+			args := map[string]any{}
+			if f.InjectedFailures > 0 {
+				args["injected_failures"] = f.InjectedFailures
+			}
+			if f.ChecksumRejects > 0 {
+				args["checksum_rejects"] = f.ChecksumRejects
+			}
+			if f.SpeculativeLaunches > 0 {
+				args["speculative_launches"] = f.SpeculativeLaunches
+				args["speculative_wins"] = f.SpeculativeWins
+			}
+			if f.BackoffVirtual > 0 {
+				args["backoff_virtual_ns"] = f.BackoffVirtual.Nanoseconds()
+			}
+			if f.StragglerDelay > 0 {
+				args["straggler_delay_ns"] = f.StragglerDelay.Nanoseconds()
+			}
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name: "chaos:" + s.Name, Cat: "chaos", Ph: "I", S: "g",
+				Ts: micros(clock + s.Makespan(workers)), Pid: 0, Tid: 0, Args: args,
+			})
 		}
 		clock += s.Makespan(workers)
 	}

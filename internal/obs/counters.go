@@ -24,12 +24,25 @@ var Counters = struct {
 	MergeOps *expvar.Int
 	// StagesRun counts engine stages executed.
 	StagesRun *expvar.Int
+	// FaultsInjected counts injected task-attempt failures (chaos mode).
+	FaultsInjected *expvar.Int
+	// ChecksumRejects counts payload chunks rejected by their transfer
+	// checksum and re-transferred.
+	ChecksumRejects *expvar.Int
+	// SpeculativeLaunches counts speculative straggler re-executions.
+	SpeculativeLaunches *expvar.Int
+	// SpeculativeWins counts speculative copies that finished first.
+	SpeculativeWins *expvar.Int
 }{
-	PointsRead:     expvar.NewInt("rpdbscan.points_read"),
-	CellsBuilt:     expvar.NewInt("rpdbscan.cells_built"),
-	BroadcastBytes: expvar.NewInt("rpdbscan.broadcast_bytes"),
-	ShuffleBytes:   expvar.NewInt("rpdbscan.shuffle_bytes"),
-	TaskRetries:    expvar.NewInt("rpdbscan.task_retries"),
-	MergeOps:       expvar.NewInt("rpdbscan.merge_ops"),
-	StagesRun:      expvar.NewInt("rpdbscan.stages_run"),
+	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
+	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
+	BroadcastBytes:      expvar.NewInt("rpdbscan.broadcast_bytes"),
+	ShuffleBytes:        expvar.NewInt("rpdbscan.shuffle_bytes"),
+	TaskRetries:         expvar.NewInt("rpdbscan.task_retries"),
+	MergeOps:            expvar.NewInt("rpdbscan.merge_ops"),
+	StagesRun:           expvar.NewInt("rpdbscan.stages_run"),
+	FaultsInjected:      expvar.NewInt("rpdbscan.faults_injected"),
+	ChecksumRejects:     expvar.NewInt("rpdbscan.checksum_rejects"),
+	SpeculativeLaunches: expvar.NewInt("rpdbscan.speculative_launches"),
+	SpeculativeWins:     expvar.NewInt("rpdbscan.speculative_wins"),
 }

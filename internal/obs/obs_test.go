@@ -87,7 +87,7 @@ func TestSinkCountsRetriesAndBroadcasts(t *testing.T) {
 func TestFaultInjectorRetryReachesCounter(t *testing.T) {
 	c := engine.New(2)
 	c.Sink = NewSink(nil)
-	c.FaultInjector = func(stage string, task, attempt int) bool { return attempt == 0 }
+	c.Injector = engine.InjectorFunc(func(stage string, task, attempt int) bool { return attempt == 0 })
 	r0 := Counters.TaskRetries.Value()
 	c.RunStage("II", "flaky", 5, func(i int) {})
 	if got := Counters.TaskRetries.Value() - r0; got != 5 {
@@ -100,7 +100,7 @@ func TestSinkLogsRetriesAtWarn(t *testing.T) {
 	l := slog.New(slog.NewTextHandler(&buf, &slog.HandlerOptions{Level: slog.LevelInfo}))
 	c := engine.New(1)
 	c.Sink = NewSink(l)
-	c.FaultInjector = func(stage string, task, attempt int) bool { return attempt == 0 }
+	c.Injector = engine.InjectorFunc(func(stage string, task, attempt int) bool { return attempt == 0 })
 	c.RunStage("II", "flaky", 1, func(i int) {})
 	out := buf.String()
 	if !strings.Contains(out, "task retry") || !strings.Contains(out, "flaky") {

@@ -40,6 +40,14 @@ func (s *Sink) Emit(e engine.Event) {
 		Counters.TaskRetries.Add(1)
 	case engine.EventBroadcast:
 		Counters.BroadcastBytes.Add(e.Bytes)
+	case engine.EventTaskFault:
+		Counters.FaultsInjected.Add(1)
+	case engine.EventChecksumReject:
+		Counters.ChecksumRejects.Add(1)
+	case engine.EventSpecLaunch:
+		Counters.SpeculativeLaunches.Add(1)
+	case engine.EventSpecWin:
+		Counters.SpeculativeWins.Add(1)
 	}
 	if s.Logger == nil {
 		return
@@ -58,6 +66,15 @@ func (s *Sink) Emit(e engine.Event) {
 	case engine.EventTaskFault:
 		s.Logger.Warn("injected fault", "stage", e.Stage, "phase", e.Phase,
 			"task", e.Task, "attempt", e.Attempt)
+	case engine.EventChecksumReject:
+		s.Logger.Warn("checksum reject", "stage", e.Stage, "phase", e.Phase,
+			"task", e.Task, "attempt", e.Attempt, "chunk", e.Chunk, "bytes", e.Bytes)
+	case engine.EventSpecLaunch:
+		s.Logger.Warn("speculative launch", "stage", e.Stage, "phase", e.Phase,
+			"task", e.Task, "straggler_cost", e.Duration)
+	case engine.EventSpecWin:
+		s.Logger.Debug("speculative win", "stage", e.Stage, "phase", e.Phase,
+			"task", e.Task, "cost", e.Duration)
 	case engine.EventTaskStart:
 		s.Logger.Log(context.Background(), LevelTask, "task start", "stage", e.Stage, "task", e.Task)
 	case engine.EventTaskEnd:

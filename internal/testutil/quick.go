@@ -1,0 +1,18 @@
+// Package testutil holds small helpers shared by the package test suites.
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// QuickConfig returns a testing/quick configuration pinned to an explicit
+// seed instead of the package default (which derives its generator from
+// the clock and makes failures unreplayable). The seed is logged so a
+// failing run prints exactly what to pin when reproducing.
+func QuickConfig(t testing.TB, seed int64, maxCount int) *quick.Config {
+	t.Helper()
+	t.Logf("testing/quick seed %d", seed)
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(seed))}
+}
