@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/...
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./cmd/rpserve/
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,8 @@ fuzz:
 	$(GO) test -fuzz FuzzQueryCellEquivalence -fuzztime 30s ./internal/dict/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/pointio/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/pointio/
+	$(GO) test -fuzz FuzzModelDecode -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzPredictRequest -fuzztime 30s ./internal/serve/
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

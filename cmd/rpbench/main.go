@@ -7,8 +7,8 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2 chaos, or "all". With no arguments, "all"
-// runs.
+// table8 fig19 fig20 fig21 phase2 chaos serve, or "all". With no
+// arguments, "all" runs.
 //
 // Flags:
 //
@@ -22,6 +22,7 @@
 //	-csvdir  also write machine-readable CSVs into this directory
 //	-phase2out  where the phase2 experiment writes BENCH_phase2.json ("" skips)
 //	-chaosout   where the chaos experiment writes BENCH_chaos.json ("" skips)
+//	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
 package main
@@ -37,10 +38,13 @@ import (
 	"strings"
 	"time"
 
+	"rpdbscan"
 	"rpdbscan/internal/datagen"
 	"rpdbscan/internal/harness"
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/plot"
+	"rpdbscan/internal/serve"
+	"rpdbscan/internal/serve/loadgen"
 )
 
 func main() {
@@ -55,6 +59,7 @@ func main() {
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
 	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "where the serve experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -100,8 +105,9 @@ func main() {
 		"fig21":  fig21,
 		"phase2": phase2,
 		"chaos":  chaosExp,
+		"serve":  serveExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos", "serve"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -570,6 +576,67 @@ func chaosExp(s harness.Scale) error {
 	}
 	return writeCSV("chaos.csv",
 		"rate,seed,workers,identical,accounted,injected_failures,checksum_rejects,spec_launches,spec_wins,simulated_ms,baseline_ms,bound_ms", lines)
+}
+
+// serveOut is where the serve experiment writes its JSON report (empty =
+// skip).
+var serveOut string
+
+// serveExp: serving benchmark — fit a model on a deterministic data set,
+// then replay the seeded load-generator stream against the in-process
+// prediction server and report the latency histogram and throughput. The
+// run must sustain the whole stream with zero errors and zero sheds.
+func serveExp(s harness.Scale) error {
+	header("Serve: prediction-server latency under the seeded load stream")
+	pts := datagen.Moons(s.N, 0.05, s.Seed)
+	res, err := rpdbscan.ClusterFlat(pts.Coords, pts.Dim, rpdbscan.Options{
+		Eps: 0.1, MinPts: 10, Workers: s.Workers, Seed: s.Seed,
+	})
+	if err != nil {
+		return err
+	}
+	model, err := serve.New(pts.Coords, pts.Dim, res.Labels, res.Core, 0.1, 10, 0.01, res.NumClusters)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(model, serve.ServerConfig{})
+	cfg := loadgen.Config{
+		Seed: s.Seed, Clients: 16, RequestsPerClient: 400,
+		BatchEvery: 5, BatchSize: 16, InfoEvery: 37,
+	}
+	rep, err := loadgen.Run(srv.Handler(), model, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  model: %d points (%d core, %d clusters)\n",
+		model.Len(), model.Info().CorePoints, model.Info().Clusters)
+	fmt.Printf("  %d requests from %d clients in %.1fms  (%.0f req/s, %d points classified, %.1f%% noise)\n",
+		rep.Requests, rep.Clients, rep.ElapsedMS, rep.Throughput, rep.Points, 100*rep.NoiseRate)
+	fmt.Printf("  latency: p50=%.0fus  p99=%.0fus  max=%.0fus   ok=%d rejected=%d errors=%d\n",
+		rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS, rep.OK, rep.Rejected, rep.Errors)
+	if rep.Errors > 0 || rep.Rejected > 0 {
+		return fmt.Errorf("serve: %d errors and %d sheds on the seeded stream (want 0/0)", rep.Errors, rep.Rejected)
+	}
+	if serveOut != "" {
+		out := struct {
+			Model serve.Info      `json:"model"`
+			Load  *loadgen.Report `json:"load"`
+		}{model.Info(), rep}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(serveOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", serveOut)
+	}
+	var lines []string
+	lines = append(lines, fmt.Sprintf("%d,%d,%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.0f",
+		rep.Requests, rep.Clients, rep.OK, rep.Rejected, rep.Errors,
+		rep.ElapsedMS, rep.Throughput, rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS))
+	return writeCSV("serve.csv",
+		"requests,clients,ok,rejected,errors,elapsed_ms,throughput_rps,p50_us,p99_us,max_us", lines)
 }
 
 func fig21(s harness.Scale) error {

@@ -22,6 +22,7 @@
 //	-binary       input is rpdatagen binary format
 //	-labeled      echo coordinates with the label appended
 //	-o            output path (default stdout)
+//	-save-model   write the fitted model artifact here (serve it with rpserve)
 //	-stats        print phase timings and dictionary stats to stderr
 //	-trace        write the engine trace to this path
 //	-trace-format report (engine JSON) or chrome (chrome://tracing timeline)
@@ -59,6 +60,7 @@ import (
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
+	"rpdbscan/internal/serve"
 )
 
 // fatal logs the error through the structured logger and exits.
@@ -77,6 +79,7 @@ func main() {
 	binary := flag.Bool("binary", false, "input is binary point format")
 	labeled := flag.Bool("labeled", false, "echo coordinates with label appended")
 	out := flag.String("o", "", "output path (default stdout)")
+	saveModel := flag.String("save-model", "", "write the fitted model artifact here (algo rp or exact)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
 	trace := flag.String("trace", "", "write the engine trace to this path")
 	traceFormat := flag.String("trace-format", "report", "trace encoding: "+obs.TraceFormats)
@@ -132,6 +135,7 @@ func main() {
 	}
 	var labels []int
 	var clusters int
+	var corePoints []bool // set by algorithms that judge core points
 	switch *algo {
 	case "rp":
 		res, err := core.Run(pts, core.Config{
@@ -142,6 +146,7 @@ func main() {
 			fatal(log, "clustering", err)
 		}
 		labels, clusters = res.Labels, res.NumClusters
+		corePoints = res.CorePoint
 		obs.Counters.CellsBuilt.Add(int64(res.NumCells))
 		if s := cl.Report().Stage("cell-partitioning"); s != nil {
 			obs.Counters.ShuffleBytes.Add(s.Bytes)
@@ -176,6 +181,7 @@ func main() {
 	case "exact":
 		res := dbscan.Run(pts, *eps, *minPts)
 		labels, clusters = res.Labels, res.NumClusters
+		corePoints = res.CorePoint
 	default:
 		log.Error("unknown algorithm", "algo", *algo)
 		os.Exit(1)
@@ -197,6 +203,29 @@ func main() {
 			fatal(log, "close trace file", err)
 		}
 		log.Info("wrote trace", "path", *trace, "format", *traceFormat)
+	}
+	if *saveModel != "" {
+		if corePoints == nil {
+			log.Error("save-model requires an algorithm that reports core points", "algo", *algo, "want", "rp or exact")
+			os.Exit(1)
+		}
+		m, err := serve.New(pts.Coords, pts.Dim, labels, corePoints, *eps, *minPts, *rho, clusters)
+		if err != nil {
+			fatal(log, "build model", err)
+		}
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fatal(log, "create model file", err)
+		}
+		if err := m.Save(f); err != nil {
+			fatal(log, "save model", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(log, "close model file", err)
+		}
+		info := m.Info()
+		log.Info("wrote model", "path", *saveModel, "bytes", info.ArtifactBytes,
+			"core_points", info.CorePoints, "checksum", info.Checksum)
 	}
 	if err := writeOutput(*out, pts, labels, *labeled); err != nil {
 		fatal(log, "write output", err)

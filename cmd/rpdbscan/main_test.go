@@ -7,7 +7,10 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"testing"
+
+	"rpdbscan/internal/serve"
 )
 
 // update regenerates the golden files instead of comparing against them:
@@ -148,5 +151,88 @@ func TestChaosFlagsPreserveOutput(t *testing.T) {
 	}
 	if !bytes.Contains(stderr, []byte("chaos enabled")) {
 		t.Fatalf("chaos not announced on stderr:\n%s", stderr)
+	}
+}
+
+// TestGoldenSaveModel pins the -save-model artifact byte for byte against
+// the fixture model that cmd/rpserve serves in its own golden tests: the
+// two CLIs must agree on the artifact. It then reloads the artifact and
+// checks the served predictions are consistent with the golden labels the
+// clustering itself produced.
+func TestGoldenSaveModel(t *testing.T) {
+	golden := filepath.Join("..", "rpserve", "testdata", "two_blobs.model")
+	modelPath := filepath.Join(t.TempDir(), "two_blobs.model")
+	stdout, _ := runCLI(t, append([]string{"-save-model", modelPath}, fixtureArgs...)...)
+	got, err := os.ReadFile(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("-save-model artifact diverged from %s: got %d bytes, want %d (re-run with -update if intentional)",
+				golden, len(got), len(want))
+		}
+	}
+
+	// Reload and cross-check against the labels the run just printed:
+	// every core training point must predict its own fitted label.
+	m, err := serve.Decode(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := m.Info()
+	if info.Points != 65 || info.Clusters != 2 || info.Dim != 2 {
+		t.Fatalf("model info = %+v, want 65 points / 2 clusters / dim 2", info)
+	}
+	var labels []int
+	for _, line := range bytes.Split(bytes.TrimSpace(stdout), []byte("\n")) {
+		v, err := strconv.Atoi(string(line))
+		if err != nil {
+			t.Fatalf("bad label line %q: %v", line, err)
+		}
+		labels = append(labels, v)
+	}
+	if len(labels) != info.Points {
+		t.Fatalf("printed %d labels, model has %d points", len(labels), info.Points)
+	}
+	for i := 0; i < m.Len(); i++ {
+		if m.TrainingLabel(i) != labels[i] {
+			t.Fatalf("point %d: artifact label %d != printed label %d", i, m.TrainingLabel(i), labels[i])
+		}
+		if !m.TrainingCore(i) {
+			continue
+		}
+		pred, err := m.Predict(m.TrainingPoint(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.Label != labels[i] {
+			t.Fatalf("core point %d predicted %d, fitted label %d", i, pred.Label, labels[i])
+		}
+	}
+}
+
+// TestSaveModelRequiresCoreFlags pins the error path: algorithms that do
+// not report core points cannot serve a model.
+func TestSaveModelRequiresCoreFlags(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{"-algo", "esp", "-save-model", filepath.Join(t.TempDir(), "m")}, fixtureArgs...)
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "RPDBSCAN_BE_CLI=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("-save-model with a coreless algorithm should fail:\n%s", out)
 	}
 }

@@ -1,0 +1,137 @@
+// Command rpserve serves predictions from a fitted RP-DBSCAN model
+// artifact (written by `rpdbscan -save-model`) over HTTP.
+//
+// Usage:
+//
+//	rpserve -model model.rpm [flags]
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness probe
+//	GET  /model/info     model parameters and artifact identity
+//	POST /predict        {"point":[...]} -> {"label":..,"noise":..,...}
+//	POST /predict/batch  {"points":[[...],...]} -> {"predictions":[...],...}
+//
+// The server shares one immutable model across all connections, admits at
+// most -max-inflight requests at once (sheds the rest with 429), caps
+// request bodies at -max-body bytes, and drains gracefully on SIGTERM /
+// SIGINT: the listener closes, in-flight requests complete, then the
+// process exits.
+//
+// Flags:
+//
+//	-model        model artifact path (required)
+//	-addr         listen address (default :8399)
+//	-timeout      per-request read/write timeout (default 10s)
+//	-max-body     request body cap in bytes (default 1 MiB)
+//	-max-inflight bounded admission queue depth (default 256)
+//	-max-batch    points per /predict/batch cap (default 4096)
+//	-drain        graceful shutdown budget (default 10s)
+//	-log-level    debug|info|warn|error structured log level (stderr)
+//	-log-format   text|json structured log encoding
+//	-debug-addr   serve /debug/pprof and /debug/vars on this address
+//	-chaos-fail   probability of an injected handler fault (chaos testing)
+//	-chaos-seed   seed for the injected fault schedule
+package main
+
+import (
+	"context"
+	"flag"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rpdbscan/internal/chaos"
+	"rpdbscan/internal/obs"
+	"rpdbscan/internal/serve"
+)
+
+func fatal(log *slog.Logger, msg string, err error) {
+	log.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+func main() {
+	modelPath := flag.String("model", "", "model artifact path (required)")
+	addr := flag.String("addr", ":8399", "listen address")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request read/write timeout")
+	maxBody := flag.Int64("max-body", 1<<20, "request body cap in bytes")
+	maxInflight := flag.Int("max-inflight", 256, "bounded admission queue depth (429 beyond it)")
+	maxBatch := flag.Int("max-batch", 4096, "points per /predict/batch request")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of an injected handler fault")
+	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
+	var logCfg obs.LogConfig
+	logCfg.RegisterFlags(flag.CommandLine)
+	flag.Parse()
+
+	log, err := logCfg.Setup(os.Stderr)
+	if err != nil {
+		slog.Error("rpserve", "err", err)
+		os.Exit(2)
+	}
+	log = log.With("cmd", "rpserve")
+	if *modelPath == "" || flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *debugAddr != "" {
+		if _, err := obs.StartDebugServer(*debugAddr, log); err != nil {
+			fatal(log, "debug server", err)
+		}
+	}
+
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		fatal(log, "open model", err)
+	}
+	model, err := serve.Load(f)
+	f.Close()
+	if err != nil {
+		fatal(log, "load model", err)
+	}
+	info := model.Info()
+	log.Info("model loaded", "path", *modelPath, "points", info.Points,
+		"core_points", info.CorePoints, "clusters", info.Clusters,
+		"dim", info.Dim, "eps", info.Eps, "min_pts", info.MinPts,
+		"checksum", info.Checksum)
+
+	cfg := serve.ServerConfig{
+		MaxBodyBytes:   *maxBody,
+		MaxInFlight:    *maxInflight,
+		MaxBatch:       *maxBatch,
+		RequestTimeout: *timeout,
+		Log:            log,
+	}
+	if *chaosFail > 0 {
+		inj, err := chaos.New(chaos.Config{Seed: *chaosSeed, FailProb: *chaosFail})
+		if err != nil {
+			fatal(log, "chaos config", err)
+		}
+		cfg.Injector = inj
+		log.Info("chaos enabled", "seed", *chaosSeed, "fail", *chaosFail)
+	}
+	// Install the signal handler before announcing the address: a SIGTERM
+	// arriving between "serving" and handler registration would kill the
+	// process instead of draining it.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	srv := serve.NewServer(model, cfg)
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fatal(log, "listen", err)
+	}
+	log.Info("serving", "addr", bound.String())
+	<-ctx.Done()
+	stop()
+	log.Info("draining", "budget", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fatal(log, "drain", err)
+	}
+	log.Info("stopped")
+}

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// update regenerates the golden files instead of comparing against them:
+//
+//	go test ./cmd/rpserve -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMain lets the test binary impersonate the real CLI (same convention
+// as cmd/rpdbscan): a child process spawned with RPSERVE_BE_CLI=1 runs
+// main() against its own arguments.
+func TestMain(m *testing.M) {
+	if os.Getenv("RPSERVE_BE_CLI") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// startServer boots the real CLI on a kernel-assigned port against the
+// checked-in fixture model and returns the base URL plus a stop function
+// that SIGTERMs the process and asserts a clean drain (exit status 0).
+func startServer(t *testing.T, extraArgs ...string) (base string, stop func()) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := append([]string{
+		"-model", filepath.Join("testdata", "two_blobs.model"),
+		"-addr", "127.0.0.1:0",
+		"-log-format", "json",
+	}, extraArgs...)
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "RPSERVE_BE_CLI=1")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI announces its bound address in the "serving" log record.
+	addrCh := make(chan string, 1)
+	logs := &bytes.Buffer{}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Bytes()
+			logs.Write(line)
+			logs.WriteByte('\n')
+			var rec struct {
+				Msg  string `json:"msg"`
+				Addr string `json:"addr"`
+			}
+			if json.Unmarshal(line, &rec) == nil && rec.Msg == "serving" {
+				select {
+				case addrCh <- rec.Addr:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("server did not announce its address; logs:\n%s", logs.String())
+	}
+	stopped := false
+	stop = func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			t.Fatalf("SIGTERM: %v", err)
+		}
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("server did not drain cleanly: %v\nlogs:\n%s", err, logs.String())
+		}
+	}
+	t.Cleanup(stop)
+	return base, stop
+}
+
+// endpointCases is every rpserve endpoint (and its principal error paths),
+// each pinned to a golden transcript of status, content type, and body.
+var endpointCases = []struct {
+	name   string
+	method string
+	path   string
+	body   string
+}{
+	{"healthz", "GET", "/healthz", ""},
+	{"model_info", "GET", "/model/info", ""},
+	{"predict_hit", "POST", "/predict", `{"point":[0.08,-0.02]}`},
+	{"predict_noise", "POST", "/predict", `{"point":[9,9]}`},
+	{"predict_bad_json", "POST", "/predict", `{"point":`},
+	{"predict_dim_mismatch", "POST", "/predict", `{"point":[1,2,3]}`},
+	{"predict_wrong_method", "GET", "/predict", ""},
+	{"batch", "POST", "/predict/batch", `{"points":[[0.08,-0.02],[2.04,2.01],[9,9]]}`},
+	{"batch_bad_point", "POST", "/predict/batch", `{"points":[[1]]}`},
+	{"not_found", "GET", "/nope", ""},
+}
+
+// transcript renders one HTTP exchange in the golden format.
+func transcript(method, path, reqBody string, resp *http.Response, respBody []byte) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s\n", method, path)
+	if reqBody != "" {
+		fmt.Fprintf(&b, ">> %s\n", reqBody)
+	}
+	fmt.Fprintf(&b, "%d %s\n", resp.StatusCode, http.StatusText(resp.StatusCode))
+	keys := []string{"Content-Type", "Allow", "Retry-After"}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if v := resp.Header.Get(k); v != "" {
+			fmt.Fprintf(&b, "%s: %s\n", k, v)
+		}
+	}
+	b.WriteString(string(respBody))
+	return b.String()
+}
+
+// TestGoldenEndpoints boots the real rpserve binary on the checked-in
+// fixture model and pins every endpoint's exact status, headers, and
+// canonical JSON body. Regenerate with -update after intentional changes.
+func TestGoldenEndpoints(t *testing.T) {
+	base, _ := startServer(t)
+	for _, tc := range endpointCases {
+		t.Run(tc.name, func(t *testing.T) {
+			var req *http.Request
+			var err error
+			if tc.body != "" {
+				req, err = http.NewRequest(tc.method, base+tc.path, strings.NewReader(tc.body))
+				if err == nil {
+					req.Header.Set("Content-Type", "application/json")
+				}
+			} else {
+				req, err = http.NewRequest(tc.method, base+tc.path, nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := transcript(tc.method, tc.path, tc.body, resp, body)
+
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s", golden)
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("transcript diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if intentional)",
+					golden, got, want)
+			}
+		})
+	}
+}
+
+// TestGracefulSIGTERM pins the drain contract at the process level: a
+// serving rpserve receiving SIGTERM exits with status 0, and its listener
+// refuses connections afterwards.
+func TestGracefulSIGTERM(t *testing.T) {
+	base, stop := startServer(t)
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	stop() // SIGTERM + assert exit 0
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("server still answering after SIGTERM drain")
+	}
+}
+
+// TestRejectsCorruptModel pins the checksum gate at the CLI level: a
+// single flipped byte in the artifact must abort startup with a non-zero
+// exit.
+func TestRejectsCorruptModel(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "two_blobs.model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	corrupt := filepath.Join(t.TempDir(), "corrupt.model")
+	if err := os.WriteFile(corrupt, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-model", corrupt, "-addr", "127.0.0.1:0")
+	cmd.Env = append(os.Environ(), "RPSERVE_BE_CLI=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rpserve accepted a corrupt model:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("checksum")) {
+		t.Fatalf("expected a checksum error, got:\n%s", out)
+	}
+}

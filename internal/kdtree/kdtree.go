@@ -207,6 +207,58 @@ func (t *Tree) inBallBox(ni int, b geom.Box, r2 float64, dst []int) []int {
 	return dst
 }
 
+// NearestInBall returns the payload of the point nearest to q among those
+// within radius r, its squared distance, and whether any point qualified.
+// Ties on distance resolve to the smallest payload, so the answer is a pure
+// function of the indexed set — independent of tree shape and traversal
+// order — which is what lets the serving layer promise byte-identical
+// predictions across concurrent and sequential execution.
+func (t *Tree) NearestInBall(q []float64, r float64) (payload int, dist2 float64, ok bool) {
+	if t.root < 0 || r < 0 {
+		return 0, 0, false
+	}
+	best := nearest{dist2: r * r, payload: -1}
+	t.nearestInBall(t.root, q, &best)
+	if best.payload < 0 {
+		return 0, 0, false
+	}
+	return best.payload, best.dist2, true
+}
+
+type nearest struct {
+	dist2   float64
+	payload int // -1 until a point qualifies
+}
+
+func (t *Tree) nearestInBall(ni int, q []float64, best *nearest) {
+	nd := &t.nodes[ni]
+	// Prune on the current best radius; "equal" must still be visited so
+	// the smallest-payload tie-break sees every candidate at the boundary.
+	if nd.bounds.MinDist2(q) > best.dist2 {
+		return
+	}
+	if nd.count > 0 || nd.left < 0 {
+		for i := nd.start; i < nd.start+nd.count; i++ {
+			d2 := geom.Dist2(q, t.at(i))
+			if d2 > best.dist2 {
+				continue
+			}
+			if best.payload < 0 || d2 < best.dist2 || t.items[i] < best.payload {
+				best.dist2, best.payload = d2, t.items[i]
+			}
+		}
+		return
+	}
+	// Descend the side of the split containing q first: it shrinks the
+	// best radius earliest, pruning more of the far side.
+	first, second := nd.left, nd.right
+	if q[nd.axis] > nd.split {
+		first, second = second, first
+	}
+	t.nearestInBall(first, q, best)
+	t.nearestInBall(second, q, best)
+}
+
 // Visit calls fn for every payload whose point is within radius r of q. It
 // avoids the allocation of InBall when the caller only needs to iterate.
 func (t *Tree) Visit(q []float64, r float64, fn func(payload int)) {

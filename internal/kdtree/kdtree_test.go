@@ -214,3 +214,60 @@ func TestInBallBoxEmptyAndReuse(t *testing.T) {
 		t.Fatalf("reused dst changed result: %d vs %d", len(a), len(bb))
 	}
 }
+
+// bruteNearestInBall applies NearestInBall's contract by exhaustive scan:
+// nearest point within r, ties resolved to the smallest payload.
+func bruteNearestInBall(pts *geom.Points, q []float64, r float64) (int, float64, bool) {
+	best, bestD2, ok := -1, r*r, false
+	for i := 0; i < pts.N(); i++ {
+		d2 := geom.Dist2(q, pts.At(i))
+		if d2 > bestD2 {
+			continue
+		}
+		if !ok || d2 < bestD2 || i < best {
+			best, bestD2, ok = i, d2, true
+		}
+	}
+	return best, bestD2, ok
+}
+
+func TestNearestInBallMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for _, dim := range []int{1, 2, 3, 7} {
+		pts := randomPoints(rng, 400, dim)
+		tr := Build(pts, nil)
+		for trial := 0; trial < 200; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()*24 - 12
+			}
+			r := rng.Float64() * 6
+			wantIdx, wantD2, wantOK := bruteNearestInBall(pts, q, r)
+			gotIdx, gotD2, gotOK := tr.NearestInBall(q, r)
+			if gotOK != wantOK {
+				t.Fatalf("dim %d: ok = %v, want %v", dim, gotOK, wantOK)
+			}
+			if wantOK && (gotIdx != wantIdx || gotD2 != wantD2) {
+				t.Fatalf("dim %d: nearest = (%d, %g), want (%d, %g)", dim, gotIdx, gotD2, wantIdx, wantD2)
+			}
+		}
+	}
+}
+
+func TestNearestInBallTieBreak(t *testing.T) {
+	// Four coincident pairs: equal distances must resolve to the smallest
+	// payload regardless of build order.
+	pts, _ := geom.FromSlice([][]float64{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 0}, {-1, 0}, {0, 1}, {0, -1}}, 2)
+	tr := Build(pts, nil)
+	idx, d2, ok := tr.NearestInBall([]float64{0, 0}, 2)
+	if !ok || idx != 0 || d2 != 1 {
+		t.Fatalf("NearestInBall = (%d, %g, %v), want (0, 1, true)", idx, d2, ok)
+	}
+	if _, _, ok := tr.NearestInBall([]float64{9, 9}, 1); ok {
+		t.Fatal("NearestInBall matched outside the ball")
+	}
+	empty := Build(geom.NewPoints(2, 0), nil)
+	if _, _, ok := empty.NearestInBall([]float64{0, 0}, 1); ok {
+		t.Fatal("NearestInBall matched on an empty tree")
+	}
+}

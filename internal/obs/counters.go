@@ -33,6 +33,22 @@ var Counters = struct {
 	SpeculativeLaunches *expvar.Int
 	// SpeculativeWins counts speculative copies that finished first.
 	SpeculativeWins *expvar.Int
+	// ServeRequests counts HTTP requests received by the prediction
+	// server (all endpoints, including rejected ones).
+	ServeRequests *expvar.Int
+	// ServePredictPoints counts points classified by /predict and
+	// /predict/batch.
+	ServePredictPoints *expvar.Int
+	// ServeRejects counts requests shed with 429 by the bounded
+	// admission queue.
+	ServeRejects *expvar.Int
+	// ServeErrors counts responses with status >= 400.
+	ServeErrors *expvar.Int
+	// ServeFaults counts chaos-injected handler failures (500s).
+	ServeFaults *expvar.Int
+	// ServeLatencyNs accumulates handler latency in nanoseconds;
+	// together with ServeRequests it yields the running mean.
+	ServeLatencyNs *expvar.Int
 }{
 	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
 	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
@@ -45,4 +61,10 @@ var Counters = struct {
 	ChecksumRejects:     expvar.NewInt("rpdbscan.checksum_rejects"),
 	SpeculativeLaunches: expvar.NewInt("rpdbscan.speculative_launches"),
 	SpeculativeWins:     expvar.NewInt("rpdbscan.speculative_wins"),
+	ServeRequests:       expvar.NewInt("rpdbscan.serve_requests"),
+	ServePredictPoints:  expvar.NewInt("rpdbscan.serve_predict_points"),
+	ServeRejects:        expvar.NewInt("rpdbscan.serve_rejects"),
+	ServeErrors:         expvar.NewInt("rpdbscan.serve_errors"),
+	ServeFaults:         expvar.NewInt("rpdbscan.serve_faults"),
+	ServeLatencyNs:      expvar.NewInt("rpdbscan.serve_latency_ns"),
 }

@@ -1,0 +1,281 @@
+// Package loadgen is a deterministic load generator for the prediction
+// server: a seeded query stream replayed by concurrent clients against an
+// http.Handler in-process (no sockets, so measured latency is handler
+// latency), recording a latency histogram and throughput. It powers
+// `rpbench serve` and doubles as the soak-test engine — the same seeded
+// stream that benchmarks the server is what the race soak replays against
+// the sequential oracle.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"net/http"
+
+	"rpdbscan/internal/serve"
+)
+
+// Config parameterizes one load run. Streams are derived purely from
+// (Seed, client index), so a run is replayable regardless of scheduling.
+type Config struct {
+	// Seed drives every generated query.
+	Seed int64
+	// Clients is the number of concurrent client goroutines. Zero
+	// defaults to 8.
+	Clients int
+	// RequestsPerClient is the stream length per client. Zero defaults
+	// to 200.
+	RequestsPerClient int
+	// BatchEvery makes every k-th request of a stream a /predict/batch
+	// (of BatchSize points); zero disables batches.
+	BatchEvery int
+	// BatchSize is the points per batch request. Zero defaults to 16.
+	BatchSize int
+	// InfoEvery makes every k-th request a /model/info; zero disables.
+	InfoEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.RequestsPerClient == 0 {
+		c.RequestsPerClient = 200
+	} else if c.RequestsPerClient < 0 {
+		// Explicitly-negative means an empty stream (Run reports it as an
+		// error); clamping here must survive a second withDefaults pass, so
+		// keep the sentinel rather than zeroing it.
+		c.RequestsPerClient = -1
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 16
+	}
+	return c
+}
+
+// Request is one generated query: its endpoint path and JSON body (nil
+// for GET endpoints).
+type Request struct {
+	Path string
+	Body []byte
+}
+
+// Stream generates client i's deterministic request sequence for a model:
+// query points drawn uniformly from the model's training bounding box
+// inflated by eps (so streams mix in-cluster hits and noise misses), with
+// batch and info requests interleaved per the config.
+func Stream(m *serve.Model, cfg Config, client int) []Request {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed*1_000_003 + int64(client)))
+	lo, hi := bounds(m)
+	point := func() []float64 {
+		p := make([]float64, m.Dim())
+		for j := range p {
+			p[j] = lo[j] + rng.Float64()*(hi[j]-lo[j])
+		}
+		return p
+	}
+	reqs := make([]Request, 0, max(cfg.RequestsPerClient, 0))
+	for i := 0; i < cfg.RequestsPerClient; i++ {
+		switch {
+		case cfg.InfoEvery > 0 && i%cfg.InfoEvery == cfg.InfoEvery-1:
+			reqs = append(reqs, Request{Path: "/model/info"})
+		case cfg.BatchEvery > 0 && i%cfg.BatchEvery == cfg.BatchEvery-1:
+			pts := make([][]float64, cfg.BatchSize)
+			for k := range pts {
+				pts[k] = point()
+			}
+			body, _ := json.Marshal(struct {
+				Points [][]float64 `json:"points"`
+			}{pts})
+			reqs = append(reqs, Request{Path: "/predict/batch", Body: body})
+		default:
+			body, _ := json.Marshal(struct {
+				Point []float64 `json:"point"`
+			}{point()})
+			reqs = append(reqs, Request{Path: "/predict", Body: body})
+		}
+	}
+	return reqs
+}
+
+// bounds returns the training bounding box inflated by eps per side.
+func bounds(m *serve.Model) (lo, hi []float64) {
+	d := m.Dim()
+	lo = make([]float64, d)
+	hi = make([]float64, d)
+	for j := 0; j < d; j++ {
+		lo[j], hi[j] = 0, 1
+	}
+	if m.Len() == 0 {
+		return lo, hi
+	}
+	copy(lo, m.TrainingPoint(0))
+	copy(hi, m.TrainingPoint(0))
+	for i := 1; i < m.Len(); i++ {
+		p := m.TrainingPoint(i)
+		for j, v := range p {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	for j := 0; j < d; j++ {
+		lo[j] -= m.Eps()
+		hi[j] += m.Eps()
+	}
+	return lo, hi
+}
+
+// Do executes one request against h in-process and returns the recorded
+// response.
+func Do(h http.Handler, req Request) *httptest.ResponseRecorder {
+	method := http.MethodGet
+	var body *bytes.Reader
+	if req.Body != nil {
+		method = http.MethodPost
+		body = bytes.NewReader(req.Body)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	r := httptest.NewRequest(method, req.Path, body)
+	if req.Body != nil {
+		r.Header.Set("Content-Type", "application/json")
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Seed       int64   `json:"seed"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`         // 2xx responses
+	Rejected   int     `json:"rejected"`   // 429 responses
+	Errors     int     `json:"errors"`     // anything else
+	ElapsedMS  float64 `json:"elapsed_ms"` // wall clock of the whole run
+	Throughput float64 `json:"throughput"` // requests per second
+	P50MicroS  float64 `json:"p50_us"`     // median handler latency
+	P99MicroS  float64 `json:"p99_us"`     // tail handler latency
+	MaxMicroS  float64 `json:"max_us"`     // worst handler latency
+	Points     int     `json:"points"`     // points classified (single + batch)
+	NoiseRate  float64 `json:"noise_rate"` // fraction of classified points that were noise
+}
+
+// Run replays the seeded streams of all clients concurrently against h and
+// aggregates the outcome. The generated streams depend only on (m, cfg);
+// timing depends on the host.
+func Run(h http.Handler, m *serve.Model, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	streams := make([][]Request, cfg.Clients)
+	for c := range streams {
+		streams[c] = Stream(m, cfg, c)
+	}
+	type outcome struct {
+		latencies []time.Duration
+		ok        int
+		rejected  int
+		errors    int
+		points    int
+		noise     int
+	}
+	outcomes := make([]outcome, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := range streams {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			o := &outcomes[c]
+			o.latencies = make([]time.Duration, 0, len(streams[c]))
+			for _, req := range streams[c] {
+				t0 := time.Now()
+				w := Do(h, req)
+				o.latencies = append(o.latencies, time.Since(t0))
+				switch {
+				case w.Code >= 200 && w.Code < 300:
+					o.ok++
+					np, nn := countPoints(req, w.Body.Bytes())
+					o.points += np
+					o.noise += nn
+				case w.Code == http.StatusTooManyRequests:
+					o.rejected++
+				default:
+					o.errors++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &Report{Seed: cfg.Seed, Clients: cfg.Clients}
+	var all []time.Duration
+	noise := 0
+	for i := range outcomes {
+		o := &outcomes[i]
+		rep.Requests += len(o.latencies)
+		rep.OK += o.ok
+		rep.Rejected += o.rejected
+		rep.Errors += o.errors
+		rep.Points += o.points
+		noise += o.noise
+		all = append(all, o.latencies...)
+	}
+	if rep.Requests == 0 {
+		return nil, fmt.Errorf("loadgen: empty run")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx].Nanoseconds()) / 1e3
+	}
+	rep.P50MicroS = pct(0.50)
+	rep.P99MicroS = pct(0.99)
+	rep.MaxMicroS = float64(all[len(all)-1].Nanoseconds()) / 1e3
+	rep.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
+	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
+	if rep.Points > 0 {
+		rep.NoiseRate = float64(noise) / float64(rep.Points)
+	}
+	return rep, nil
+}
+
+// countPoints extracts how many points a successful response classified
+// and how many of them were noise.
+func countPoints(req Request, body []byte) (points, noise int) {
+	switch req.Path {
+	case "/predict":
+		var pred struct {
+			Noise bool `json:"noise"`
+		}
+		if json.Unmarshal(body, &pred) == nil {
+			points = 1
+			if pred.Noise {
+				noise = 1
+			}
+		}
+	case "/predict/batch":
+		var rep struct {
+			Predictions []json.RawMessage `json:"predictions"`
+			NoiseCount  int               `json:"noise_count"`
+		}
+		if json.Unmarshal(body, &rep) == nil {
+			points = len(rep.Predictions)
+			noise = rep.NoiseCount
+		}
+	}
+	return points, noise
+}

@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/serve"
+)
+
+func smallModel(t testing.TB) *serve.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	pts := geom.NewPoints(2, 120)
+	row := make([]float64, 2)
+	for i := 0; i < 120; i++ {
+		c := float64(1 - 2*(i%2))
+		row[0], row[1] = rng.NormFloat64()*0.1+c, rng.NormFloat64()*0.1+c
+		pts.Append(row)
+	}
+	res, err := core.Run(pts, core.Config{Eps: 0.3, MinPts: 4, Rho: 0.01, NumPartitions: 4, Seed: 1}, engine.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := serve.New(pts.Coords, pts.Dim, res.Labels, res.CorePoint, 0.3, 4, 0.01, res.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestStreamDeterministic pins the property the soak oracle depends on:
+// a stream is a pure function of (model, config, client index), and
+// distinct clients get distinct streams.
+func TestStreamDeterministic(t *testing.T) {
+	m := smallModel(t)
+	cfg := Config{Seed: 9, Clients: 4, RequestsPerClient: 30, BatchEvery: 5, BatchSize: 4, InfoEvery: 7}
+	a := Stream(m, cfg, 2)
+	b := Stream(m, cfg, 2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (model, cfg, client) produced different streams")
+	}
+	c := Stream(m, cfg, 3)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("distinct clients produced identical streams")
+	}
+	if len(a) != cfg.RequestsPerClient {
+		t.Fatalf("stream length %d, want %d", len(a), cfg.RequestsPerClient)
+	}
+	// The configured mix must actually appear.
+	var single, batch, info int
+	for _, r := range a {
+		switch r.Path {
+		case "/predict":
+			single++
+		case "/predict/batch":
+			batch++
+		case "/model/info":
+			info++
+		default:
+			t.Fatalf("unexpected path %q", r.Path)
+		}
+	}
+	if single == 0 || batch == 0 || info == 0 {
+		t.Fatalf("stream mix degenerate: single=%d batch=%d info=%d", single, batch, info)
+	}
+}
+
+// TestRunAggregates exercises a full (small) load run end to end and
+// sanity-checks the report: everything answered 2xx, percentiles ordered,
+// classified-point accounting consistent with the stream shape.
+func TestRunAggregates(t *testing.T) {
+	m := smallModel(t)
+	h := serve.NewServer(m, serve.ServerConfig{MaxInFlight: 32}).Handler()
+	cfg := Config{Seed: 9, Clients: 4, RequestsPerClient: 25, BatchEvery: 5, BatchSize: 4, InfoEvery: 9}
+	rep, err := Run(h, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Clients * cfg.RequestsPerClient
+	if rep.Requests != want || rep.OK != want || rep.Rejected != 0 || rep.Errors != 0 {
+		t.Fatalf("requests=%d ok=%d rejected=%d errors=%d, want all %d ok",
+			rep.Requests, rep.OK, rep.Rejected, rep.Errors, want)
+	}
+	if rep.Points == 0 {
+		t.Fatal("no points classified")
+	}
+	if rep.P50MicroS <= 0 || rep.P99MicroS < rep.P50MicroS || rep.MaxMicroS < rep.P99MicroS {
+		t.Fatalf("latency percentiles disordered: p50=%v p99=%v max=%v",
+			rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatalf("throughput = %v", rep.Throughput)
+	}
+	if rep.NoiseRate < 0 || rep.NoiseRate > 1 {
+		t.Fatalf("noise rate = %v", rep.NoiseRate)
+	}
+}
+
+// TestRunEmpty pins the error path for a zero-request config.
+func TestRunEmpty(t *testing.T) {
+	m := smallModel(t)
+	h := serve.NewServer(m, serve.ServerConfig{}).Handler()
+	if _, err := Run(h, m, Config{Seed: 1, Clients: 2, RequestsPerClient: -1}); err == nil {
+		t.Fatal("expected error for empty run")
+	}
+}

@@ -1,0 +1,349 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/testutil"
+)
+
+// blobPoints generates two gaussian blobs plus uniform noise — dense
+// enough for cores, sparse enough for border and noise points.
+func blobPoints(rng *rand.Rand, n, dim int) *geom.Points {
+	pts := geom.NewPoints(dim, n)
+	row := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%10 == 9: // noise
+			for j := range row {
+				row[j] = rng.Float64()*8 - 4
+			}
+		case i%2 == 0: // blob at -1
+			for j := range row {
+				row[j] = rng.NormFloat64()*0.15 - 1
+			}
+		default: // blob at +1
+			for j := range row {
+				row[j] = rng.NormFloat64()*0.15 + 1
+			}
+		}
+		pts.Append(row)
+	}
+	return pts
+}
+
+// fit clusters pts with RP-DBSCAN and packages the result as a Model.
+func fit(t testing.TB, pts *geom.Points, eps float64, minPts int) *Model {
+	t.Helper()
+	res, err := core.Run(pts, core.Config{Eps: eps, MinPts: minPts, Rho: 0.01, NumPartitions: 4, Seed: 1}, engine.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(pts.Coords, pts.Dim, res.Labels, res.CorePoint, eps, minPts, 0.01, res.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testModel(t testing.TB) *Model {
+	t.Helper()
+	return fit(t, blobPoints(rand.New(rand.NewSource(7)), 300, 2), 0.3, 4)
+}
+
+// TestModelRoundTripByteIdentical pins the canonical-encoding contract:
+// save -> load -> save reproduces the artifact byte for byte, and the
+// loaded model answers identically.
+func TestModelRoundTripByteIdentical(t *testing.T) {
+	m := testModel(t)
+	enc := m.Encode()
+	m2, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2 := m2.Encode()
+	if !bytes.Equal(enc, enc2) {
+		t.Fatalf("round trip changed the artifact: %d bytes -> %d bytes", len(enc), len(enc2))
+	}
+	if m.Info() != m2.Info() {
+		t.Fatalf("round trip changed Info:\n%+v\n%+v", m.Info(), m2.Info())
+	}
+	q := []float64{-1, -1}
+	a, _ := m.Predict(q)
+	b, _ := m2.Predict(q)
+	if a != b {
+		t.Fatalf("round trip changed Predict: %+v vs %+v", a, b)
+	}
+}
+
+// TestModelChecksumRejectsEverySingleByteCorruption proves the acceptance
+// criterion directly: flipping any single bit of any byte of a saved
+// artifact is rejected by Decode.
+func TestModelChecksumRejectsEverySingleByteCorruption(t *testing.T) {
+	m := fit(t, blobPoints(rand.New(rand.NewSource(8)), 60, 2), 0.3, 4)
+	enc := m.Encode()
+	mut := make([]byte, len(enc))
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, enc)
+			mut[i] ^= 1 << bit
+			if _, err := Decode(mut); err == nil {
+				t.Fatalf("byte %d bit %d: corruption accepted", i, bit)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsMalformed drives the structural validation behind the
+// checksum gate: each mutation is resealed so the parser, not the
+// checksum, must reject it.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	// 81 points: not a multiple of 8, so the bitset-padding case is live.
+	m := fit(t, blobPoints(rand.New(rand.NewSource(9)), 81, 2), 0.3, 4)
+	valid := m.Encode()
+	n := m.Len()
+	cases := []struct {
+		name   string
+		mutate func(b []byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:modelHeaderLen-3] }},
+		{"truncated body", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"trailing bytes", func(b []byte) []byte { return append(b, 0xEE) }},
+		{"zero dim", func(b []byte) []byte { b[checksumStart] = 0; b[checksumStart+1] = 0; return b }},
+		{"huge dim", func(b []byte) []byte { b[checksumStart] = 0xFF; b[checksumStart+1] = 0xFF; return b }},
+		{"zero minPts", func(b []byte) []byte {
+			for i := 0; i < 4; i++ {
+				b[checksumStart+2+i] = 0
+			}
+			return b
+		}},
+		{"clusters > points", func(b []byte) []byte {
+			b[checksumStart+6] = 0xFF // numClusters high byte
+			return b
+		}},
+		{"negative eps", func(b []byte) []byte {
+			b[checksumStart+14] |= 0x80 // sign bit of eps
+			return b
+		}},
+		{"label out of range", func(b []byte) []byte {
+			// First label field: set to numClusters+1 (in range int32).
+			b[modelHeaderLen+3] = 0x7F
+			b[modelHeaderLen] = 0
+			return b
+		}},
+		{"bitset padding", func(b []byte) []byte {
+			b[modelHeaderLen+4*n+(n+7)/8-1] |= 0x80
+			return b
+		}},
+		{"non-finite coordinate", func(b []byte) []byte {
+			off := modelHeaderLen + 4*n + (n+7)/8
+			for i := 0; i < 8; i++ {
+				b[off+i] = 0xFF // a quiet NaN
+			}
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			buf := tc.mutate(append([]byte(nil), valid...))
+			if _, err := Decode(Reseal(buf)); err == nil {
+				t.Fatal("malformed artifact accepted")
+			}
+		})
+	}
+	// And the unmutated control must still decode.
+	if _, err := Decode(append([]byte(nil), valid...)); err != nil {
+		t.Fatalf("control artifact rejected: %v", err)
+	}
+}
+
+// TestPredictTrainingProperty is the predict-semantics property of the
+// issue: for every training point, a core point predicts its own fitted
+// label, and any other point predicts a label consistent with the eps-ball
+// rule — the label of some core point within eps, or noise when none is.
+func TestPredictTrainingProperty(t *testing.T) {
+	f := func(seed int64, n16 uint16, dimSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n16%200) + 20
+		dim := int(dimSel%3) + 1
+		pts := blobPoints(rng, n, dim)
+		m := fit(t, pts, 0.35, 4)
+		for i := 0; i < n; i++ {
+			p := pts.At(i)
+			pred, err := m.Predict(p)
+			if err != nil {
+				t.Logf("Predict(%v): %v", p, err)
+				return false
+			}
+			if m.TrainingCore(i) && pred.Label != m.TrainingLabel(i) {
+				t.Logf("core point %d: predicted %d, fitted %d", i, pred.Label, m.TrainingLabel(i))
+				return false
+			}
+			// eps-ball consistency against brute force over core points.
+			ok := false
+			if pred.Noise {
+				ok = true
+				for j := 0; j < n; j++ {
+					if m.TrainingCore(j) && geom.Dist(p, pts.At(j)) <= m.Eps() {
+						ok = false // a core was in reach; noise is wrong
+						break
+					}
+				}
+			} else {
+				if pred.CoreIndex < 0 || !m.TrainingCore(pred.CoreIndex) {
+					t.Logf("point %d: matched non-core index %d", i, pred.CoreIndex)
+					return false
+				}
+				d := geom.Dist(p, pts.At(pred.CoreIndex))
+				ok = d <= m.Eps() && pred.Label == m.TrainingLabel(pred.CoreIndex) &&
+					math.Abs(d-pred.CoreDist) < 1e-12
+			}
+			if !ok {
+				t.Logf("point %d: inconsistent prediction %+v", i, pred)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, testutil.QuickConfig(t, 209, 25)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictEdgeCases covers the table-driven degenerate inputs.
+func TestPredictEdgeCases(t *testing.T) {
+	m := testModel(t)
+	empty, err := New(nil, 2, nil, nil, 0.3, 4, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A model whose every point is noise has no cores to match.
+	allNoise, err := New([]float64{0, 0, 5, 5}, 2, []int{-1, -1}, []bool{false, false}, 0.3, 4, 0.01, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name      string
+		m         *Model
+		point     []float64
+		wantErr   bool
+		wantNoise bool
+	}{
+		{"dim mismatch short", m, []float64{1}, true, false},
+		{"dim mismatch long", m, []float64{1, 2, 3}, true, false},
+		{"nil point", m, nil, true, false},
+		{"NaN coordinate", m, []float64{math.NaN(), 0}, true, false},
+		{"Inf coordinate", m, []float64{0, math.Inf(1)}, true, false},
+		{"far point is noise", m, []float64{99, 99}, false, true},
+		{"empty model", empty, []float64{0, 0}, false, true},
+		{"all-noise model", allNoise, []float64{0, 0}, false, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pred, err := tc.m.Predict(tc.point)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err == nil && pred.Noise != tc.wantNoise {
+				t.Fatalf("pred = %+v, want noise %v", pred, tc.wantNoise)
+			}
+			if err == nil && pred.Noise && (pred.Label != Noise || pred.CoreIndex != -1) {
+				t.Fatalf("noise prediction carries cluster fields: %+v", pred)
+			}
+		})
+	}
+	if _, err := empty.PredictBatch([][]float64{{0, 0}, {1}}); err == nil {
+		t.Fatal("batch with mismatched point accepted")
+	}
+	// Empty-model round trip must survive encode/decode too.
+	m2, err := Decode(empty.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 0 || m2.Dim() != 2 {
+		t.Fatalf("empty model round trip: %+v", m2.Info())
+	}
+}
+
+// TestNewRejectsInvalid pins constructor validation.
+func TestNewRejectsInvalid(t *testing.T) {
+	coords := []float64{0, 0, 1, 1}
+	cases := []struct {
+		name string
+		f    func() (*Model, error)
+	}{
+		{"zero dim", func() (*Model, error) { return New(coords, 0, []int{0, 0}, []bool{true, true}, 0.3, 4, 0.01, 1) }},
+		{"ragged coords", func() (*Model, error) { return New(coords[:3], 2, []int{0}, []bool{true}, 0.3, 4, 0.01, 1) }},
+		{"label/core length", func() (*Model, error) { return New(coords, 2, []int{0}, []bool{true, true}, 0.3, 4, 0.01, 1) }},
+		{"bad eps", func() (*Model, error) { return New(coords, 2, []int{0, 0}, []bool{true, true}, 0, 4, 0.01, 1) }},
+		{"bad rho", func() (*Model, error) { return New(coords, 2, []int{0, 0}, []bool{true, true}, 0.3, 4, -1, 1) }},
+		{"bad minPts", func() (*Model, error) { return New(coords, 2, []int{0, 0}, []bool{true, true}, 0.3, 0, 0.01, 1) }},
+		{"label out of range", func() (*Model, error) { return New(coords, 2, []int{0, 7}, []bool{true, true}, 0.3, 4, 0.01, 1) }},
+		{"core noise point", func() (*Model, error) { return New(coords, 2, []int{0, -1}, []bool{true, true}, 0.3, 4, 0.01, 1) }},
+		{"non-finite coord", func() (*Model, error) {
+			return New([]float64{0, math.Inf(1), 1, 1}, 2, []int{0, 0}, []bool{true, true}, 0.3, 4, 0.01, 1)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := tc.f(); err == nil {
+				t.Fatal("invalid model accepted")
+			}
+		})
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	m := fit(b, blobPoints(rand.New(rand.NewSource(10)), 5000, 2), 0.2, 8)
+	qs := make([][]float64, 256)
+	rng := rand.New(rand.NewSource(11))
+	for i := range qs {
+		qs[i] = []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictBatch(b *testing.B) {
+	m := fit(b, blobPoints(rand.New(rand.NewSource(12)), 5000, 2), 0.2, 8)
+	rng := rand.New(rand.NewSource(13))
+	batch := make([][]float64, 64)
+	for i := range batch {
+		batch[i] = []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(batch)))
+}
+
+// BenchmarkModelDecode tracks artifact load cost (checksum + parse + index
+// build).
+func BenchmarkModelDecode(b *testing.B) {
+	m := fit(b, blobPoints(rand.New(rand.NewSource(14)), 5000, 2), 0.2, 8)
+	enc := m.Encode()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"rpdbscan/internal/obs"
+)
+
+// FaultInjector decides handler-level fault injection. chaos.Injector
+// satisfies it: the server addresses each request by its endpoint path
+// (stage) and a pure hash of the request body (task), so the set of
+// faulted requests is a deterministic function of the request stream —
+// independent of arrival order and concurrency — exactly like the
+// engine-side chaos schedule.
+type FaultInjector interface {
+	FailTask(stage string, task, attempt int) bool
+}
+
+// ServerConfig parameterizes a Server. The zero value serves with the
+// documented defaults and no logging, no chaos.
+type ServerConfig struct {
+	// MaxBodyBytes caps request body size; larger bodies get 413. Zero
+	// defaults to 1 MiB.
+	MaxBodyBytes int64
+	// MaxInFlight bounds concurrently admitted requests (the queue of the
+	// backpressure model); excess requests are rejected immediately with
+	// 429 so overload sheds load instead of queueing unboundedly. Zero
+	// defaults to 256.
+	MaxInFlight int
+	// MaxBatch caps the number of points in one /predict/batch request;
+	// larger batches get 400. Zero defaults to 4096.
+	MaxBatch int
+	// RequestTimeout bounds one request's read+handle+write on the
+	// listener-facing server (http.Server Read/WriteTimeout). Zero
+	// defaults to 10s.
+	RequestTimeout time.Duration
+	// Log receives one access-log record per request at debug level (and
+	// warn for 5xx). Nil disables access logging.
+	Log *slog.Logger
+	// Injector, when non-nil, injects deterministic handler faults
+	// (500s) for chaos testing.
+	Injector FaultInjector
+}
+
+// Server serves predictions from one immutable Model. Create with
+// NewServer, mount Handler on any mux or listen with Serve/Start, stop
+// with Shutdown (graceful drain: in-flight requests complete).
+type Server struct {
+	model *Model
+	cfg   ServerConfig
+	sem   chan struct{}
+	http  *http.Server
+}
+
+// NewServer builds a Server around m.
+func NewServer(m *Model, cfg ServerConfig) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 10 * time.Second
+	}
+	s := &Server{model: m, cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	s.http = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       cfg.RequestTimeout,
+		WriteTimeout:      cfg.RequestTimeout,
+		IdleTimeout:       60 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the server's routed handler: /predict, /predict/batch,
+// /model/info, /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("/model/info", s.instrument("/model/info", s.handleInfo))
+	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
+	mux.HandleFunc("/predict/batch", s.instrument("/predict/batch", s.handleBatch))
+	mux.HandleFunc("/", s.instrument("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusNotFound, "not found")
+	}))
+	return mux
+}
+
+// Serve accepts connections on ln until Shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	return s.http.Serve(ln)
+}
+
+// Start binds addr and serves in a background goroutine, returning the
+// bound address (useful with ":0"). Serve errors other than graceful
+// shutdown are logged.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		if err := s.http.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			if s.cfg.Log != nil {
+				s.cfg.Log.Error("serve", "err", err)
+			}
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+// Shutdown gracefully drains the server: the listener stops accepting, all
+// in-flight requests run to completion (bounded by ctx), then Serve
+// returns http.ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.http.Shutdown(ctx)
+}
+
+// statusWriter captures the response status for access logs and counters.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps an endpoint with the shared request plumbing:
+// bounded-queue admission (429 on overload), body-size limiting, expvar
+// request/latency counters, and slog access logs.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		obs.Counters.ServeRequests.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			obs.Counters.ServeRejects.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, "server overloaded")
+			return
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		dur := time.Since(start)
+		obs.Counters.ServeLatencyNs.Add(dur.Nanoseconds())
+		if sw.status >= 400 {
+			obs.Counters.ServeErrors.Add(1)
+		}
+		if log := s.cfg.Log; log != nil {
+			level := slog.LevelDebug
+			if sw.status >= 500 {
+				level = slog.LevelWarn
+			}
+			log.Log(r.Context(), level, "http",
+				"method", r.Method, "path", path, "status", sw.status,
+				"dur_us", dur.Microseconds(), "remote", r.RemoteAddr)
+		}
+	}
+}
+
+// writeJSON writes a canonical JSON body: encoding/json with the struct's
+// field order, a trailing newline, and application/json. Responses must
+// stay a pure function of the request — no timestamps, no request ids —
+// so concurrent serving is byte-identical to sequential (pinned by the
+// soak test).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the response types below; fail loudly if a
+		// future type breaks marshaling.
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(data, '\n'))
+}
+
+type errorReply struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorReply{Error: msg})
+}
+
+// requireMethod enforces the endpoint's method, answering 405 with an
+// Allow header otherwise.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	writeError(w, http.StatusMethodNotAllowed, "method not allowed")
+	return false
+}
+
+type healthReply struct {
+	Status string `json:"status"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, healthReply{Status: "ok"})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodGet) {
+		return
+	}
+	writeJSON(w, http.StatusOK, s.model.Info())
+}
+
+// predictRequest is the /predict body.
+type predictRequest struct {
+	Point []float64 `json:"point"`
+}
+
+// batchRequest is the /predict/batch body.
+type batchRequest struct {
+	Points [][]float64 `json:"points"`
+}
+
+type batchReply struct {
+	Predictions []Prediction `json:"predictions"`
+	NoiseCount  int          `json:"noise_count"`
+}
+
+// readBody decodes one JSON request body into v, mapping failure modes to
+// their canonical status codes: 413 for oversized bodies, 400 for
+// malformed or trailing JSON.
+func readBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "invalid request body")
+		return false
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request body")
+		return false
+	}
+	return true
+}
+
+// injected consults the chaos injector for this (endpoint, body) site. The
+// task id is a pure FNV-1a hash of the body bytes, so which requests fault
+// is replayable from the injector seed alone.
+func (s *Server) injected(w http.ResponseWriter, path string, body []byte) bool {
+	if s.cfg.Injector == nil {
+		return false
+	}
+	task := int(fnv64a(body) & 0x7fffffff)
+	if !s.cfg.Injector.FailTask(path, task, 0) {
+		return false
+	}
+	obs.Counters.ServeFaults.Add(1)
+	writeError(w, http.StatusInternalServerError, "injected fault")
+	return true
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req predictRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if s.injected(w, "/predict", encodePoint(req.Point)) {
+		return
+	}
+	pred, err := s.model.Predict(req.Point)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	obs.Counters.ServePredictPoints.Add(1)
+	writeJSON(w, http.StatusOK, pred)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req batchRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	if len(req.Points) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d points exceeds limit %d", len(req.Points), s.cfg.MaxBatch))
+		return
+	}
+	var flat []byte
+	for _, p := range req.Points {
+		flat = append(flat, encodePoint(p)...)
+	}
+	if s.injected(w, "/predict/batch", flat) {
+		return
+	}
+	preds, err := s.model.PredictBatch(req.Points)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	obs.Counters.ServePredictPoints.Add(int64(len(preds)))
+	noise := 0
+	for _, p := range preds {
+		if p.Noise {
+			noise++
+		}
+	}
+	writeJSON(w, http.StatusOK, batchReply{Predictions: preds, NoiseCount: noise})
+}
+
+// encodePoint canonicalises a coordinate slice for fault-site hashing.
+func encodePoint(p []float64) []byte {
+	out := make([]byte, 0, 8*len(p))
+	for _, v := range p {
+		u := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			out = append(out, byte(u>>(8*i)))
+		}
+	}
+	return out
+}

@@ -1,0 +1,257 @@
+package serve_test
+
+// The soak tier: concurrent clients against a live in-process server under
+// the race detector, pinned byte-identical to a sequential oracle; a
+// graceful-drain check over real sockets; and a chaos variant where
+// handler faults are injected deterministically by request-body hash, so
+// even the faulted run replays byte-identically.
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"rpdbscan/internal/chaos"
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/serve"
+	"rpdbscan/internal/serve/loadgen"
+)
+
+// soakModel fits a small two-blob clustering for the soak tier.
+func soakModel(t testing.TB) *serve.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	pts := geom.NewPoints(2, 400)
+	row := make([]float64, 2)
+	for i := 0; i < 400; i++ {
+		c := float64(1 - 2*(i%2)) // +1 / -1 blob centres
+		if i%9 == 8 {
+			row[0], row[1] = rng.Float64()*8-4, rng.Float64()*8-4
+		} else {
+			row[0], row[1] = rng.NormFloat64()*0.15+c, rng.NormFloat64()*0.15+c
+		}
+		pts.Append(row)
+	}
+	res, err := core.Run(pts, core.Config{Eps: 0.3, MinPts: 4, Rho: 0.01, NumPartitions: 4, Seed: 1}, engine.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := serve.New(pts.Coords, pts.Dim, res.Labels, res.CorePoint, 0.3, 4, 0.01, res.NumClusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// reply is one recorded response: status plus body bytes.
+type reply struct {
+	code int
+	body []byte
+}
+
+// replay runs every client's stream against h — sequentially when
+// concurrent is false, with one goroutine per client otherwise — and
+// returns per-client replies.
+func replay(h http.Handler, m *serve.Model, cfg loadgen.Config, concurrent bool) [][]reply {
+	out := make([][]reply, cfg.Clients)
+	runClient := func(c int) {
+		stream := loadgen.Stream(m, cfg, c)
+		rs := make([]reply, len(stream))
+		for i, req := range stream {
+			w := loadgen.Do(h, req)
+			rs[i] = reply{code: w.Code, body: append([]byte(nil), w.Body.Bytes()...)}
+		}
+		out[c] = rs
+	}
+	if !concurrent {
+		for c := 0; c < cfg.Clients; c++ {
+			runClient(c)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runClient(c)
+		}(c)
+	}
+	wg.Wait()
+	return out
+}
+
+// assertIdentical compares a concurrent run to its sequential oracle
+// byte for byte.
+func assertIdentical(t *testing.T, oracle, got [][]reply) {
+	t.Helper()
+	for c := range oracle {
+		for i := range oracle[c] {
+			want, have := oracle[c][i], got[c][i]
+			if want.code != have.code || !bytes.Equal(want.body, have.body) {
+				t.Fatalf("client %d request %d diverged:\nsequential: %d %q\nconcurrent: %d %q",
+					c, i, want.code, want.body, have.code, have.body)
+			}
+		}
+	}
+}
+
+var soakCfg = loadgen.Config{
+	Seed: 42, Clients: 32, RequestsPerClient: 40,
+	BatchEvery: 4, BatchSize: 8, InfoEvery: 11,
+}
+
+// TestConcurrentSoakByteIdentical is the headline soak: 32 concurrent
+// clients of mixed single/batch/info requests must produce exactly the
+// bytes of the sequential oracle. MaxInFlight exceeds the client count so
+// no request is shed; every response must be 2xx.
+func TestConcurrentSoakByteIdentical(t *testing.T) {
+	m := soakModel(t)
+	h := serve.NewServer(m, serve.ServerConfig{MaxInFlight: 64}).Handler()
+	oracle := replay(h, m, soakCfg, false)
+	got := replay(h, m, soakCfg, true)
+	assertIdentical(t, oracle, got)
+	n := 0
+	for c := range oracle {
+		for _, r := range oracle[c] {
+			if r.code != http.StatusOK {
+				t.Fatalf("oracle saw status %d: %q", r.code, r.body)
+			}
+			n++
+		}
+	}
+	if want := soakCfg.Clients * soakCfg.RequestsPerClient; n != want {
+		t.Fatalf("oracle answered %d requests, want %d", n, want)
+	}
+}
+
+// TestChaosSoakByteIdentical reuses internal/chaos at the handler level:
+// faults fire as a pure function of (endpoint, body-hash), so a faulted
+// concurrent run still replays the sequential oracle byte for byte, and
+// the injected-failure tally reconciles exactly across both runs.
+func TestChaosSoakByteIdentical(t *testing.T) {
+	m := soakModel(t)
+	mk := func() (*chaos.Injector, http.Handler) {
+		inj := chaos.MustNew(chaos.Config{Seed: 5, FailProb: 0.25})
+		return inj, serve.NewServer(m, serve.ServerConfig{MaxInFlight: 64, Injector: inj}).Handler()
+	}
+	seqInj, seqH := mk()
+	oracle := replay(seqH, m, soakCfg, false)
+	conInj, conH := mk()
+	got := replay(conH, m, soakCfg, true)
+	assertIdentical(t, oracle, got)
+
+	faulted := 0
+	for c := range oracle {
+		for _, r := range oracle[c] {
+			switch r.code {
+			case http.StatusOK:
+			case http.StatusInternalServerError:
+				if !bytes.Contains(r.body, []byte("injected fault")) {
+					t.Fatalf("unexpected 500 body: %q", r.body)
+				}
+				faulted++
+			default:
+				t.Fatalf("unexpected status %d: %q", r.code, r.body)
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Fatal("chaos injected no faults at rate 0.25")
+	}
+	// The injector's own tally must reconcile with the observed 500s in
+	// both runs: the fault schedule is order-independent.
+	if s := seqInj.Stats().Failures; s != int64(faulted) {
+		t.Fatalf("sequential injector tallied %d failures, observed %d", s, faulted)
+	}
+	if s := conInj.Stats().Failures; s != int64(faulted) {
+		t.Fatalf("concurrent injector tallied %d failures, observed %d", s, faulted)
+	}
+}
+
+// gateInjector blocks requests inside the handler until released — the
+// lever the drain test uses to hold requests in flight. It injects no
+// faults.
+type gateInjector struct {
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (g *gateInjector) FailTask(stage string, task, attempt int) bool {
+	g.entered <- struct{}{}
+	<-g.release
+	return false
+}
+
+// TestGracefulDrain pins the shutdown contract over real sockets: with
+// requests held in flight, Shutdown must wait for every accepted request
+// to complete with a full 200 response, and new connections must be
+// refused once the listener closes.
+func TestGracefulDrain(t *testing.T) {
+	const inFlight = 8
+	m := soakModel(t)
+	gate := &gateInjector{entered: make(chan struct{}, inFlight), release: make(chan struct{})}
+	srv := serve.NewServer(m, serve.ServerConfig{MaxInFlight: 64, Injector: gate})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr.String()
+
+	type result struct {
+		code int
+		body string
+		err  error
+	}
+	results := make(chan result, inFlight)
+	body := []byte(`{"point":[1,1]}`)
+	for i := 0; i < inFlight; i++ {
+		go func() {
+			resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			results <- result{code: resp.StatusCode, body: string(b), err: err}
+		}()
+	}
+	// All requests are inside the handler, held by the gate.
+	for i := 0; i < inFlight; i++ {
+		<-gate.entered
+	}
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+	// Draining must not abort the held requests: release them and every
+	// one must complete with a full 200.
+	time.Sleep(50 * time.Millisecond)
+	close(gate.release)
+	for i := 0; i < inFlight; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("in-flight request dropped during drain: %v", r.err)
+		}
+		if r.code != http.StatusOK || !bytes.Contains([]byte(r.body), []byte(`"label"`)) {
+			t.Fatalf("in-flight request got %d %q", r.code, r.body)
+		}
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The listener is closed: new connections must be refused, not hang.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("request succeeded after shutdown")
+	}
+}

@@ -1,0 +1,79 @@
+package rpdbscan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestModelSaveLoadPredict exercises the public serving API end to end:
+// fit, package as a model, save, reload, and predict — with the reloaded
+// model agreeing with the original on every training point.
+func TestModelSaveLoadPredict(t *testing.T) {
+	pts := twoBlobs(400, 4)
+	opts := Options{Eps: 0.6, MinPts: 5}
+	res, err := Cluster(pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.Model(pts, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumClusters() != res.NumClusters || m.Dim() != 2 {
+		t.Fatalf("model reports %d clusters dim %d, fit had %d clusters dim 2", m.NumClusters(), m.Dim(), res.NumClusters)
+	}
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Save must be canonical: saving the reloaded model reproduces the
+	// artifact byte for byte.
+	var again bytes.Buffer
+	if err := loaded.Save(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatalf("save -> load -> save not byte-identical: %d vs %d bytes", buf.Len(), again.Len())
+	}
+
+	// Core training points keep their fitted label through the full
+	// round trip; batch agrees with single-point predictions.
+	labels, err := loaded.PredictBatch(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range pts {
+		got, err := loaded.Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != labels[i] {
+			t.Fatalf("point %d: Predict %d != PredictBatch %d", i, got, labels[i])
+		}
+		if res.Core[i] && got != res.Labels[i] {
+			t.Fatalf("core point %d predicted %d, fitted %d", i, got, res.Labels[i])
+		}
+	}
+
+	// A point far from both blobs is noise.
+	if got, err := loaded.Predict([]float64{100, -100}); err != nil || got != Noise {
+		t.Fatalf("far point predicted %d (err %v), want Noise", got, err)
+	}
+
+	// Dimension mismatch is an error, not a panic.
+	if _, err := loaded.Predict([]float64{1, 2, 3}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+
+	// A corrupted artifact must be rejected on load.
+	raw := buf.Bytes()
+	raw[len(raw)/3] ^= 0x40
+	if _, err := LoadModel(bytes.NewReader(raw)); err == nil {
+		t.Fatal("corrupt artifact accepted")
+	}
+}
