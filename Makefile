@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./cmd/rpserve/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./internal/pointio/ ./internal/spill/ ./cmd/rpserve/ ./cmd/rpdbscan/
 
 vet:
 	$(GO) vet ./...
@@ -33,6 +33,7 @@ fuzz:
 	$(GO) test -fuzz FuzzQueryCellEquivalence -fuzztime 30s ./internal/dict/
 	$(GO) test -fuzz FuzzReadCSV -fuzztime 15s ./internal/pointio/
 	$(GO) test -fuzz FuzzReadBinary -fuzztime 15s ./internal/pointio/
+	$(GO) test -fuzz FuzzChunkReader -fuzztime 30s ./internal/pointio/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzPredictRequest -fuzztime 30s ./internal/serve/
 

@@ -7,7 +7,7 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2 chaos serve, or "all". With no
+// table8 fig19 fig20 fig21 phase2 chaos serve stream, or "all". With no
 // arguments, "all" runs.
 //
 // Flags:
@@ -23,6 +23,7 @@
 //	-phase2out  where the phase2 experiment writes BENCH_phase2.json ("" skips)
 //	-chaosout   where the chaos experiment writes BENCH_chaos.json ("" skips)
 //	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
+//	-streamout  where the stream experiment writes BENCH_stream.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
 package main
@@ -60,6 +61,7 @@ func main() {
 	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "where the serve experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&streamOut, "streamout", "BENCH_stream.json", "where the stream experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -106,8 +108,9 @@ func main() {
 		"phase2": phase2,
 		"chaos":  chaosExp,
 		"serve":  serveExp,
+		"stream": streamExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos", "serve"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos", "serve", "stream"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -637,6 +640,55 @@ func serveExp(s harness.Scale) error {
 		rep.ElapsedMS, rep.Throughput, rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS))
 	return writeCSV("serve.csv",
 		"requests,clients,ok,rejected,errors,elapsed_ms,throughput_rps,p50_us,p99_us,max_us", lines)
+}
+
+// streamOut is where the stream experiment writes its JSON report (empty =
+// skip).
+var streamOut string
+
+// streamExp: out-of-core ingestion benchmark — the same data set clustered
+// in memory and by RunStream reading it back from disk, at growing size
+// multipliers over a fixed chunk budget. Labels must be identical and the
+// streamed Phase I peak heap must stay under an N-independent ceiling.
+func streamExp(s harness.Scale) error {
+	header("Stream: out-of-core ingestion (memory-bounded Phase I)")
+	rows, err := harness.Stream(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  x%-3d n=%-9d chunk=%-7d identical=%-5v chunks=%-5d spill=%8.1fKiB reloads=%-3d peakI=%8.1fKiB ceiling=%8.1fKiB sim=%9.1fms (mem %9.1fms) wall=%7.1fms (mem %7.1fms)\n",
+			r.Multiplier, r.N, r.ChunkSize, r.Identical, r.Chunks,
+			float64(r.SpillBytes)/1024, r.SpillReloads,
+			float64(r.PeakPhase1HeapBytes)/1024, float64(r.HeapCeilingBytes)/1024,
+			r.StreamMillis, r.RunMillis, r.StreamWallMillis, r.RunWallMillis)
+		if !r.Identical {
+			return fmt.Errorf("stream: x%d (n=%d) diverged from the in-memory clustering", r.Multiplier, r.N)
+		}
+		if !r.WithinCeiling {
+			return fmt.Errorf("stream: x%d (n=%d) peak Phase I heap %d exceeds ceiling %d",
+				r.Multiplier, r.N, r.PeakPhase1HeapBytes, r.HeapCeilingBytes)
+		}
+	}
+	if streamOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(streamOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", streamOut)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%d,%d,%d,%v,%d,%d,%d,%d,%d,%.3f,%.3f,%.3f,%.3f",
+			r.Multiplier, r.N, r.ChunkSize, r.Identical, r.Chunks, r.SpillBytes, r.SpillReloads,
+			r.PeakPhase1HeapBytes, r.HeapCeilingBytes,
+			r.StreamMillis, r.RunMillis, r.StreamWallMillis, r.RunWallMillis))
+	}
+	return writeCSV("stream.csv",
+		"multiplier,n,chunk_size,identical,chunks,spill_bytes,spill_reloads,peak_phase1_heap_bytes,heap_ceiling_bytes,stream_ms,run_ms,stream_wall_ms,run_wall_ms", lines)
 }
 
 func fig21(s harness.Scale) error {

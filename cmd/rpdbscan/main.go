@@ -20,6 +20,11 @@
 //	-partitions number of splits (default workers)
 //	-workers    parallel workers (default GOMAXPROCS)
 //	-binary       input is rpdatagen binary format
+//	-stream       ingest the input out-of-core in bounded chunks (algo rp
+//	              only; incompatible with -labeled and -save-model, which
+//	              need the full coordinates in memory). Labels are
+//	              identical to the in-memory run.
+//	-chunk-size   points per streamed chunk (default 65536)
 //	-labeled      echo coordinates with the label appended
 //	-o            output path (default stdout)
 //	-save-model   write the fitted model artifact here (serve it with rpserve)
@@ -77,6 +82,8 @@ func main() {
 	partitions := flag.Int("partitions", 0, "number of splits (default workers)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 	binary := flag.Bool("binary", false, "input is binary point format")
+	stream := flag.Bool("stream", false, "ingest the input out-of-core in bounded chunks (algo rp only)")
+	chunkSize := flag.Int("chunk-size", 0, "points per streamed chunk (default 65536)")
 	labeled := flag.Bool("labeled", false, "echo coordinates with label appended")
 	out := flag.String("o", "", "output path (default stdout)")
 	saveModel := flag.String("save-model", "", "write the fitted model artifact here (algo rp or exact)")
@@ -109,11 +116,29 @@ func main() {
 			fatal(log, "debug server", err)
 		}
 	}
-	pts, err := readInput(flag.Arg(0), *binary)
-	if err != nil {
-		fatal(log, "read input", err)
+	if *stream {
+		// Streaming never materialises the input, so anything needing the
+		// full coordinate set in memory is off the table.
+		switch {
+		case *algo != "rp":
+			log.Error("-stream supports only -algo rp", "algo", *algo)
+			os.Exit(2)
+		case *labeled:
+			log.Error("-stream is incompatible with -labeled (coordinates are not kept in memory)")
+			os.Exit(2)
+		case *saveModel != "":
+			log.Error("-stream is incompatible with -save-model (coordinates are not kept in memory)")
+			os.Exit(2)
+		}
 	}
-	obs.Counters.PointsRead.Add(int64(pts.N()))
+	var pts *geom.Points
+	if !*stream {
+		pts, err = readInput(flag.Arg(0), *binary)
+		if err != nil {
+			fatal(log, "read input", err)
+		}
+		obs.Counters.PointsRead.Add(int64(pts.N()))
+	}
 
 	k := *partitions
 	if k == 0 {
@@ -138,19 +163,41 @@ func main() {
 	var corePoints []bool // set by algorithms that judge core points
 	switch *algo {
 	case "rp":
-		res, err := core.Run(pts, core.Config{
+		cfg := core.Config{
 			Eps: *eps, MinPts: *minPts, Rho: *rho,
 			NumPartitions: k, Seed: *seed,
-		}, cl)
-		if err != nil {
-			fatal(log, "clustering", err)
+		}
+		var res *core.Result
+		if *stream {
+			res, err = runStreamed(flag.Arg(0), *binary, core.StreamConfig{
+				Config: cfg, ChunkSize: *chunkSize,
+			}, cl)
+			if err != nil {
+				fatal(log, "clustering", err)
+			}
+			obs.Counters.PointsRead.Add(res.PointsProcessed)
+			obs.Counters.StreamChunks.Add(int64(res.Stream.Chunks))
+			obs.Counters.StreamSpillBytes.Add(res.Stream.SpillBytes)
+			obs.Counters.StreamSpillReloads.Add(res.Stream.SpillReloads)
+			if s := cl.Report().Stage("stream-spill"); s != nil {
+				obs.Counters.ShuffleBytes.Add(s.Bytes)
+			}
+			if *stats {
+				log.Info("stream", "chunks", res.Stream.Chunks,
+					"spill_bytes", res.Stream.SpillBytes, "spill_reloads", res.Stream.SpillReloads)
+			}
+		} else {
+			res, err = core.Run(pts, cfg, cl)
+			if err != nil {
+				fatal(log, "clustering", err)
+			}
+			if s := cl.Report().Stage("cell-partitioning"); s != nil {
+				obs.Counters.ShuffleBytes.Add(s.Bytes)
+			}
 		}
 		labels, clusters = res.Labels, res.NumClusters
 		corePoints = res.CorePoint
 		obs.Counters.CellsBuilt.Add(int64(res.NumCells))
-		if s := cl.Report().Stage("cell-partitioning"); s != nil {
-			obs.Counters.ShuffleBytes.Add(s.Bytes)
-		}
 		for _, s := range cl.Report().Stages {
 			if s.Phase == "III-1" {
 				obs.Counters.MergeOps.Add(int64(len(s.Costs)))
@@ -188,7 +235,7 @@ func main() {
 	}
 
 	if *stats {
-		log.Info("run complete", "points", pts.N(), "clusters", clusters)
+		log.Info("run complete", "points", len(labels), "clusters", clusters)
 		os.Stderr.WriteString(cl.Report().String())
 	}
 	if *trace != "" {
@@ -230,6 +277,27 @@ func main() {
 	if err := writeOutput(*out, pts, labels, *labeled); err != nil {
 		fatal(log, "write output", err)
 	}
+}
+
+// runStreamed clusters the input file out-of-core: the file is read once
+// in bounded chunks, and the pipeline spills to temp files instead of
+// holding the points.
+func runStreamed(path string, binary bool, cfg core.StreamConfig, cl *engine.Cluster) (*core.Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var src pointio.Source
+	if binary {
+		src, err = pointio.NewBinaryChunkReader(f)
+	} else {
+		src, err = pointio.NewCSVChunkReader(f)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.RunStream(src, cfg, cl)
 }
 
 func readInput(path string, binary bool) (*geom.Points, error) {

@@ -99,6 +99,59 @@ func TestGoldenLabels(t *testing.T) {
 	}
 }
 
+// TestGoldenStreamLabels: the streamed CLI path must produce the exact
+// bytes of the non-stream golden — there is no separate stream golden,
+// because the out-of-core pipeline's contract is byte-identical output.
+// A tiny chunk size forces many chunks over the 65-point fixture, and the
+// same -update convention applies (updating the shared golden re-pins
+// both paths at once).
+func TestGoldenStreamLabels(t *testing.T) {
+	golden := filepath.Join("testdata", "two_blobs.labels.golden")
+	// -stats exercises the streamed reporting path (it writes to stderr
+	// only, so the stdout golden comparison is unaffected).
+	out, stderr := runCLI(t, append([]string{"-stream", "-chunk-size", "7", "-stats"}, fixtureArgs...)...)
+	if !bytes.Contains(stderr, []byte("spill_bytes")) {
+		t.Fatalf("-stream -stats did not report spill accounting:\n%s", stderr)
+	}
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("-stream labels diverged from the non-stream golden %s: got %d bytes, want %d",
+			golden, len(out), len(want))
+	}
+}
+
+// TestStreamFlagIncompatibilities pins the error paths: -stream cannot
+// serve features that need the full coordinate set in memory.
+func TestStreamFlagIncompatibilities(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]string{
+		"labeled":    {"-stream", "-labeled"},
+		"save-model": {"-stream", "-save-model", filepath.Join(t.TempDir(), "m")},
+		"algo":       {"-stream", "-algo", "exact"},
+	}
+	for name, extra := range cases {
+		cmd := exec.Command(exe, append(extra, fixtureArgs...)...)
+		cmd.Env = append(os.Environ(), "RPDBSCAN_BE_CLI=1")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: incompatible flag combination accepted:\n%s", name, out)
+		}
+	}
+}
+
 // TestGoldenTraceReport pins the stage structure of the engine report the
 // CLI exports: stage names and phases are part of the observable contract
 // (dashboards and the chrome trace key off them).

@@ -115,6 +115,9 @@ type Result struct {
 	// splits. Pseudo random partitioning makes this exactly N
 	// (Section 7.3.2).
 	PointsProcessed int64
+
+	// Stream holds out-of-core pipeline statistics; nil for in-memory Run.
+	Stream *StreamStats
 }
 
 // partState carries one partition's data between phases.

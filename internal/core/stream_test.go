@@ -1,0 +1,162 @@
+package core
+
+import (
+	"slices"
+	"testing"
+
+	"rpdbscan/internal/chaos"
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/pointio"
+)
+
+// assertStreamMatches fails unless the streamed result is identical —
+// labels, core flags, cluster count, and merge-round edge totals — to the
+// in-memory reference.
+func assertStreamMatches(t *testing.T, tag string, want, got *Result) {
+	t.Helper()
+	if !slices.Equal(want.Labels, got.Labels) {
+		t.Fatalf("%s: labels diverge from Run", tag)
+	}
+	if !slices.Equal(want.CorePoint, got.CorePoint) {
+		t.Fatalf("%s: core flags diverge from Run", tag)
+	}
+	if want.NumClusters != got.NumClusters {
+		t.Fatalf("%s: NumClusters %d, want %d", tag, got.NumClusters, want.NumClusters)
+	}
+	if !slices.Equal(want.EdgesPerRound, got.EdgesPerRound) {
+		t.Fatalf("%s: merge rounds diverge: %v vs %v", tag, got.EdgesPerRound, want.EdgesPerRound)
+	}
+}
+
+// TestRunStreamEquivalence is the heart of the differential battery: for
+// every combination of chunk size (including the degenerate one point per
+// chunk), worker count, and partitioning seed, RunStream must reproduce
+// Run's labels and core flags exactly — not approximately — because both
+// pipelines shuffle the same cells to the same partitions in the same
+// ascending point order.
+func TestRunStreamEquivalence(t *testing.T) {
+	pts := datagen.Mixture(datagen.MixtureConfig{
+		N: 1200, Dim: 2, Components: 4, Span: 30, Alpha: 1, NoiseFrac: 0.08,
+	}, 11)
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := Config{Eps: 0.8, MinPts: 8, Rho: 0.01, NumPartitions: 6, Seed: seed}
+		want, err := Run(pts, cfg, engine.New(6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 173, 1 << 20} {
+			for _, workers := range []int{3, 8} {
+				res, err := RunStream(pointio.FromPoints(pts), StreamConfig{
+					Config:    cfg,
+					ChunkSize: chunk,
+					SpillDir:  t.TempDir(),
+				}, engine.New(workers))
+				if err != nil {
+					t.Fatalf("seed %d chunk %d workers %d: %v", seed, chunk, workers, err)
+				}
+				tag := "seed/chunk/workers combination"
+				assertStreamMatches(t, tag, want, res)
+				wantChunks := (pts.N() + chunk - 1) / chunk
+				if res.Stream == nil || res.Stream.Chunks != wantChunks {
+					t.Fatalf("stream stats report %+v chunks, want %d", res.Stream, wantChunks)
+				}
+				if res.Stream.SpillBytes <= 0 {
+					t.Fatal("no spill bytes recorded")
+				}
+				// Dictionary build and Phase II each reload every
+				// partition; the gather may add more.
+				if res.Stream.SpillReloads < int64(2*cfg.NumPartitions) {
+					t.Fatalf("only %d spill reloads recorded", res.Stream.SpillReloads)
+				}
+			}
+		}
+	}
+}
+
+// TestRunStreamEquivalenceUnderChaos reruns the differential check with the
+// deterministic chaos injector failing task attempts, inflating stragglers
+// (which launches speculative body re-runs), and corrupting broadcast
+// chunks: the spill writer's per-chunk dedup and the stage bodies'
+// idempotence must keep the streamed output identical anyway.
+func TestRunStreamEquivalenceUnderChaos(t *testing.T) {
+	pts := datagen.Chameleon(2000, 4)
+	cfg := Config{Eps: 1.2, MinPts: 10, Rho: 0.01, NumPartitions: 5, Seed: 2}
+	want, err := Run(pts, cfg, engine.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := chaos.MustNew(chaos.Config{
+		Seed:          7,
+		FailProb:      0.2,
+		StragglerProb: 0.15,
+		CorruptProb:   0.2,
+	})
+	cl := engine.New(5)
+	cl.Injector = inj
+	res, err := RunStream(pointio.FromPoints(pts), StreamConfig{
+		Config:    cfg,
+		ChunkSize: 311,
+		SpillDir:  t.TempDir(),
+	}, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStreamMatches(t, "chaos", want, res)
+	faults := res.Report.TotalFaults()
+	if faults.InjectedFailures == 0 {
+		t.Fatal("chaos injected no failures — the test exercised nothing")
+	}
+	if s := inj.Stats(); s.Failures == 0 {
+		t.Fatal("injector tally empty")
+	}
+}
+
+// TestRunStreamEmptySource: a stream with zero points yields an empty,
+// well-formed result.
+func TestRunStreamEmptySource(t *testing.T) {
+	empty := geom.NewPoints(2, 0)
+	res, err := RunStream(pointio.FromPoints(empty), StreamConfig{
+		Config:   Config{Eps: 1, MinPts: 2, Rho: 0.01},
+		SpillDir: t.TempDir(),
+	}, engine.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Labels) != 0 || len(res.CorePoint) != 0 || res.NumClusters != 0 {
+		t.Fatalf("empty stream produced %+v", res)
+	}
+	if res.Stream == nil || res.Stream.Chunks != 0 {
+		t.Fatalf("empty stream stats: %+v", res.Stream)
+	}
+}
+
+// TestRunStreamProbeAndValidation: the probe hook fires at every declared
+// stage boundary, and configuration errors surface before any spill I/O.
+func TestRunStreamProbeAndValidation(t *testing.T) {
+	if _, err := RunStream(pointio.FromPoints(geom.NewPoints(2, 0)), StreamConfig{
+		Config: Config{Eps: -1, MinPts: 2, Rho: 0.01},
+	}, engine.New(2)); err == nil {
+		t.Fatal("invalid Eps accepted")
+	}
+	pts := datagen.Blobs(300, 3, 0.3, 5)
+	seen := make(map[string]int)
+	_, err := RunStream(pointio.FromPoints(pts), StreamConfig{
+		Config:    Config{Eps: 0.4, MinPts: 5, Rho: 0.01, NumPartitions: 3},
+		ChunkSize: 64,
+		SpillDir:  t.TempDir(),
+		Probe:     func(label string) { seen[label]++ },
+	}, engine.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, label := range []string{"spill-closed", "dict-built", "dict-loaded", "phase2", "done"} {
+		if seen[label] != 1 {
+			t.Fatalf("probe %q fired %d times", label, seen[label])
+		}
+	}
+	if seen["chunk"] != (300+63)/64 {
+		t.Fatalf("probe saw %d chunks", seen["chunk"])
+	}
+}

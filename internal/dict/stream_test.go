@@ -1,0 +1,85 @@
+package dict
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/grid"
+	"rpdbscan/internal/testutil"
+)
+
+// TestStreamBuilderMatchesBuildEntry: feeding a grid's cells to the
+// StreamBuilder in randomly shuffled, randomly sized fragments must yield
+// entries whose encoding is byte-identical to the BuildEntry path — the
+// invariant that makes the streamed dictionary broadcast equal the
+// in-memory one.
+func TestStreamBuilderMatchesBuildEntry(t *testing.T) {
+	cfg := testutil.QuickConfig(t, 2, 10)
+	for rep := 0; rep < cfg.MaxCount; rep++ {
+		rng := rand.New(rand.NewSource(int64(rep) + 31))
+		dim := 2
+		pts := datagen.Mixture(datagen.MixtureConfig{N: 300 + rep*17, Dim: dim, Components: 3, Alpha: 1}, int64(rep)+5)
+		p := Params{Eps: 0.7, Rho: 0.01, Dim: dim}
+		g := grid.Build(pts, p.Eps)
+
+		// Reference: BuildEntry per complete cell, key-sorted.
+		var keys []grid.Key
+		for key := range g.Cells {
+			keys = append(keys, key)
+		}
+		sortKeys(keys)
+		want := make([]CellEntry, 0, len(keys))
+		for _, key := range keys {
+			want = append(want, BuildEntry(g.Cells[key], pts, p))
+		}
+
+		// Streamed: each cell's points split into random fragments, all
+		// fragments shuffled globally before feeding.
+		type frag struct {
+			key    grid.Key
+			coords []float64
+		}
+		var frags []frag
+		for key, cell := range g.Cells {
+			i := 0
+			for i < len(cell.Points) {
+				sz := 1 + rng.Intn(4)
+				if i+sz > len(cell.Points) {
+					sz = len(cell.Points) - i
+				}
+				var coords []float64
+				for _, pi := range cell.Points[i : i+sz] {
+					coords = append(coords, pts.At(pi)...)
+				}
+				frags = append(frags, frag{key: key, coords: coords})
+				i += sz
+			}
+		}
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		b := NewStreamBuilder(p)
+		for _, f := range frags {
+			b.Add(f.key, f.coords)
+		}
+		got := b.Entries()
+
+		if b.NumCells() != len(want) {
+			t.Fatalf("rep %d: %d cells, want %d", rep, b.NumCells(), len(want))
+		}
+		wantEnc := EncodeEntries(want, p)
+		gotEnc := EncodeEntries(got, p)
+		if !bytes.Equal(wantEnc, gotEnc) {
+			t.Fatalf("rep %d: streamed entries encode to %d bytes, in-memory to %d — not byte-identical",
+				rep, len(gotEnc), len(wantEnc))
+		}
+	}
+}
+
+func sortKeys(keys []grid.Key) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/pointio"
+)
+
+// StreamRow reports one cell of the out-of-core sweep: the same data set
+// clustered by the in-memory pipeline and by RunStream reading it back
+// from disk, at one size multiplier. The chunk size is fixed from the base
+// scale, so growing the multiplier grows the data set relative to the
+// chunk budget — the peak Phase I heap must NOT follow.
+type StreamRow struct {
+	// Multiplier scales the base N; the chunk budget stays fixed.
+	Multiplier int `json:"multiplier"`
+	N          int `json:"n"`
+	ChunkSize  int `json:"chunk_size"`
+	Workers    int `json:"workers"`
+	// Identical reports whether the streamed labels and core flags came
+	// out byte-identical to the in-memory run. Anything but true is a
+	// correctness bug.
+	Identical bool `json:"identical"`
+	// Stream accounting (see core.StreamStats).
+	Chunks       int   `json:"chunks"`
+	SpillBytes   int64 `json:"spill_bytes"`
+	SpillReloads int64 `json:"spill_reloads"`
+	// PeakPhase1HeapBytes is the peak live heap measured during the
+	// streamed Phase I (sampled at chunk boundaries after a forced GC),
+	// as a delta over the pre-run baseline heap.
+	PeakPhase1HeapBytes int64 `json:"peak_phase1_heap_bytes"`
+	// HeapCeilingBytes is the admissible ceiling: a fixed slack plus
+	// terms proportional to chunk size times real parallelism and to the
+	// spill writers' buffers — notably NOT proportional to N.
+	HeapCeilingBytes int64 `json:"heap_ceiling_bytes"`
+	WithinCeiling    bool  `json:"within_ceiling"`
+	// Simulated makespans of the two pipelines on the virtual cluster.
+	RunMillis    float64 `json:"run_millis"`
+	StreamMillis float64 `json:"stream_millis"`
+	// Wall-clock times (real), for the I/O overhead picture.
+	RunWallMillis    float64 `json:"run_wall_millis"`
+	StreamWallMillis float64 `json:"stream_wall_millis"`
+}
+
+// streamHeapCeiling computes the admissible peak live-heap delta for the
+// streamed Phase I: fixed slack (runtime noise, harness bookkeeping, the
+// retained baseline labels) + per-in-flight-chunk working set (the chunk
+// buffer plus its cell map and run-cell copies, ~4x the raw buffer) times
+// the real parallelism + the k spill writers' 64 KiB buffers. No term
+// depends on N.
+func streamHeapCeiling(chunkSize, dim, par, k int) int64 {
+	const slack = 8 << 20
+	chunkBytes := int64(chunkSize) * int64(dim) * 8
+	return slack + 4*chunkBytes*int64(par+2) + int64(k)<<16
+}
+
+// heapLive forces a GC and returns the live heap.
+func heapLive() int64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return int64(m.HeapAlloc)
+}
+
+// Stream runs the out-of-core differential benchmark: for each size
+// multiplier the same synthetic mixture is clustered in memory, written to
+// a binary file, released, and re-clustered by RunStream reading the file —
+// asserting byte-identical labels and a Phase I heap bounded by the
+// chunk budget, independent of N.
+func Stream(s Scale) ([]StreamRow, error) {
+	s = s.norm()
+	// Fix the chunk budget from the BASE scale: multipliers then grow the
+	// data set relative to it (the largest set is >= 10x the budget).
+	chunkSize := s.N / 10
+	if chunkSize < 1 {
+		chunkSize = 1
+	}
+	dir, err := os.MkdirTemp("", "rpdbscan-streambench-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	var rows []StreamRow
+	for _, mult := range []int{1, 2, 4} {
+		n := s.N * mult
+		pts := synthMixture(n, 2, 3, s.Seed)
+		dim := pts.Dim
+		cfg := core.Config{
+			Eps: synthEps, MinPts: s.minPtsFor(20), Rho: s.Rho,
+			NumPartitions: s.Partitions, Seed: s.Seed,
+		}
+		base, err := core.Run(pts, cfg, engine.New(s.Workers))
+		if err != nil {
+			return nil, err
+		}
+		// Park the data set on disk and release the in-memory copy, so
+		// the streamed run's heap reflects the pipeline, not the harness.
+		path := filepath.Join(dir, fmt.Sprintf("x%d.rppt", mult))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := pointio.WriteBinary(f, pts); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		pts = nil
+		baseLabels, baseCore := base.Labels, base.CorePoint
+		runMs := millis(base.Report.SimulatedElapsed())
+		runWallMs := millis(base.Report.WallElapsed())
+		base = nil
+
+		in, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		src, err := pointio.NewBinaryChunkReader(in)
+		if err != nil {
+			in.Close()
+			return nil, err
+		}
+		cl := engine.New(s.Workers)
+		heap0 := heapLive()
+		var peak int64
+		nProbes := 0
+		probe := func(label string) {
+			// Sampling GCs are expensive; every 4th chunk plus the
+			// spill-close boundary keeps the picture without dominating
+			// the run.
+			if label == "chunk" {
+				nProbes++
+				if nProbes%4 != 1 {
+					return
+				}
+			} else if label != "spill-closed" {
+				return
+			}
+			if h := heapLive() - heap0; h > peak {
+				peak = h
+			}
+		}
+		res, err := core.RunStream(src, core.StreamConfig{
+			Config: cfg, ChunkSize: chunkSize, SpillDir: dir, Probe: probe,
+		}, cl)
+		in.Close()
+		if err != nil {
+			return nil, err
+		}
+		ceiling := streamHeapCeiling(chunkSize, dim, cl.Parallelism, s.Partitions)
+		rows = append(rows, StreamRow{
+			Multiplier:          mult,
+			N:                   n,
+			ChunkSize:           chunkSize,
+			Workers:             s.Workers,
+			Identical:           equalLabels(baseLabels, res.Labels) && equalBools(baseCore, res.CorePoint),
+			Chunks:              res.Stream.Chunks,
+			SpillBytes:          res.Stream.SpillBytes,
+			SpillReloads:        res.Stream.SpillReloads,
+			PeakPhase1HeapBytes: peak,
+			HeapCeilingBytes:    ceiling,
+			WithinCeiling:       peak <= ceiling,
+			RunMillis:           runMs,
+			StreamMillis:        millis(res.Report.SimulatedElapsed()),
+			RunWallMillis:       runWallMs,
+			StreamWallMillis:    millis(res.Report.WallElapsed()),
+		})
+	}
+	return rows, nil
+}

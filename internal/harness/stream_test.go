@@ -1,0 +1,40 @@
+package harness
+
+import "testing"
+
+// TestStreamExperiment runs the out-of-core sweep at quick scale and pins
+// its two contracts: streamed output identical to the in-memory run, and
+// peak Phase I heap within the N-independent ceiling.
+func TestStreamExperiment(t *testing.T) {
+	rows, err := Stream(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("x%d (n=%d): streamed labels diverge from in-memory run", r.Multiplier, r.N)
+		}
+		if !r.WithinCeiling {
+			t.Fatalf("x%d (n=%d): peak Phase I heap %d exceeds ceiling %d",
+				r.Multiplier, r.N, r.PeakPhase1HeapBytes, r.HeapCeilingBytes)
+		}
+		if r.N < 10*r.ChunkSize {
+			t.Fatalf("x%d: n=%d is not >= 10x the chunk budget %d", r.Multiplier, r.N, r.ChunkSize)
+		}
+		if r.Chunks != (r.N+r.ChunkSize-1)/r.ChunkSize {
+			t.Fatalf("x%d: %d chunks for n=%d chunk=%d", r.Multiplier, r.Chunks, r.N, r.ChunkSize)
+		}
+		if r.SpillBytes <= 0 || r.SpillReloads <= 0 {
+			t.Fatalf("x%d: empty spill accounting %+v", r.Multiplier, r)
+		}
+	}
+	// The ceiling is constant across multipliers (it depends on the chunk
+	// budget, not N) — so WithinCeiling for every row is the
+	// N-independence statement.
+	if rows[0].HeapCeilingBytes != rows[2].HeapCeilingBytes {
+		t.Fatalf("ceiling varies with N: %d vs %d", rows[0].HeapCeilingBytes, rows[2].HeapCeilingBytes)
+	}
+}

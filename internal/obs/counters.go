@@ -49,6 +49,15 @@ var Counters = struct {
 	// ServeLatencyNs accumulates handler latency in nanoseconds;
 	// together with ServeRequests it yields the running mean.
 	ServeLatencyNs *expvar.Int
+	// StreamChunks counts input chunks ingested by the out-of-core
+	// pipeline (core.RunStream).
+	StreamChunks *expvar.Int
+	// StreamSpillBytes accumulates run-record payload bytes written to
+	// partition spill files.
+	StreamSpillBytes *expvar.Int
+	// StreamSpillReloads counts spill-file scans after the initial write
+	// (dictionary build, Phase II rematerialisation, core-point gather).
+	StreamSpillReloads *expvar.Int
 }{
 	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
 	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
@@ -67,4 +76,7 @@ var Counters = struct {
 	ServeErrors:         expvar.NewInt("rpdbscan.serve_errors"),
 	ServeFaults:         expvar.NewInt("rpdbscan.serve_faults"),
 	ServeLatencyNs:      expvar.NewInt("rpdbscan.serve_latency_ns"),
+	StreamChunks:        expvar.NewInt("rpdbscan.stream_chunks"),
+	StreamSpillBytes:    expvar.NewInt("rpdbscan.stream_spill_bytes"),
+	StreamSpillReloads:  expvar.NewInt("rpdbscan.stream_spill_reloads"),
 }

@@ -1,0 +1,259 @@
+package pointio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"rpdbscan/internal/geom"
+)
+
+// Source is a single-pass stream of points consumed in bounded chunks: the
+// contract the out-of-core pipeline (core.RunStream) ingests from. A Source
+// knows its dimensionality up front (readers probe the header or the first
+// record at construction) and hands out coordinates into caller-owned
+// buffers, so peak memory is set by the caller's chunk size, not by N.
+type Source interface {
+	// Dim returns the point dimensionality, >= 1.
+	Dim() int
+	// Next fills dst with the coordinates of up to len(dst)/Dim() points,
+	// point-major, and returns the number of points read. At the clean end
+	// of the stream it returns (0, io.EOF); thereafter every call returns
+	// (0, io.EOF). A record cut off mid-point (truncation, ragged row, bad
+	// field) returns a non-EOF error describing the corruption.
+	Next(dst []float64) (int, error)
+}
+
+// CSVChunkReader streams a CSV point file (the ReadCSV format) chunk by
+// chunk. The dimensionality is inferred from the first data line at
+// construction; blank lines and '#' comments are skipped.
+type CSVChunkReader struct {
+	sc     *bufio.Scanner
+	dim    int
+	row    []float64 // reusable parse buffer for one record
+	havePending bool // the probed first record is waiting in row
+	lineNo int
+	err    error // sticky terminal state (io.EOF at the clean end)
+}
+
+// NewCSVChunkReader probes r for its first data record (which fixes the
+// dimensionality) and returns a chunked reader positioned to stream it.
+// An input with no data records is an error, matching ReadCSV.
+func NewCSVChunkReader(r io.Reader) (*CSVChunkReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	cr := &CSVChunkReader{sc: sc}
+	fields, err := cr.scanRecord()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("pointio: no points in input")
+		}
+		return nil, err
+	}
+	cr.dim = len(fields)
+	cr.row = make([]float64, cr.dim)
+	if err := cr.parseRecord(fields); err != nil {
+		return nil, err
+	}
+	cr.havePending = true
+	return cr, nil
+}
+
+// Dim implements Source.
+func (cr *CSVChunkReader) Dim() int { return cr.dim }
+
+// scanRecord advances to the next non-blank, non-comment line and returns
+// its comma-separated fields, or io.EOF at the clean end of input.
+func (cr *CSVChunkReader) scanRecord() ([]string, error) {
+	for cr.sc.Scan() {
+		cr.lineNo++
+		line := strings.TrimSpace(cr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return strings.Split(line, ","), nil
+	}
+	if err := cr.sc.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// parseRecord parses fields into cr.row, enforcing the fixed dimensionality.
+func (cr *CSVChunkReader) parseRecord(fields []string) error {
+	if len(fields) != cr.dim {
+		return fmt.Errorf("pointio: line %d has %d fields, want %d", cr.lineNo, len(fields), cr.dim)
+	}
+	for j, f := range fields {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return fmt.Errorf("pointio: line %d field %d: %w", cr.lineNo, j+1, err)
+		}
+		cr.row[j] = v
+	}
+	return nil
+}
+
+// Next implements Source.
+func (cr *CSVChunkReader) Next(dst []float64) (int, error) {
+	if cr.err != nil {
+		return 0, cr.err
+	}
+	capacity := len(dst) / cr.dim
+	if capacity < 1 {
+		return 0, fmt.Errorf("pointio: chunk buffer holds %d floats, need at least dim=%d", len(dst), cr.dim)
+	}
+	n := 0
+	for n < capacity {
+		if cr.havePending {
+			cr.havePending = false
+		} else {
+			fields, err := cr.scanRecord()
+			if err == io.EOF {
+				break
+			}
+			if err == nil {
+				err = cr.parseRecord(fields)
+			}
+			if err != nil {
+				cr.err = err
+				if n > 0 {
+					// Hand back the points already read; the error
+					// surfaces (sticky) on the next call.
+					return n, nil
+				}
+				return 0, err
+			}
+		}
+		copy(dst[n*cr.dim:], cr.row)
+		n++
+	}
+	if n == 0 {
+		cr.err = io.EOF
+		return 0, io.EOF
+	}
+	return n, nil
+}
+
+// BinaryChunkReader streams the RPPT binary point format (the ReadBinary
+// format) chunk by chunk. The header is read and validated at construction.
+type BinaryChunkReader struct {
+	br        *bufio.Reader
+	dim       int
+	remaining uint64 // points not yet returned
+	err       error  // sticky terminal state
+}
+
+// NewBinaryChunkReader reads and validates the binary header of r and
+// returns a chunked reader over its points.
+func NewBinaryChunkReader(r io.Reader) (*BinaryChunkReader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, 4+12)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("pointio: short header: %w", err)
+	}
+	if string(head[:4]) != binMagic {
+		return nil, fmt.Errorf("pointio: bad magic %q", head[:4])
+	}
+	dim := int(binary.LittleEndian.Uint32(head[4:8]))
+	n := binary.LittleEndian.Uint64(head[8:])
+	if dim < 1 || dim > 1<<16 {
+		return nil, fmt.Errorf("pointio: implausible dimension %d", dim)
+	}
+	if n*uint64(dim)/uint64(dim) != n {
+		return nil, fmt.Errorf("pointio: count %d overflows", n)
+	}
+	return &BinaryChunkReader{br: br, dim: dim, remaining: n}, nil
+}
+
+// Dim implements Source.
+func (br *BinaryChunkReader) Dim() int { return br.dim }
+
+// Next implements Source. A stream that ends before the header's point
+// count is satisfied — including a cut inside one point's coordinates —
+// is a truncation error, never a silent short read.
+func (br *BinaryChunkReader) Next(dst []float64) (int, error) {
+	if br.err != nil {
+		return 0, br.err
+	}
+	if len(dst)/br.dim < 1 {
+		return 0, fmt.Errorf("pointio: chunk buffer holds %d floats, need at least dim=%d", len(dst), br.dim)
+	}
+	capacity := uint64(len(dst) / br.dim)
+	if capacity > br.remaining {
+		capacity = br.remaining
+	}
+	if capacity == 0 {
+		br.err = io.EOF
+		return 0, io.EOF
+	}
+	var buf [8]byte
+	for i := uint64(0); i < capacity*uint64(br.dim); i++ {
+		if _, err := io.ReadFull(br.br, buf[:]); err != nil {
+			br.err = fmt.Errorf("pointio: truncated data: %w", err)
+			return 0, br.err
+		}
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	br.remaining -= capacity
+	return int(capacity), nil
+}
+
+// pointsSource adapts an in-memory point set to the Source interface
+// (tests, benchmarks, and the public slice-backed entry points).
+type pointsSource struct {
+	pts *geom.Points
+	off int // next point index
+}
+
+// FromPoints returns a Source streaming the points of pts in order.
+func FromPoints(pts *geom.Points) Source {
+	return &pointsSource{pts: pts}
+}
+
+func (s *pointsSource) Dim() int { return s.pts.Dim }
+
+func (s *pointsSource) Next(dst []float64) (int, error) {
+	dim := s.pts.Dim
+	n := len(dst) / dim
+	if n < 1 {
+		return 0, fmt.Errorf("pointio: chunk buffer holds %d floats, need at least dim=%d", len(dst), dim)
+	}
+	if rest := s.pts.N() - s.off; n > rest {
+		n = rest
+	}
+	if n <= 0 {
+		return 0, io.EOF
+	}
+	copy(dst, s.pts.Coords[s.off*dim:(s.off+n)*dim])
+	s.off += n
+	return n, nil
+}
+
+// ReadAll drains src into a new point set, growing the allocation as data
+// actually arrives (a corrupt or hostile size hint must not balloon
+// memory). It is the slurp primitive behind ReadCSV and ReadBinary.
+func ReadAll(src Source) (*geom.Points, error) {
+	dim := src.Dim()
+	pts := &geom.Points{Dim: dim, Coords: make([]float64, 0, 1024*dim)}
+	buf := make([]float64, readAllChunk*dim)
+	for {
+		n, err := src.Next(buf)
+		if n > 0 {
+			pts.Coords = append(pts.Coords, buf[:n*dim]...)
+		}
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// readAllChunk is the slurp batch size in points.
+const readAllChunk = 4096

@@ -1,0 +1,172 @@
+package pointio
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"rpdbscan/internal/datagen"
+	"rpdbscan/internal/geom"
+)
+
+// drain reads src to exhaustion with the given chunk capacity (in points)
+// and returns everything it produced plus the terminal error.
+func drain(t *testing.T, src Source, chunkPts int) (*geom.Points, error) {
+	t.Helper()
+	dim := src.Dim()
+	pts := &geom.Points{Dim: dim}
+	buf := make([]float64, chunkPts*dim)
+	for {
+		n, err := src.Next(buf)
+		if n > 0 {
+			pts.Coords = append(pts.Coords, buf[:n*dim]...)
+		}
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return pts, err
+		}
+		if n == 0 {
+			t.Fatal("Next returned 0 points with nil error")
+		}
+	}
+}
+
+// TestChunkReadersMatchSlurp: for both formats and several chunk sizes, the
+// chunked readers must produce exactly the coordinates the slurp readers do.
+func TestChunkReadersMatchSlurp(t *testing.T) {
+	pts := datagen.Mixture(datagen.MixtureConfig{N: 537, Dim: 3, Components: 4, Alpha: 1}, 7)
+	var csv, bin bytes.Buffer
+	if err := WriteCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&bin, pts); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		for _, mode := range []string{"csv", "binary", "points"} {
+			var src Source
+			var err error
+			switch mode {
+			case "csv":
+				src, err = NewCSVChunkReader(bytes.NewReader(csv.Bytes()))
+			case "binary":
+				src, err = NewBinaryChunkReader(bytes.NewReader(bin.Bytes()))
+			case "points":
+				src = FromPoints(pts)
+			}
+			if err != nil {
+				t.Fatalf("%s chunk=%d: %v", mode, chunk, err)
+			}
+			if src.Dim() != pts.Dim {
+				t.Fatalf("%s chunk=%d: dim %d, want %d", mode, chunk, src.Dim(), pts.Dim)
+			}
+			got, err := drain(t, src, chunk)
+			if err != nil {
+				t.Fatalf("%s chunk=%d: %v", mode, chunk, err)
+			}
+			if got.N() != pts.N() {
+				t.Fatalf("%s chunk=%d: %d points, want %d", mode, chunk, got.N(), pts.N())
+			}
+			for i := range pts.Coords {
+				if got.Coords[i] != pts.Coords[i] {
+					t.Fatalf("%s chunk=%d: coord %d diverged", mode, chunk, i)
+				}
+			}
+			// The stream must stay cleanly terminated.
+			if n, err := src.Next(make([]float64, pts.Dim)); n != 0 || err != io.EOF {
+				t.Fatalf("%s chunk=%d: post-EOF Next = (%d, %v)", mode, chunk, n, err)
+			}
+		}
+	}
+}
+
+// TestCSVChunkReaderErrors pins the CSV failure modes: empty input fails at
+// construction, a ragged or malformed record fails the stream mid-way with
+// the points before it already delivered.
+func TestCSVChunkReaderErrors(t *testing.T) {
+	if _, err := NewCSVChunkReader(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := NewCSVChunkReader(strings.NewReader("# only comments\n\n")); err == nil {
+		t.Fatal("comment-only input accepted")
+	}
+	if _, err := NewCSVChunkReader(strings.NewReader("1,x\n")); err == nil {
+		t.Fatal("malformed first record accepted")
+	}
+
+	src, err := NewCSVChunkReader(strings.NewReader("1,2\n3,4\n5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 8*2)
+	n, err := src.Next(buf)
+	if n != 2 || err != nil {
+		// The two good records arrive before the ragged row surfaces.
+		t.Fatalf("Next = (%d, %v), want (2, nil)", n, err)
+	}
+	if _, err := src.Next(buf); err == nil || err == io.EOF {
+		t.Fatalf("ragged record error lost: %v", err)
+	}
+	// The error is sticky.
+	if _, err2 := src.Next(buf); err2 == nil || err2 == io.EOF {
+		t.Fatalf("error not sticky: %v", err2)
+	}
+}
+
+// TestBinaryChunkReaderTruncation pins the binary failure modes: every cut
+// below the header's promise — at a point boundary or inside one point's
+// coordinates — is a hard error, not a short stream.
+func TestBinaryChunkReaderTruncation(t *testing.T) {
+	pts := datagen.Blobs(10, 2, 0.1, 3)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 4, len(full) - 8, len(full) - 9, 17} {
+		src, err := NewBinaryChunkReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: header rejected: %v", cut, err)
+		}
+		if _, err := drain(t, src, 3); err == nil {
+			t.Fatalf("cut=%d: truncated stream accepted", cut)
+		}
+	}
+	if _, err := NewBinaryChunkReader(bytes.NewReader(full[:10])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+// TestChunkBufferTooSmall: a destination that cannot hold one point is a
+// caller bug and must be reported, never mistaken for EOF.
+func TestChunkBufferTooSmall(t *testing.T) {
+	pts := datagen.Blobs(4, 3, 0.1, 1) // dim 2
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, pts); err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, pts); err != nil {
+		t.Fatal(err)
+	}
+	csvSrc, err := NewCSVChunkReader(&csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binSrc, err := NewBinaryChunkReader(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []Source{csvSrc, binSrc, FromPoints(pts)} {
+		if _, err := src.Next(make([]float64, 1)); err == nil || err == io.EOF {
+			t.Fatalf("%T: undersized buffer not rejected: %v", src, err)
+		}
+		// The reader must still work afterwards with a proper buffer.
+		if n, err := src.Next(make([]float64, 2)); n != 1 || err != nil {
+			t.Fatalf("%T: recovery Next = (%d, %v)", src, n, err)
+		}
+	}
+}

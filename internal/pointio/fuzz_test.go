@@ -2,8 +2,12 @@ package pointio
 
 import (
 	"bytes"
+	"io"
+	"math"
 	"strings"
 	"testing"
+
+	"rpdbscan/internal/geom"
 )
 
 // FuzzReadCSV checks the CSV reader never panics and that accepted input
@@ -32,6 +36,71 @@ func FuzzReadCSV(f *testing.F) {
 				again.N(), again.Dim, pts.N(), pts.Dim)
 		}
 	})
+}
+
+// FuzzChunkReader checks the chunked readers against the slurp readers on
+// arbitrary (and hostile: truncated, ragged, mid-record-cut) input, in both
+// formats: they must agree exactly on accept/reject, and on accepted input
+// the chunked drain at any chunk size must produce the same coordinates.
+// Since ReadCSV/ReadBinary drain at a fixed large chunk, this is the
+// chunk-size-invariance property of the Source contract.
+func FuzzChunkReader(f *testing.F) {
+	var bin bytes.Buffer
+	pts, _ := ReadCSV(strings.NewReader("1,2\n3,4\n"))
+	_ = WriteBinary(&bin, pts)
+	f.Add([]byte("1,2\n3,4\n5,6\n"), byte(1))
+	f.Add([]byte("# c\n\n1.5e10,-2\n7,8\n"), byte(2))
+	f.Add([]byte("1,2\n3\n"), byte(0))
+	f.Add(bin.Bytes(), byte(3))
+	f.Add(bin.Bytes()[:bin.Len()-5], byte(1)) // mid-record cut
+	f.Add([]byte("RPPT"), byte(4))
+	f.Fuzz(func(t *testing.T, data []byte, chunkSel byte) {
+		chunk := int(chunkSel)%7 + 1
+		check := func(format string, slurp func(io.Reader) (*geom.Points, error), open func(io.Reader) (Source, error)) {
+			want, wantErr := slurp(bytes.NewReader(data))
+			src, err := open(bytes.NewReader(data))
+			var got *geom.Points
+			if err == nil {
+				got, err = drainChunks(src, chunk)
+			}
+			if (wantErr == nil) != (err == nil) {
+				t.Fatalf("%s: slurp err=%v, chunked(%d) err=%v", format, wantErr, chunk, err)
+			}
+			if wantErr != nil {
+				return
+			}
+			if got.Dim != want.Dim || len(got.Coords) != len(want.Coords) {
+				t.Fatalf("%s: chunked(%d) shape %dx%d, slurp %dx%d",
+					format, chunk, got.N(), got.Dim, want.N(), want.Dim)
+			}
+			for i := range want.Coords {
+				if math.Float64bits(got.Coords[i]) != math.Float64bits(want.Coords[i]) {
+					t.Fatalf("%s: chunked(%d) coord %d diverged", format, chunk, i)
+				}
+			}
+		}
+		check("csv", ReadCSV, func(r io.Reader) (Source, error) { return NewCSVChunkReader(r) })
+		check("binary", ReadBinary, func(r io.Reader) (Source, error) { return NewBinaryChunkReader(r) })
+	})
+}
+
+// drainChunks reads src to exhaustion chunk points at a time.
+func drainChunks(src Source, chunk int) (*geom.Points, error) {
+	dim := src.Dim()
+	pts := &geom.Points{Dim: dim}
+	buf := make([]float64, chunk*dim)
+	for {
+		n, err := src.Next(buf)
+		if n > 0 {
+			pts.Coords = append(pts.Coords, buf[:n*dim]...)
+		}
+		if err == io.EOF {
+			return pts, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
 }
 
 // FuzzReadBinary checks the binary reader never panics on arbitrary bytes.

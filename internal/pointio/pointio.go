@@ -6,11 +6,9 @@ package pointio
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
 	"io"
 	"math"
 	"strconv"
-	"strings"
 
 	"rpdbscan/internal/geom"
 )
@@ -40,43 +38,14 @@ func WriteCSV(w io.Writer, pts *geom.Points) error {
 
 // ReadCSV parses a CSV point file. The dimensionality is inferred from the
 // first non-empty line; all lines must agree. Blank lines and lines
-// starting with '#' are skipped.
+// starting with '#' are skipped. It is the slurp form of NewCSVChunkReader:
+// both paths share one parser, so they accept exactly the same inputs.
 func ReadCSV(r io.Reader) (*geom.Points, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
-	var pts *geom.Points
-	var row []float64
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Split(line, ",")
-		if pts == nil {
-			pts = geom.NewPoints(len(fields), 1024)
-			row = make([]float64, len(fields))
-		}
-		if len(fields) != pts.Dim {
-			return nil, fmt.Errorf("pointio: line %d has %d fields, want %d", lineNo, len(fields), pts.Dim)
-		}
-		for j, f := range fields {
-			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				return nil, fmt.Errorf("pointio: line %d field %d: %w", lineNo, j+1, err)
-			}
-			row[j] = v
-		}
-		pts.Append(row)
-	}
-	if err := sc.Err(); err != nil {
+	src, err := NewCSVChunkReader(r)
+	if err != nil {
 		return nil, err
 	}
-	if pts == nil {
-		return nil, fmt.Errorf("pointio: no points in input")
-	}
-	return pts, nil
+	return ReadAll(src)
 }
 
 const binMagic = "RPPT"
@@ -104,39 +73,13 @@ func WriteBinary(w io.Writer, pts *geom.Points) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads the binary format written by WriteBinary.
+// ReadBinary reads the binary format written by WriteBinary. It is the
+// slurp form of NewBinaryChunkReader; the chunked drain keeps allocation
+// growing with actual data, never with a hostile header count.
 func ReadBinary(r io.Reader) (*geom.Points, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, 4+12)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("pointio: short header: %w", err)
+	src, err := NewBinaryChunkReader(r)
+	if err != nil {
+		return nil, err
 	}
-	if string(head[:4]) != binMagic {
-		return nil, fmt.Errorf("pointio: bad magic %q", head[:4])
-	}
-	dim := int(binary.LittleEndian.Uint32(head[4:8]))
-	n := binary.LittleEndian.Uint64(head[8:])
-	if dim < 1 || dim > 1<<16 {
-		return nil, fmt.Errorf("pointio: implausible dimension %d", dim)
-	}
-	total := n * uint64(dim)
-	if total/uint64(dim) != n {
-		return nil, fmt.Errorf("pointio: count %d overflows", n)
-	}
-	// Do not trust the header's count for the allocation: a corrupt or
-	// hostile header must not balloon memory. Start small and grow as
-	// actual data arrives.
-	capHint := total
-	if capHint > 1<<20 {
-		capHint = 1 << 20
-	}
-	pts := &geom.Points{Dim: dim, Coords: make([]float64, 0, capHint)}
-	var buf [8]byte
-	for i := uint64(0); i < total; i++ {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
-			return nil, fmt.Errorf("pointio: truncated data: %w", err)
-		}
-		pts.Coords = append(pts.Coords, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
-	}
-	return pts, nil
+	return ReadAll(src)
 }

@@ -110,6 +110,9 @@ type Result struct {
 	NumClusters int
 	// Stats reports timing and dictionary statistics.
 	Stats Stats
+	// Streaming reports out-of-core pipeline statistics; nil unless the
+	// result came from ClusterStream.
+	Streaming *StreamingStats
 }
 
 // Cluster runs RP-DBSCAN over points (each an equal-length coordinate

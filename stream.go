@@ -1,0 +1,138 @@
+package rpdbscan
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/obs"
+	"rpdbscan/internal/pointio"
+)
+
+// StreamSource is a single-pass point stream: the input of ClusterStream.
+// Dim reports the fixed dimensionality; Next fills dst with up to
+// len(dst)/Dim() points (point-major) and returns how many it wrote,
+// io.EOF at the clean end of the stream, or a non-EOF error for a record
+// cut off mid-point. CSVSource and BinarySource adapt the two on-disk
+// formats; any user type with the same contract works too.
+type StreamSource interface {
+	Dim() int
+	Next(dst []float64) (int, error)
+}
+
+// StreamOptions configures ClusterStream. The embedded Options carry the
+// algorithm parameters, so a streamed run is directly comparable to an
+// in-memory run with the same Options — and produces identical labels.
+type StreamOptions struct {
+	Options
+	// ChunkSize is the number of points ingested per chunk; zero defaults
+	// to 65536. Peak memory during ingestion is proportional to
+	// ChunkSize times Workers, independent of the stream length.
+	ChunkSize int
+	// SpillDir is the parent directory for the run's temporary spill
+	// files; empty uses the OS temp directory. The spill files are
+	// removed before ClusterStream returns.
+	SpillDir string
+}
+
+// StreamingStats reports what the out-of-core pipeline did.
+type StreamingStats struct {
+	// Chunks is the number of input chunks ingested.
+	Chunks int
+	// SpillBytes is the total payload written to partition spill files.
+	SpillBytes int64
+	// SpillReloads counts spill-file re-reads (later phases re-read from
+	// disk instead of holding partitions in memory).
+	SpillReloads int64
+}
+
+// CSVSource returns a StreamSource over CSV point data (one
+// comma-separated point per line, '#' comments and blank lines skipped).
+// The dimensionality is fixed by the first record.
+func CSVSource(r io.Reader) (StreamSource, error) {
+	return pointio.NewCSVChunkReader(r)
+}
+
+// BinarySource returns a StreamSource over the RPPT binary point format
+// (the format WriteBinary of cmd/rpdbscan emits).
+func BinarySource(r io.Reader) (StreamSource, error) {
+	return pointio.NewBinaryChunkReader(r)
+}
+
+// ClusterStream runs RP-DBSCAN over a single-pass point stream without
+// ever materialising the full input: chunks are partitioned as they
+// arrive and spilled to checksummed per-partition temp files, later
+// phases re-read partitions from disk one at a time. The labels and core
+// flags are byte-identical to what Cluster produces on the same points —
+// the streamed pipeline changes where data lives, not what is computed.
+func ClusterStream(src StreamSource, opts StreamOptions) (*Result, error) {
+	if src == nil {
+		return nil, fmt.Errorf("rpdbscan: nil stream source")
+	}
+	workers := opts.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := core.StreamConfig{
+		Config: core.Config{
+			Eps:                opts.Eps,
+			MinPts:             opts.MinPts,
+			Rho:                opts.Rho,
+			NumPartitions:      opts.Partitions,
+			MaxCellsPerSubDict: opts.MaxCellsPerSubDict,
+			Seed:               opts.Seed,
+		},
+		ChunkSize: opts.ChunkSize,
+		SpillDir:  opts.SpillDir,
+	}
+	if cfg.Rho == 0 {
+		cfg.Rho = 0.01
+	}
+	cl := engine.New(workers)
+	cl.Sink = obs.NewSink(nil)
+	res, err := core.RunStream(src, cfg, cl)
+	if err != nil {
+		return nil, err
+	}
+	obs.Counters.PointsRead.Add(res.PointsProcessed)
+	obs.Counters.CellsBuilt.Add(int64(res.NumCells))
+	obs.Counters.StreamChunks.Add(int64(res.Stream.Chunks))
+	obs.Counters.StreamSpillBytes.Add(res.Stream.SpillBytes)
+	obs.Counters.StreamSpillReloads.Add(res.Stream.SpillReloads)
+	if s := res.Report.Stage("stream-spill"); s != nil {
+		obs.Counters.ShuffleBytes.Add(s.Bytes)
+	}
+	for _, s := range res.Report.Stages {
+		if s.Phase == "III-1" {
+			obs.Counters.MergeOps.Add(int64(len(s.Costs)))
+		}
+	}
+	out := &Result{
+		Labels:      res.Labels,
+		Core:        res.CorePoint,
+		NumClusters: res.NumClusters,
+		Streaming: &StreamingStats{
+			Chunks:       res.Stream.Chunks,
+			SpillBytes:   res.Stream.SpillBytes,
+			SpillReloads: res.Stream.SpillReloads,
+		},
+		Stats: Stats{
+			Elapsed:         res.Report.SimulatedElapsed(),
+			Wall:            res.Report.WallElapsed(),
+			DictionaryBytes: res.DictBytes,
+			Cells:           res.NumCells,
+			SubCells:        res.NumSubCells,
+			LoadImbalance:   1,
+		},
+	}
+	if s := res.Report.Stage("cell-graph-construction"); s != nil {
+		out.Stats.LoadImbalance = s.Imbalance()
+	}
+	breakdown, order := res.Report.PhaseBreakdown()
+	for _, ph := range order {
+		out.Stats.Phases = append(out.Stats.Phases, PhaseStats{Phase: ph, Elapsed: breakdown[ph]})
+	}
+	return out, nil
+}

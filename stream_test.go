@@ -1,0 +1,69 @@
+package rpdbscan
+
+import (
+	"bytes"
+	"slices"
+	"testing"
+
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/pointio"
+)
+
+// TestClusterStreamMatchesCluster: the public streaming entry point must
+// reproduce the in-memory entry point exactly, from both supported
+// on-disk formats.
+func TestClusterStreamMatchesCluster(t *testing.T) {
+	points := twoBlobs(600, 21)
+	opts := Options{Eps: 0.5, MinPts: 5, Partitions: 4, Workers: 4, Seed: 3}
+	want, err := Cluster(points, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := geom.FromSlice(points, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf, binBuf bytes.Buffer
+	if err := pointio.WriteCSV(&csvBuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if err := pointio.WriteBinary(&binBuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	sources := map[string]func() (StreamSource, error){
+		"csv":    func() (StreamSource, error) { return CSVSource(bytes.NewReader(csvBuf.Bytes())) },
+		"binary": func() (StreamSource, error) { return BinarySource(bytes.NewReader(binBuf.Bytes())) },
+	}
+	for name, open := range sources {
+		src, err := open()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := ClusterStream(src, StreamOptions{
+			Options:   opts,
+			ChunkSize: 97,
+			SpillDir:  t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !slices.Equal(got.Labels, want.Labels) {
+			t.Fatalf("%s: streamed labels diverge from Cluster", name)
+		}
+		if !slices.Equal(got.Core, want.Core) {
+			t.Fatalf("%s: streamed core flags diverge from Cluster", name)
+		}
+		if got.NumClusters != want.NumClusters {
+			t.Fatalf("%s: NumClusters %d, want %d", name, got.NumClusters, want.NumClusters)
+		}
+		if got.Streaming == nil || got.Streaming.Chunks != (600+96)/97 {
+			t.Fatalf("%s: streaming stats %+v", name, got.Streaming)
+		}
+		if got.Streaming.SpillBytes <= 0 || got.Streaming.SpillReloads <= 0 {
+			t.Fatalf("%s: empty spill accounting %+v", name, got.Streaming)
+		}
+	}
+	if _, err := ClusterStream(nil, StreamOptions{Options: opts}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
