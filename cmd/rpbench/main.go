@@ -25,7 +25,8 @@
 //	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
 //	-streamout  where the stream experiment writes BENCH_stream.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
-//	-debug-addr  serve /debug/pprof and /debug/vars for live profiling
+//	-debug-addr  serve /metrics, /healthz, /debug/pprof and /debug/vars for
+//	             live profiling and scraping
 package main
 
 import (
@@ -55,7 +56,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	density := flag.Float64("density", 20, "point-density multiplier vs the calibrated reference; ~5 reproduces the paper's dense-neighborhood regime")
 	quick := flag.Bool("quick", false, "small smoke-test preset")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/vars on this address")
 	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
 	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
@@ -615,8 +616,8 @@ func serveExp(s harness.Scale) error {
 		model.Len(), model.Info().CorePoints, model.Info().Clusters)
 	fmt.Printf("  %d requests from %d clients in %.1fms  (%.0f req/s, %d points classified, %.1f%% noise)\n",
 		rep.Requests, rep.Clients, rep.ElapsedMS, rep.Throughput, rep.Points, 100*rep.NoiseRate)
-	fmt.Printf("  latency: p50=%.0fus  p99=%.0fus  max=%.0fus   ok=%d rejected=%d errors=%d\n",
-		rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS, rep.OK, rep.Rejected, rep.Errors)
+	fmt.Printf("  latency: p50=%.0fus  p99=%.0fus  p999=%.0fus  max=%.0fus   ok=%d rejected=%d errors=%d\n",
+		rep.P50MicroS, rep.P99MicroS, rep.P999MicroS, rep.MaxMicroS, rep.OK, rep.Rejected, rep.Errors)
 	if rep.Errors > 0 || rep.Rejected > 0 {
 		return fmt.Errorf("serve: %d errors and %d sheds on the seeded stream (want 0/0)", rep.Errors, rep.Rejected)
 	}
@@ -635,11 +636,11 @@ func serveExp(s harness.Scale) error {
 		fmt.Printf("  wrote %s\n", serveOut)
 	}
 	var lines []string
-	lines = append(lines, fmt.Sprintf("%d,%d,%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.0f",
+	lines = append(lines, fmt.Sprintf("%d,%d,%d,%d,%d,%.1f,%.0f,%.0f,%.0f,%.0f,%.0f",
 		rep.Requests, rep.Clients, rep.OK, rep.Rejected, rep.Errors,
-		rep.ElapsedMS, rep.Throughput, rep.P50MicroS, rep.P99MicroS, rep.MaxMicroS))
+		rep.ElapsedMS, rep.Throughput, rep.P50MicroS, rep.P99MicroS, rep.P999MicroS, rep.MaxMicroS))
 	return writeCSV("serve.csv",
-		"requests,clients,ok,rejected,errors,elapsed_ms,throughput_rps,p50_us,p99_us,max_us", lines)
+		"requests,clients,ok,rejected,errors,elapsed_ms,throughput_rps,p50_us,p99_us,p999_us,max_us", lines)
 }
 
 // streamOut is where the stream experiment writes its JSON report (empty =

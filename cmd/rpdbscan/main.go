@@ -29,11 +29,13 @@
 //	-o            output path (default stdout)
 //	-save-model   write the fitted model artifact here (serve it with rpserve)
 //	-stats        print phase timings and dictionary stats to stderr
+//	-stats-json   write run statistics as JSON to this path ("-" for stderr)
 //	-trace        write the engine trace to this path
 //	-trace-format report (engine JSON) or chrome (chrome://tracing timeline)
 //	-log-level    debug|info|warn|error structured log level (stderr)
 //	-log-format   text|json structured log encoding
-//	-debug-addr   serve /debug/pprof and /debug/vars on this address
+//	-debug-addr   serve /metrics, /healthz, /debug/pprof, /debug/vars on
+//	              this address
 //
 // Chaos flags (deterministic fault injection; results must be identical):
 //
@@ -88,9 +90,10 @@ func main() {
 	out := flag.String("o", "", "output path (default stdout)")
 	saveModel := flag.String("save-model", "", "write the fitted model artifact here (algo rp or exact)")
 	stats := flag.Bool("stats", false, "print run statistics to stderr")
+	statsJSON := flag.String("stats-json", "", `write run statistics as JSON to this path ("-" for stderr)`)
 	trace := flag.String("trace", "", "write the engine trace to this path")
 	traceFormat := flag.String("trace-format", "report", "trace encoding: "+obs.TraceFormats)
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/vars on this address")
 	seed := flag.Int64("seed", 1, "partitioning seed")
 	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of failing a task attempt")
 	chaosStraggler := flag.Float64("chaos-straggler", 0, "chaos: probability of inflating a task into a straggler")
@@ -137,7 +140,6 @@ func main() {
 		if err != nil {
 			fatal(log, "read input", err)
 		}
-		obs.Counters.PointsRead.Add(int64(pts.N()))
 	}
 
 	k := *partitions
@@ -161,6 +163,7 @@ func main() {
 	var labels []int
 	var clusters int
 	var corePoints []bool // set by algorithms that judge core points
+	var runInfo obs.RunInfo
 	switch *algo {
 	case "rp":
 		cfg := core.Config{
@@ -175,38 +178,28 @@ func main() {
 			if err != nil {
 				fatal(log, "clustering", err)
 			}
-			obs.Counters.PointsRead.Add(res.PointsProcessed)
-			obs.Counters.StreamChunks.Add(int64(res.Stream.Chunks))
-			obs.Counters.StreamSpillBytes.Add(res.Stream.SpillBytes)
-			obs.Counters.StreamSpillReloads.Add(res.Stream.SpillReloads)
-			if s := cl.Report().Stage("stream-spill"); s != nil {
-				obs.Counters.ShuffleBytes.Add(s.Bytes)
-			}
-			if *stats {
-				log.Info("stream", "chunks", res.Stream.Chunks,
-					"spill_bytes", res.Stream.SpillBytes, "spill_reloads", res.Stream.SpillReloads)
+			runInfo = obs.RunInfo{
+				Points:       res.PointsProcessed,
+				Streamed:     true,
+				Chunks:       res.Stream.Chunks,
+				SpillBytes:   res.Stream.SpillBytes,
+				SpillReloads: res.Stream.SpillReloads,
 			}
 		} else {
 			res, err = core.Run(pts, cfg, cl)
 			if err != nil {
 				fatal(log, "clustering", err)
 			}
-			if s := cl.Report().Stage("cell-partitioning"); s != nil {
-				obs.Counters.ShuffleBytes.Add(s.Bytes)
-			}
+			runInfo = obs.RunInfo{Points: int64(pts.N())}
 		}
 		labels, clusters = res.Labels, res.NumClusters
 		corePoints = res.CorePoint
-		obs.Counters.CellsBuilt.Add(int64(res.NumCells))
-		for _, s := range cl.Report().Stages {
-			if s.Phase == "III-1" {
-				obs.Counters.MergeOps.Add(int64(len(s.Costs)))
-			}
-		}
-		if *stats {
-			log.Info("dictionary",
-				"cells", res.NumCells, "sub_cells", res.NumSubCells, "bytes", res.DictBytes)
-		}
+		runInfo.Algorithm = "rp"
+		runInfo.Clusters = res.NumClusters
+		runInfo.Cells = res.NumCells
+		runInfo.SubCells = res.NumSubCells
+		runInfo.DictBytes = res.DictBytes
+		obs.CountRun(cl.Report(), runInfo)
 	case "esp", "rbp", "cbp", "spark":
 		cfg := regionsplit.Config{
 			Eps: *eps, MinPts: *minPts, Rho: *rho,
@@ -234,9 +227,33 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *algo != "rp" {
+		// Baselines report no dictionary; counters and run facts are the
+		// input size and cluster count.
+		obs.Counters.PointsRead.Add(int64(pts.N()))
+		runInfo = obs.RunInfo{Algorithm: *algo, Points: int64(pts.N()), Clusters: clusters}
+	}
+	// One snapshot backs every stats surface: the -stats table, the
+	// run-complete log line, -stats-json, and the /metrics gauges.
+	snap := obs.TakeSnapshot(cl.Report(), runInfo)
+	snap.Publish()
 	if *stats {
-		log.Info("run complete", "points", len(labels), "clusters", clusters)
-		os.Stderr.WriteString(cl.Report().String())
+		log.Info("run complete", snap.LogArgs()...)
+		os.Stderr.WriteString(snap.String())
+	}
+	if *statsJSON != "" {
+		w := io.Writer(os.Stderr)
+		if *statsJSON != "-" {
+			f, err := os.Create(*statsJSON)
+			if err != nil {
+				fatal(log, "create stats file", err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := snap.WriteJSON(w); err != nil {
+			fatal(log, "write stats json", err)
+		}
 	}
 	if *trace != "" {
 		f, err := os.Create(*trace)

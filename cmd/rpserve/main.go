@@ -8,9 +8,13 @@
 // Endpoints:
 //
 //	GET  /healthz        liveness probe
+//	GET  /metrics        Prometheus text exposition (counters + histograms)
 //	GET  /model/info     model parameters and artifact identity
 //	POST /predict        {"point":[...]} -> {"label":..,"noise":..,...}
 //	POST /predict/batch  {"points":[[...],...]} -> {"predictions":[...],...}
+//
+// /metrics bypasses the admission queue, so scrapes keep answering while
+// prediction traffic is being shed.
 //
 // The server shares one immutable model across all connections, admits at
 // most -max-inflight requests at once (sheds the rest with 429), caps
@@ -29,7 +33,8 @@
 //	-drain        graceful shutdown budget (default 10s)
 //	-log-level    debug|info|warn|error structured log level (stderr)
 //	-log-format   text|json structured log encoding
-//	-debug-addr   serve /debug/pprof and /debug/vars on this address
+//	-debug-addr   serve /metrics, /healthz, /debug/pprof, /debug/vars on
+//	              this address (separate from the serving mux)
 //	-chaos-fail   probability of an injected handler fault (chaos testing)
 //	-chaos-seed   seed for the injected fault schedule
 package main
@@ -61,7 +66,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 256, "bounded admission queue depth (429 beyond it)")
 	maxBatch := flag.Int("max-batch", 4096, "points per /predict/batch request")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof and /debug/vars on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/vars on this address")
 	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of an injected handler fault")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 	var logCfg obs.LogConfig

@@ -14,6 +14,7 @@ import (
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/graph"
 	"rpdbscan/internal/grid"
+	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
 	"rpdbscan/internal/spill"
 )
@@ -144,6 +145,7 @@ func RunStream(src pointio.Source, cfg StreamConfig, cl *engine.Cluster) (*Resul
 		}
 		base := nPoints
 		nPoints += int64(m)
+		obs.Histograms.StreamChunkPoints.Record(int64(m))
 		probe("chunk")
 		return func() {
 			cells := make(map[grid.Key][]int)

@@ -214,6 +214,57 @@ func (r *Report) PhaseBreakdown() (map[string]time.Duration, []string) {
 	return m, order
 }
 
+// PhaseSummary aggregates the stages of one phase label: the rollup the
+// observability snapshot renders (per-phase wall clock, simulated makespan,
+// payload bytes, retries, allocation growth, and the fault ledger).
+type PhaseSummary struct {
+	// Phase is the shared phase label (e.g. "I-1", "II").
+	Phase string
+	// Stages and Tasks count the stages and tasks grouped under the phase.
+	Stages int
+	Tasks  int
+	// Wall is the summed real wall time; Simulated the summed virtual
+	// makespan on the report's worker count.
+	Wall      time.Duration
+	Simulated time.Duration
+	// Bytes sums the accounted payload sizes of the phase's stages.
+	Bytes int64
+	// Retries sums re-executed task attempts.
+	Retries int64
+	// AllocDelta and MallocDelta sum the stages' heap-growth accounting.
+	AllocDelta  int64
+	MallocDelta int64
+	// Faults is the phase's combined fault ledger.
+	Faults FaultStats
+}
+
+// PhaseSummaries rolls the report's stages up by phase label, in order of
+// first appearance. It is the single aggregation behind the obs.Snapshot
+// phase table and the /metrics phase gauges.
+func (r *Report) PhaseSummaries() []PhaseSummary {
+	idx := make(map[string]int)
+	var out []PhaseSummary
+	for _, s := range r.Stages {
+		i, ok := idx[s.Phase]
+		if !ok {
+			i = len(out)
+			idx[s.Phase] = i
+			out = append(out, PhaseSummary{Phase: s.Phase})
+		}
+		p := &out[i]
+		p.Stages++
+		p.Tasks += len(s.Costs)
+		p.Wall += s.Wall
+		p.Simulated += s.Makespan(r.Workers)
+		p.Bytes += s.Bytes
+		p.Retries += s.Retries
+		p.AllocDelta += s.AllocDelta
+		p.MallocDelta += s.MallocDelta
+		p.Faults.Add(s.Faults)
+	}
+	return out
+}
+
 // Stage returns the first stage with the given name, or nil.
 func (r *Report) Stage(name string) *StageStats {
 	for _, s := range r.Stages {

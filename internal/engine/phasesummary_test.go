@@ -1,0 +1,54 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhaseSummariesRollUpStagesInOrder(t *testing.T) {
+	r := &Report{Workers: 2, Stages: []*StageStats{
+		{Name: "a", Phase: "I-1", Costs: []time.Duration{2, 2}, Wall: 4, Bytes: 10, Retries: 1, AllocDelta: 100, MallocDelta: 5},
+		{Name: "b", Phase: "II", Costs: []time.Duration{6}, Wall: 6},
+		{Name: "c", Phase: "I-1", Costs: []time.Duration{2}, Wall: 2, Bytes: 5,
+			Faults: FaultStats{InjectedFailures: 3, SpeculativeWins: 1}},
+	}}
+	got := r.PhaseSummaries()
+	if len(got) != 2 {
+		t.Fatalf("summaries = %d, want 2", len(got))
+	}
+	p1 := got[0]
+	if p1.Phase != "I-1" || p1.Stages != 2 || p1.Tasks != 3 {
+		t.Fatalf("I-1 header: %+v", p1)
+	}
+	if p1.Wall != 6 || p1.Bytes != 15 || p1.Retries != 1 || p1.AllocDelta != 100 || p1.MallocDelta != 5 {
+		t.Fatalf("I-1 sums: %+v", p1)
+	}
+	wantSim := r.Stages[0].Makespan(2) + r.Stages[2].Makespan(2)
+	if p1.Simulated != wantSim {
+		t.Fatalf("I-1 simulated = %v, want %v", p1.Simulated, wantSim)
+	}
+	if p1.Faults.InjectedFailures != 3 || p1.Faults.SpeculativeWins != 1 {
+		t.Fatalf("I-1 faults: %+v", p1.Faults)
+	}
+	if got[1].Phase != "II" || got[1].Stages != 1 || got[1].Tasks != 1 {
+		t.Fatalf("II header: %+v", got[1])
+	}
+
+	// The phase rollup must account every stage exactly once: totals agree
+	// with the report-level aggregates.
+	var wall, sim time.Duration
+	for _, p := range got {
+		wall += p.Wall
+		sim += p.Simulated
+	}
+	if wall != r.WallElapsed() || sim != r.SimulatedElapsed() {
+		t.Fatalf("rollup totals %v/%v disagree with report %v/%v",
+			wall, sim, r.WallElapsed(), r.SimulatedElapsed())
+	}
+}
+
+func TestPhaseSummariesEmptyReport(t *testing.T) {
+	if got := (&Report{Workers: 1}).PhaseSummaries(); len(got) != 0 {
+		t.Fatalf("empty report produced %d summaries", len(got))
+	}
+}

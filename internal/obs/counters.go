@@ -80,3 +80,39 @@ var Counters = struct {
 	StreamSpillBytes:    expvar.NewInt("rpdbscan.stream_spill_bytes"),
 	StreamSpillReloads:  expvar.NewInt("rpdbscan.stream_spill_reloads"),
 }
+
+// counterHelp is the per-counter description the Prometheus exposition
+// emits as # HELP lines, keyed by expvar name. Keep in sync with the
+// Counters field docs above; CounterHelp falls back to a generic line for
+// names missing here so the exposition never renders a HELP-less family.
+var counterHelp = map[string]string{
+	"rpdbscan.points_read":          "Input points ingested by file readers and the pipeline entry.",
+	"rpdbscan.cells_built":          "Grid cells materialized into cell dictionaries.",
+	"rpdbscan.broadcast_bytes":      "Broadcast payload bytes (the two-level cell dictionary).",
+	"rpdbscan.shuffle_bytes":        "Shuffle payload bytes accounted by stages.",
+	"rpdbscan.task_retries":         "Failed task attempts that were re-executed (panics and injected faults).",
+	"rpdbscan.merge_ops":            "Cell-graph merge operations (tournament matches).",
+	"rpdbscan.stages_run":           "Engine stages executed.",
+	"rpdbscan.faults_injected":      "Injected task-attempt failures (chaos mode).",
+	"rpdbscan.checksum_rejects":     "Payload chunks rejected by their transfer checksum and re-transferred.",
+	"rpdbscan.speculative_launches": "Speculative straggler re-executions launched.",
+	"rpdbscan.speculative_wins":     "Speculative copies that finished first.",
+	"rpdbscan.serve_requests":       "HTTP requests received by the prediction server (all endpoints).",
+	"rpdbscan.serve_predict_points": "Points classified by /predict and /predict/batch.",
+	"rpdbscan.serve_rejects":        "Requests shed with 429 by the bounded admission queue.",
+	"rpdbscan.serve_errors":         "Responses with status >= 400.",
+	"rpdbscan.serve_faults":         "Chaos-injected handler failures (500s).",
+	"rpdbscan.serve_latency_ns":     "Cumulative handler latency in nanoseconds (mean = latency / requests).",
+	"rpdbscan.stream_chunks":        "Input chunks ingested by the out-of-core pipeline.",
+	"rpdbscan.stream_spill_bytes":   "Run-record payload bytes written to partition spill files.",
+	"rpdbscan.stream_spill_reloads": "Spill-file scans after the initial write.",
+}
+
+// CounterHelp returns the description of the named counter for exposition
+// HELP lines.
+func CounterHelp(name string) string {
+	if h, ok := counterHelp[name]; ok {
+		return h
+	}
+	return "rpdbscan expvar counter " + name + "."
+}

@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"context"
 	"expvar"
+	"io"
 	"log/slog"
 	"net"
 	"net/http"
@@ -9,18 +11,53 @@ import (
 	"time"
 )
 
+// DebugServer is the running introspection server StartDebugServer
+// returns: the bound address, the mux (exported so tests can drive it
+// without the network), and a graceful Close.
+type DebugServer struct {
+	// Handler is the server's mux, also reachable over the bound listener.
+	Handler http.Handler
+
+	srv  *http.Server
+	addr string
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Close gracefully shuts the server down: in-flight scrapes get up to
+// five seconds to complete before the connections are forced closed.
+// (A plain http.Server.Close would abandon a /metrics response
+// mid-body, which scrapers record as a failed scrape.)
+func (d *DebugServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := d.srv.Shutdown(ctx)
+	if err == context.DeadlineExceeded {
+		return d.srv.Close()
+	}
+	return err
+}
+
 // StartDebugServer serves runtime introspection endpoints on addr:
-// /debug/vars (the expvar registry, including the rpdbscan.* Counters) and
+// /metrics (Prometheus text exposition), /healthz (liveness), /debug/vars
+// (the expvar registry, including the rpdbscan.* Counters), and
 // /debug/pprof/* (live CPU/heap/goroutine profiling). It returns once the
-// listener is bound, with the server running in a background goroutine, so
-// long pipeline runs can be profiled while they execute. Close the
-// returned server to stop it; a failure to bind is returned immediately.
+// listener is bound, with the server running in a background goroutine,
+// so long pipeline runs can be profiled and scraped while they execute.
+// Close the returned server to stop it; a failure to bind is returned
+// immediately.
 //
 // The mux is private — the handlers are mounted explicitly rather than
 // relying on the net/http/pprof and expvar side effects on
 // http.DefaultServeMux, which a library must not touch.
-func StartDebugServer(addr string, log *slog.Logger) (*http.Server, error) {
+func StartDebugServer(addr string, log *slog.Logger) (*DebugServer, error) {
 	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -42,5 +79,5 @@ func StartDebugServer(addr string, log *slog.Logger) (*http.Server, error) {
 	if log != nil {
 		log.Info("debug server listening", "addr", ln.Addr().String())
 	}
-	return srv, nil
+	return &DebugServer{Handler: mux, srv: srv, addr: ln.Addr().String()}, nil
 }

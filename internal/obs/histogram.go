@@ -1,0 +1,301 @@
+package obs
+
+import (
+	"expvar"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// NumHistogramBuckets is the number of finite histogram buckets. Bounds
+// grow by a factor of √2 per bucket starting at 1, so 96 buckets cover
+// [0, 2^48) — about 78 hours when recording nanoseconds — with every
+// quantile estimate within one √2-wide bucket of the true value. One
+// additional overflow bucket catches anything beyond the last bound.
+const NumHistogramBuckets = 96
+
+// bucketBounds[i] is the inclusive upper bound of bucket i: value v lands
+// in the first bucket with v <= bucketBounds[i]. Bounds are the powers of
+// √2 rounded up to the next integer (deduplicated at the low end where
+// rounding would collide), so consecutive bounds differ by at most √2.
+var bucketBounds = func() [NumHistogramBuckets]int64 {
+	var b [NumHistogramBuckets]int64
+	v := int64(1)
+	for i := range b {
+		b[i] = v
+		next := int64(math.Ceil(float64(v) * math.Sqrt2))
+		if next <= v {
+			next = v + 1
+		}
+		v = next
+	}
+	return b
+}()
+
+// Histogram is a lock-free fixed-bucket log-scale histogram: Record is one
+// atomic add per bucket plus count/sum/min/max maintenance, safe for any
+// number of concurrent writers, and never allocates. A nil *Histogram is
+// valid and records nothing, so call sites can hook unconditionally; the
+// disabled path is a single pointer comparison (BenchmarkHistogramRecord).
+type Histogram struct {
+	name string
+	help string
+
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Int64
+	max     atomic.Int64
+	buckets [NumHistogramBuckets + 1]atomic.Uint64
+}
+
+// NewHistogram builds an unregistered histogram. Name should follow the
+// "rpdbscan.*" convention of the counter registry; help is the sentence
+// the Prometheus exposition emits as the family's # HELP line.
+func NewHistogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Name returns the histogram's registry name.
+func (h *Histogram) Name() string { return h.name }
+
+// Help returns the histogram's one-line description.
+func (h *Histogram) Help() string { return h.help }
+
+// Record adds one observation. Negative values are clamped to zero (the
+// recorded quantities — durations, sizes, counts — are never meaningfully
+// negative). A nil receiver records nothing.
+func (h *Histogram) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(v))
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// bucketIndex returns the bucket for v: the first bound >= v, or the
+// overflow bucket. Branch-only binary search over the fixed bound table —
+// no allocation, ~7 comparisons.
+func bucketIndex(v int64) int {
+	lo, hi := 0, NumHistogramBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo // == NumHistogramBuckets when v exceeds every bound
+}
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) int64 { return bucketBounds[i] }
+
+// Snapshot returns a point-in-time copy of the histogram. Concurrent
+// recording may tear across fields (a Record between the count and bucket
+// loads), so a snapshot is "some consistent-enough recent state": bucket
+// totals and count may transiently differ by in-flight records, which the
+// quantile walk tolerates by clamping ranks.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:  h.name,
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if mn := h.min.Load(); mn != math.MaxInt64 {
+		s.Min = mn
+	}
+	if mx := h.max.Load(); mx != math.MinInt64 {
+		s.Max = mx
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable copy of a histogram's state. Snapshots
+// merge (associatively and commutatively) and difference, so per-window
+// views — "the requests since the benchmark started" — fall out of two
+// snapshots of one live histogram.
+type HistogramSnapshot struct {
+	// Name is the source histogram's registry name ("" for derived
+	// snapshots built by Merge/Sub of differently-named parents).
+	Name string
+	// Count is the number of recorded observations; Sum their total.
+	Count uint64
+	Sum   uint64
+	// Min and Max are the smallest and largest recorded values, valid only
+	// when Count > 0. Sub windows inherit the receiver's bounds (the true
+	// window extremes are not recoverable from bucket counts; the global
+	// bounds remain correct as outer bounds).
+	Min int64
+	Max int64
+	// Buckets[i] counts observations in bucket i; the last entry is the
+	// overflow bucket.
+	Buckets [NumHistogramBuckets + 1]uint64
+}
+
+// Merge returns the combination of two snapshots, as if every observation
+// of both had been recorded into one histogram. Merge is associative and
+// commutative (the property tests pin this), which is what makes per-shard
+// histograms aggregable in any order.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	if out.Name != o.Name {
+		out.Name = ""
+	}
+	out.Count += o.Count
+	out.Sum += o.Sum
+	switch {
+	case s.Count == 0:
+		out.Min, out.Max = o.Min, o.Max
+	case o.Count == 0:
+	default:
+		out.Min = min(s.Min, o.Min)
+		out.Max = max(s.Max, o.Max)
+	}
+	for i := range out.Buckets {
+		out.Buckets[i] += o.Buckets[i]
+	}
+	return out
+}
+
+// Sub returns the window delta s - o, where o is an earlier snapshot of
+// the same histogram. Count, Sum, and Buckets subtract exactly; Min/Max
+// stay the receiver's (outer bounds for the window).
+func (s HistogramSnapshot) Sub(o HistogramSnapshot) HistogramSnapshot {
+	out := s
+	out.Count -= o.Count
+	out.Sum -= o.Sum
+	for i := range out.Buckets {
+		out.Buckets[i] -= o.Buckets[i]
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of recorded values, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) as the upper bound of
+// the bucket holding the rank-⌈q·Count⌉ observation, clamped to the
+// recorded Max when that is tighter. The estimate e of a true quantile t
+// therefore satisfies t <= e < t·√2 + 1 — "within bucket width" — which
+// the property tests pin against exact order statistics. Returns 0 for an
+// empty snapshot.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Buckets {
+		cum += c
+		if cum >= rank {
+			if i == NumHistogramBuckets {
+				return s.Max // overflow bucket: only the true max bounds it
+			}
+			e := bucketBounds[i]
+			if s.Max > 0 && s.Max < e {
+				e = s.Max
+			}
+			return e
+		}
+	}
+	// Torn snapshot (count loaded ahead of a racing bucket increment):
+	// fall back to the largest recorded value.
+	return s.Max
+}
+
+// Histograms is the process-wide registry of pipeline histograms, the
+// quantile-bearing complement of Counters. Each histogram is also
+// published in expvar (as its snapshot) and rendered as a Prometheus
+// histogram family by WriteMetrics.
+var Histograms = struct {
+	// ServeLatencyNs records per-request handler latency of the prediction
+	// server, in nanoseconds (the distribution behind the mean that
+	// rpdbscan.serve_latency_ns / rpdbscan.serve_requests yields).
+	ServeLatencyNs *Histogram
+	// PredictBatchPoints records the number of points per /predict/batch
+	// request.
+	PredictBatchPoints *Histogram
+	// TaskCostNs records the measured cost of every successful engine task
+	// attempt, in nanoseconds (requires an installed event sink).
+	TaskCostNs *Histogram
+	// StreamChunkPoints records the number of points per ingested
+	// out-of-core chunk.
+	StreamChunkPoints *Histogram
+}{
+	ServeLatencyNs:     registerHistogram("rpdbscan.serve_latency_ns", "Prediction-server handler latency in nanoseconds."),
+	PredictBatchPoints: registerHistogram("rpdbscan.predict_batch_points", "Points per /predict/batch request."),
+	TaskCostNs:         registerHistogram("rpdbscan.task_cost_ns", "Measured engine task cost per successful attempt, in nanoseconds."),
+	StreamChunkPoints:  registerHistogram("rpdbscan.stream_chunk_points", "Points per ingested out-of-core chunk."),
+}
+
+// histRegistry lists the registered histograms in registration order for
+// the Prometheus exposition.
+var histRegistry struct {
+	sync.Mutex
+	hs []*Histogram
+}
+
+// registerHistogram builds a histogram, publishes its snapshot in expvar
+// under the histogram's name + ".hist" (keeping /debug/vars exhaustive),
+// and adds it to the /metrics exposition.
+func registerHistogram(name, help string) *Histogram {
+	h := NewHistogram(name, help)
+	expvar.Publish(name+".hist", expvar.Func(func() any {
+		s := h.Snapshot()
+		return map[string]any{
+			"count": s.Count,
+			"sum":   s.Sum,
+			"p50":   s.Quantile(0.50),
+			"p99":   s.Quantile(0.99),
+			"p999":  s.Quantile(0.999),
+			"max":   s.Max,
+		}
+	}))
+	histRegistry.Lock()
+	defer histRegistry.Unlock()
+	histRegistry.hs = append(histRegistry.hs, h)
+	return h
+}
+
+// registeredHistograms returns the exposition's histogram list.
+func registeredHistograms() []*Histogram {
+	histRegistry.Lock()
+	defer histRegistry.Unlock()
+	return append([]*Histogram(nil), histRegistry.hs...)
+}

@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rpdbscan/internal/testutil"
+)
+
+func TestBucketBoundsStrictlyIncreasing(t *testing.T) {
+	for i := 1; i < NumHistogramBuckets; i++ {
+		lo, hi := BucketBound(i-1), BucketBound(i)
+		if hi <= lo {
+			t.Fatalf("bounds not increasing at %d: %d -> %d", i, lo, hi)
+		}
+		// The log-scale guarantee: consecutive bounds within a √2 factor
+		// (plus the +1 rounding at the integer low end).
+		if float64(hi) > float64(lo)*math.Sqrt2+1 {
+			t.Fatalf("bound gap too wide at %d: %d -> %d", i, lo, hi)
+		}
+	}
+	if BucketBound(0) != 1 {
+		t.Fatalf("first bound = %d, want 1", BucketBound(0))
+	}
+	if BucketBound(NumHistogramBuckets-1) < 1<<47 {
+		t.Fatalf("last bound = %d, want >= 2^47", BucketBound(NumHistogramBuckets-1))
+	}
+}
+
+func TestBucketIndexFindsContainingBucket(t *testing.T) {
+	for _, v := range []int64{0, 1, 2, 3, 1000, 1 << 20, 1 << 46} {
+		i := bucketIndex(v)
+		if i == NumHistogramBuckets {
+			t.Fatalf("v=%d overflowed", v)
+		}
+		if BucketBound(i) < v {
+			t.Fatalf("v=%d: bound(%d)=%d < v", v, i, BucketBound(i))
+		}
+		if i > 0 && BucketBound(i-1) >= v {
+			t.Fatalf("v=%d: not the first bucket (bound(%d)=%d)", v, i-1, BucketBound(i-1))
+		}
+	}
+	if i := bucketIndex(math.MaxInt64); i != NumHistogramBuckets {
+		t.Fatalf("MaxInt64 landed in finite bucket %d", i)
+	}
+}
+
+func TestNilHistogramIsSafe(t *testing.T) {
+	var h *Histogram
+	h.Record(42) // must not panic
+}
+
+func TestRecordNegativeClampsToZero(t *testing.T) {
+	h := NewHistogram("t.neg", "")
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("negative record mis-clamped: %+v", s)
+	}
+}
+
+func TestSnapshotBasics(t *testing.T) {
+	h := NewHistogram("t.basic", "help")
+	if h.Name() != "t.basic" || h.Help() != "help" {
+		t.Fatalf("name/help lost")
+	}
+	for _, v := range []int64{5, 10, 100} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 3 || s.Sum != 115 || s.Min != 5 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if got := s.Mean(); got != 115.0/3 {
+		t.Fatalf("mean = %v", got)
+	}
+	if (HistogramSnapshot{}).Mean() != 0 || (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot not zero-valued")
+	}
+}
+
+// randomSnapshot builds a snapshot of n values drawn by rng, all under
+// maxV, sharing one name so Merge keeps it.
+func randomSnapshot(rng *rand.Rand, n int, maxV int64) HistogramSnapshot {
+	h := NewHistogram("t.prop", "")
+	for i := 0; i < n; i++ {
+		h.Record(rng.Int63n(maxV))
+	}
+	return h.Snapshot()
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	cfg := testutil.QuickConfig(t, 7, 1)
+	rng := cfg.Rand
+	for trial := 0; trial < 200; trial++ {
+		a := randomSnapshot(rng, rng.Intn(50), 1<<40)
+		b := randomSnapshot(rng, rng.Intn(50), 1<<40)
+		c := randomSnapshot(rng, rng.Intn(50), 1<<40)
+		if ab, ba := a.Merge(b), b.Merge(a); !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("trial %d: merge not commutative:\n%+v\n%+v", trial, ab, ba)
+		}
+		l, r := a.Merge(b).Merge(c), a.Merge(b.Merge(c))
+		if !reflect.DeepEqual(l, r) {
+			t.Fatalf("trial %d: merge not associative:\n%+v\n%+v", trial, l, r)
+		}
+		// Empty is the identity.
+		if got := a.Merge(HistogramSnapshot{Name: "t.prop"}); !reflect.DeepEqual(got, a) {
+			t.Fatalf("trial %d: empty merge changed snapshot", trial)
+		}
+	}
+}
+
+func TestMergeAcrossNamesDropsName(t *testing.T) {
+	a := HistogramSnapshot{Name: "x"}
+	b := HistogramSnapshot{Name: "y"}
+	if got := a.Merge(b).Name; got != "" {
+		t.Fatalf("merged name = %q, want empty", got)
+	}
+}
+
+func TestSubInvertsMerge(t *testing.T) {
+	cfg := testutil.QuickConfig(t, 11, 1)
+	rng := cfg.Rand
+	for trial := 0; trial < 100; trial++ {
+		a := randomSnapshot(rng, 1+rng.Intn(40), 1<<30)
+		b := randomSnapshot(rng, rng.Intn(40), 1<<30)
+		got := a.Merge(b).Sub(b)
+		// Min/Max are outer bounds after Sub; counts and buckets invert
+		// exactly.
+		if got.Count != a.Count || got.Sum != a.Sum || got.Buckets != a.Buckets {
+			t.Fatalf("trial %d: sub did not invert merge", trial)
+		}
+	}
+}
+
+// Quantile estimates must bound the exact order statistic from above,
+// within one √2-wide bucket: exact <= estimate <= exact*√2 + 1 (and never
+// above the recorded max).
+func TestQuantileWithinBucketWidth(t *testing.T) {
+	cfg := testutil.QuickConfig(t, 23, 1)
+	rng := cfg.Rand
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1}
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(500)
+		h := NewHistogram("t.q", "")
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(1 << 40)
+			h.Record(vals[i])
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		s := h.Snapshot()
+		for _, q := range qs {
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := vals[rank-1]
+			e := s.Quantile(q)
+			if e < exact {
+				t.Fatalf("trial %d q=%v: estimate %d < exact %d", trial, q, e, exact)
+			}
+			if float64(e) > float64(exact)*math.Sqrt2+1 {
+				t.Fatalf("trial %d q=%v: estimate %d beyond bucket width of exact %d", trial, q, e, exact)
+			}
+			if e > s.Max {
+				t.Fatalf("trial %d q=%v: estimate %d exceeds max %d", trial, q, e, s.Max)
+			}
+		}
+	}
+}
+
+func TestQuantileOverflowBucketReturnsMax(t *testing.T) {
+	h := NewHistogram("t.ovf", "")
+	huge := int64(1) << 50 // beyond the last finite bound
+	h.Record(huge)
+	if got := h.Snapshot().Quantile(1); got != huge {
+		t.Fatalf("overflow quantile = %d, want %d", got, huge)
+	}
+}
+
+func TestQuantileClampsOutOfRangeQ(t *testing.T) {
+	h := NewHistogram("t.clamp", "")
+	h.Record(10)
+	s := h.Snapshot()
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Fatal("out-of-range q not clamped")
+	}
+}
+
+func TestConcurrentRecordLosesNothing(t *testing.T) {
+	h := NewHistogram("t.conc", "")
+	const goroutines, each = 8, 1000
+	done := make(chan struct{})
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < each; i++ {
+				h.Record(int64(g*each + i))
+			}
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		<-done
+	}
+	s := h.Snapshot()
+	if s.Count != goroutines*each {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*each)
+	}
+	var total uint64
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+	if s.Min != 0 || s.Max != goroutines*each-1 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+}
+
+func TestRegisteredHistogramsExposeExpvar(t *testing.T) {
+	// The package-level registry publishes each histogram's snapshot under
+	// <name>.hist; ServeLatencyNs must be there.
+	found := false
+	for _, h := range registeredHistograms() {
+		if h == Histograms.ServeLatencyNs {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ServeLatencyNs not in the exposition registry")
+	}
+}
+
+// The acceptance gate: a nil histogram record is ~free, and the enabled
+// path never allocates.
+func BenchmarkHistogramRecord(b *testing.B) {
+	b.Run("nil", func(b *testing.B) {
+		var h *Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(int64(i))
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		h := NewHistogram("bench", "")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(int64(i))
+		}
+	})
+	b.Run("enabled-parallel", func(b *testing.B) {
+		h := NewHistogram("bench-par", "")
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			v := int64(0)
+			for pb.Next() {
+				h.Record(v)
+				v++
+			}
+		})
+	})
+}

@@ -143,6 +143,19 @@ func TestDebugServerServesVarsAndPprof(t *testing.T) {
 	if w := req("/debug/pprof/"); w.Code != http.StatusOK {
 		t.Fatalf("/debug/pprof/ status = %d", w.Code)
 	}
+	if w := req("/healthz"); w.Code != http.StatusOK || !strings.Contains(w.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", w.Code, w.Body.String())
+	}
+	w = req("/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", w.Code)
+	}
+	if _, err := ParseExposition(w.Body); err != nil {
+		t.Fatalf("/metrics output rejected: %v", err)
+	}
+	if srv.Addr() == "" {
+		t.Fatal("bound address not reported")
+	}
 }
 
 // Guard against accidental blocking in StartDebugServer: it must return

@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"rpdbscan/internal/engine"
+)
+
+// The writer/parser round trip: everything WriteMetrics emits must pass
+// the strict parser, and the output must carry every rpdbscan.* counter
+// plus every registered histogram.
+func TestWriteMetricsRoundTrip(t *testing.T) {
+	// Touch the surfaces so the exposition has live data: counters,
+	// histograms, and a published snapshot.
+	Counters.PointsRead.Add(3)
+	Histograms.ServeLatencyNs.Record(1234)
+	Histograms.ServeLatencyNs.Record(56789)
+	Histograms.TaskCostNs.Record(42)
+	rep := &engine.Report{Workers: 4, Stages: []*engine.StageStats{
+		{Name: "cell-partitioning", Phase: "I-1", Costs: []time.Duration{time.Millisecond}, Wall: time.Millisecond, Bytes: 100},
+	}}
+	TakeSnapshot(rep, RunInfo{Algorithm: "rp", Points: 10, Clusters: 2, Cells: 5}).Publish()
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("own output rejected: %v\n%s", err, buf.String())
+	}
+	for name := range CounterValues() {
+		fam := fams[promName(name)+"_total"]
+		if fam == nil {
+			t.Fatalf("counter %s missing from exposition", name)
+		}
+		if fam.Type != "counter" || fam.Help == "" {
+			t.Fatalf("counter %s family malformed: %+v", name, fam)
+		}
+	}
+	for _, h := range registeredHistograms() {
+		fam := fams[promName(h.Name())]
+		if fam == nil {
+			t.Fatalf("histogram %s missing from exposition", h.Name())
+		}
+		if fam.Type != "histogram" {
+			t.Fatalf("histogram %s has type %q", h.Name(), fam.Type)
+		}
+	}
+	for _, g := range []string{"rpdbscan_phase_wall_ns", "rpdbscan_run_points", "rpdbscan_run_workers"} {
+		fam := fams[g]
+		if fam == nil || fam.Type != "gauge" {
+			t.Fatalf("gauge %s missing or mistyped", g)
+		}
+	}
+	// The published snapshot's run facts surface as gauge values.
+	if v := fams["rpdbscan_run_points"].Samples[0].Value; v != 10 {
+		t.Fatalf("rpdbscan_run_points = %v, want 10", v)
+	}
+}
+
+// Histogram quantiles derived from the exposition buckets must agree with
+// the histogram's own Quantile: the exposition is a faithful projection.
+func TestExpositionBucketsMatchQuantiles(t *testing.T) {
+	h := NewHistogram("rpdbscan.test_hist_q", "test only")
+	for v := int64(1); v <= 1000; v++ {
+		h.Record(v * 17)
+	}
+	histRegistry.Lock()
+	histRegistry.hs = append(histRegistry.hs, h)
+	histRegistry.Unlock()
+	defer func() {
+		histRegistry.Lock()
+		histRegistry.hs = histRegistry.hs[:len(histRegistry.hs)-1]
+		histRegistry.Unlock()
+	}()
+
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam := fams["rpdbscan_test_hist_q"]
+	if fam == nil {
+		t.Fatal("test histogram not rendered")
+	}
+	// Reconstruct p99 from the cumulative buckets and compare with
+	// Quantile(0.99) — same bucket bound, clamped to max.
+	s := h.Snapshot()
+	rank := 990.0
+	var bucketP99 float64
+	for _, sm := range fam.Samples {
+		if sm.Name != "rpdbscan_test_hist_q_bucket" || sm.Labels["le"] == "+Inf" {
+			continue
+		}
+		if sm.Value >= rank {
+			le := sm.Labels["le"]
+			var v float64
+			for i := 0; i < len(le); i++ {
+				v = v*10 + float64(le[i]-'0')
+			}
+			bucketP99 = v
+			break
+		}
+	}
+	q := float64(s.Quantile(0.99))
+	if q > float64(s.Max) {
+		t.Fatalf("quantile beyond max")
+	}
+	if bucketP99 < q && bucketP99 != 0 {
+		// Quantile clamps to Max; the raw bucket bound may exceed it but
+		// never undershoot.
+		t.Fatalf("bucket-derived p99 %v < Quantile p99 %v", bucketP99, q)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"rpdbscan.points_read": "rpdbscan_points_read",
+		"weird-name.1":         "weird_name_1",
+		"9lead":                "_9lead",
+		"ok:colon":             "ok:colon",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":      "foo 1\n",
+		"duplicate HELP":           "# HELP foo a\n# HELP foo b\n# TYPE foo counter\nfoo 1\n",
+		"duplicate TYPE":           "# TYPE foo counter\n# TYPE foo counter\nfoo 1\n",
+		"unknown TYPE":             "# TYPE foo widget\nfoo 1\n",
+		"HELP after samples":       "# TYPE foo counter\nfoo 1\n# HELP foo late\n",
+		"TYPE after samples":       "# TYPE foo counter\nfoo 1\n# TYPE foo gauge\n",
+		"invalid metric name":      "# TYPE 1foo counter\n",
+		"bad sample value":         "# TYPE foo counter\nfoo abc\n",
+		"missing sample value":     "# TYPE foo counter\nfoo\n",
+		"bad timestamp":            "# TYPE foo counter\nfoo 1 xyz\n",
+		"unterminated label":       "# TYPE foo counter\nfoo{a=\"x 1\n",
+		"unquoted label":           "# TYPE foo counter\nfoo{a=x} 1\n",
+		"bad label escape":         "# TYPE foo counter\nfoo{a=\"\\q\"} 1\n",
+		"dangling label escape":    "# TYPE foo counter\nfoo{a=\"\\\n",
+		"duplicate label":          "# TYPE foo counter\nfoo{a=\"1\",a=\"2\"} 1\n",
+		"label missing equals":     "# TYPE foo counter\nfoo{a} 1\n",
+		"bad help escape":          "# HELP foo bad \\q escape\n# TYPE foo counter\nfoo 1\n",
+		"histogram without +Inf":   "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram count mismatch": "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+		"histogram not cumulative": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"histogram missing sum":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+		"bucket without le":        "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"bucket le not a number":   "# TYPE h histogram\nh_bucket{le=\"abc\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"finite above +Inf":        "# TYPE h histogram\nh_bucket{le=\"1\"} 9\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted:\n%s", name, in)
+		}
+	}
+}
+
+func TestParseExpositionAcceptsValid(t *testing.T) {
+	in := `# A stray comment line is fine.
+# HELP foo A counter with \\ and \n escapes.
+# TYPE foo counter
+foo 42
+# TYPE g gauge
+g{phase="I-1",note="a\"b\\c\nd"} -1.5
+# TYPE h histogram
+h_bucket{le="10"} 1
+h_bucket{le="+Inf"} 2
+h_sum 110
+h_count 2
+h_count 2 1700000000
+`
+	fams, err := ParseExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fams["foo"].Help != `A counter with \ and `+"\n"+` escapes.` {
+		t.Fatalf("help unescaped wrong: %q", fams["foo"].Help)
+	}
+	if got := fams["g"].Samples[0].Labels["note"]; got != "a\"b\\c\nd" {
+		t.Fatalf("label unescaped wrong: %q", got)
+	}
+	if len(fams["h"].Samples) != 5 {
+		t.Fatalf("histogram samples = %d", len(fams["h"].Samples))
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	w := httptest.NewRecorder()
+	MetricsHandler().ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	if w.Code != 200 {
+		t.Fatalf("status = %d", w.Code)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if _, err := ParseExposition(w.Body); err != nil {
+		t.Fatalf("handler output rejected: %v", err)
+	}
+}
+
+// TestExpositionFileValidates is the CI hook: when METRICS_FILE names a
+// scraped /metrics response, parse it strictly and require the serving
+// counter families. Skipped in normal test runs.
+func TestExpositionFileValidates(t *testing.T) {
+	path := os.Getenv("METRICS_FILE")
+	if path == "" {
+		t.Skip("METRICS_FILE not set")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fams, err := ParseExposition(f)
+	if err != nil {
+		t.Fatalf("scraped exposition invalid: %v", err)
+	}
+	for _, want := range []string{
+		"rpdbscan_serve_requests_total",
+		"rpdbscan_serve_latency_ns_total",
+		"rpdbscan_serve_latency_ns", // histogram family
+	} {
+		if fams[want] == nil {
+			t.Errorf("scraped exposition missing family %s", want)
+		}
+	}
+}

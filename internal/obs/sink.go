@@ -48,6 +48,8 @@ func (s *Sink) Emit(e engine.Event) {
 		Counters.SpeculativeLaunches.Add(1)
 	case engine.EventSpecWin:
 		Counters.SpeculativeWins.Add(1)
+	case engine.EventTaskEnd:
+		Histograms.TaskCostNs.Record(int64(e.Duration))
 	}
 	if s.Logger == nil {
 		return

@@ -13,12 +13,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
-	"sort"
 	"sync"
 	"time"
 
 	"net/http"
 
+	"rpdbscan/internal/obs"
 	"rpdbscan/internal/serve"
 )
 
@@ -157,7 +157,13 @@ func Do(h http.Handler, req Request) *httptest.ResponseRecorder {
 	return w
 }
 
-// Report is the outcome of one load run.
+// Report is the outcome of one load run. The latency percentiles are
+// sampled from the server-side obs.Histograms.ServeLatencyNs histogram —
+// the delta between snapshots taken before and after the run — so they
+// measure exactly what a live /metrics scrape of the same window would
+// report (admitted requests only; 429 rejections return before the
+// latency timer starts). Estimates are bucket upper bounds: within a
+// factor of √2 of the true quantile.
 type Report struct {
 	Seed       int64   `json:"seed"`
 	Clients    int     `json:"clients"`
@@ -169,6 +175,7 @@ type Report struct {
 	Throughput float64 `json:"throughput"` // requests per second
 	P50MicroS  float64 `json:"p50_us"`     // median handler latency
 	P99MicroS  float64 `json:"p99_us"`     // tail handler latency
+	P999MicroS float64 `json:"p999_us"`    // extreme-tail handler latency
 	MaxMicroS  float64 `json:"max_us"`     // worst handler latency
 	Points     int     `json:"points"`     // points classified (single + batch)
 	NoiseRate  float64 `json:"noise_rate"` // fraction of classified points that were noise
@@ -184,26 +191,25 @@ func Run(h http.Handler, m *serve.Model, cfg Config) (*Report, error) {
 		streams[c] = Stream(m, cfg, c)
 	}
 	type outcome struct {
-		latencies []time.Duration
-		ok        int
-		rejected  int
-		errors    int
-		points    int
-		noise     int
+		requests int
+		ok       int
+		rejected int
+		errors   int
+		points   int
+		noise    int
 	}
 	outcomes := make([]outcome, cfg.Clients)
 	var wg sync.WaitGroup
+	before := obs.Histograms.ServeLatencyNs.Snapshot()
 	start := time.Now()
 	for c := range streams {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			o := &outcomes[c]
-			o.latencies = make([]time.Duration, 0, len(streams[c]))
 			for _, req := range streams[c] {
-				t0 := time.Now()
 				w := Do(h, req)
-				o.latencies = append(o.latencies, time.Since(t0))
+				o.requests++
 				switch {
 				case w.Code >= 200 && w.Code < 300:
 					o.ok++
@@ -220,31 +226,28 @@ func Run(h http.Handler, m *serve.Model, cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	window := obs.Histograms.ServeLatencyNs.Snapshot().Sub(before)
 
 	rep := &Report{Seed: cfg.Seed, Clients: cfg.Clients}
-	var all []time.Duration
 	noise := 0
 	for i := range outcomes {
 		o := &outcomes[i]
-		rep.Requests += len(o.latencies)
+		rep.Requests += o.requests
 		rep.OK += o.ok
 		rep.Rejected += o.rejected
 		rep.Errors += o.errors
 		rep.Points += o.points
 		noise += o.noise
-		all = append(all, o.latencies...)
 	}
 	if rep.Requests == 0 {
 		return nil, fmt.Errorf("loadgen: empty run")
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(all)-1))
-		return float64(all[idx].Nanoseconds()) / 1e3
+	if window.Count > 0 {
+		rep.P50MicroS = float64(window.Quantile(0.50)) / 1e3
+		rep.P99MicroS = float64(window.Quantile(0.99)) / 1e3
+		rep.P999MicroS = float64(window.Quantile(0.999)) / 1e3
+		rep.MaxMicroS = float64(window.Quantile(1)) / 1e3
 	}
-	rep.P50MicroS = pct(0.50)
-	rep.P99MicroS = pct(0.99)
-	rep.MaxMicroS = float64(all[len(all)-1].Nanoseconds()) / 1e3
 	rep.ElapsedMS = float64(elapsed.Nanoseconds()) / 1e6
 	rep.Throughput = float64(rep.Requests) / elapsed.Seconds()
 	if rep.Points > 0 {

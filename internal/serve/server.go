@@ -93,6 +93,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/model/info", s.instrument("/model/info", s.handleInfo))
 	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
 	mux.HandleFunc("/predict/batch", s.instrument("/predict/batch", s.handleBatch))
+	// /metrics mounts raw: scrapes bypass the admission queue (so they keep
+	// working during overload) and stay out of the serve_* counters and
+	// latency histogram (so monitoring traffic never skews serving stats).
+	mux.Handle("/metrics", obs.MetricsHandler())
 	mux.HandleFunc("/", s.instrument("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, "not found")
 	}))
@@ -163,6 +167,7 @@ func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
 		h(sw, r)
 		dur := time.Since(start)
 		obs.Counters.ServeLatencyNs.Add(dur.Nanoseconds())
+		obs.Histograms.ServeLatencyNs.Record(dur.Nanoseconds())
 		if sw.status >= 400 {
 			obs.Counters.ServeErrors.Add(1)
 		}
@@ -314,6 +319,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if !readBody(w, r, &req) {
 		return
 	}
+	obs.Histograms.PredictBatchPoints.Record(int64(len(req.Points)))
 	if len(req.Points) > s.cfg.MaxBatch {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("batch of %d points exceeds limit %d", len(req.Points), s.cfg.MaxBatch))

@@ -138,3 +138,56 @@ func TestPredictResponseIsCanonicalJSON(t *testing.T) {
 		t.Fatalf("reply is not valid JSON: %v", err)
 	}
 }
+
+// TestMetricsEndpoint pins the /metrics mount on the serving mux: the
+// exposition parses strictly, includes the serve histogram, and the
+// scrape itself bypasses admission and stays out of the serve counters
+// and the latency histogram.
+func TestMetricsEndpoint(t *testing.T) {
+	srv := NewServer(testModel(t), ServerConfig{MaxInFlight: 1})
+	h := srv.Handler()
+	do(h, "POST", "/predict", `{"point":[-1,-1]}`) // populate the histogram
+
+	reqs := obs.Counters.ServeRequests.Value()
+	lat := obs.Histograms.ServeLatencyNs.Snapshot()
+	// A full admission queue must not block scrapes.
+	srv.sem <- struct{}{}
+	w := do(h, "GET", "/metrics", "")
+	<-srv.sem
+	if w.Code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", w.Code)
+	}
+	fams, err := obs.ParseExposition(w.Body)
+	if err != nil {
+		t.Fatalf("/metrics output rejected: %v", err)
+	}
+	for _, want := range []string{"rpdbscan_serve_requests_total", "rpdbscan_serve_latency_ns", "rpdbscan_predict_batch_points"} {
+		if fams[want] == nil {
+			t.Errorf("/metrics missing family %s", want)
+		}
+	}
+	if got := obs.Counters.ServeRequests.Value(); got != reqs {
+		t.Fatalf("scrape was counted as a serve request (%d -> %d)", reqs, got)
+	}
+	if window := obs.Histograms.ServeLatencyNs.Snapshot().Sub(lat); window.Count != 0 {
+		t.Fatalf("scrape latency leaked into the serve histogram: %+v", window)
+	}
+}
+
+// TestServeLatencyHistogramRecords asserts the per-request latency hook:
+// each instrumented request adds exactly one observation.
+func TestServeLatencyHistogramRecords(t *testing.T) {
+	h := NewServer(testModel(t), ServerConfig{}).Handler()
+	before := obs.Histograms.ServeLatencyNs.Snapshot()
+	batch0 := obs.Histograms.PredictBatchPoints.Snapshot()
+	do(h, "POST", "/predict", `{"point":[-1,-1]}`)
+	do(h, "POST", "/predict/batch", `{"points":[[-1,-1],[1,1]]}`)
+	window := obs.Histograms.ServeLatencyNs.Snapshot().Sub(before)
+	if window.Count != 2 {
+		t.Fatalf("latency observations = %d, want 2", window.Count)
+	}
+	bw := obs.Histograms.PredictBatchPoints.Snapshot().Sub(batch0)
+	if bw.Count != 1 || bw.Sum != 2 {
+		t.Fatalf("batch-size observations = %+v, want one observation of 2", bw)
+	}
+}

@@ -162,16 +162,16 @@ func ClusterFlat(coords []float64, dim int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	obs.Counters.PointsRead.Add(int64(len(coords) / dim))
-	obs.Counters.CellsBuilt.Add(int64(res.NumCells))
-	if s := res.Report.Stage("cell-partitioning"); s != nil {
-		obs.Counters.ShuffleBytes.Add(s.Bytes)
+	info := obs.RunInfo{
+		Algorithm: "rp",
+		Points:    int64(len(coords) / dim),
+		Clusters:  res.NumClusters,
+		Cells:     res.NumCells,
+		SubCells:  res.NumSubCells,
+		DictBytes: res.DictBytes,
 	}
-	for _, s := range res.Report.Stages {
-		if s.Phase == "III-1" {
-			obs.Counters.MergeOps.Add(int64(len(s.Costs)))
-		}
-	}
+	obs.CountRun(res.Report, info)
+	obs.TakeSnapshot(res.Report, info).Publish()
 	out := &Result{
 		Labels:      res.Labels,
 		Core:        res.CorePoint,

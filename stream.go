@@ -96,19 +96,20 @@ func ClusterStream(src StreamSource, opts StreamOptions) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	obs.Counters.PointsRead.Add(res.PointsProcessed)
-	obs.Counters.CellsBuilt.Add(int64(res.NumCells))
-	obs.Counters.StreamChunks.Add(int64(res.Stream.Chunks))
-	obs.Counters.StreamSpillBytes.Add(res.Stream.SpillBytes)
-	obs.Counters.StreamSpillReloads.Add(res.Stream.SpillReloads)
-	if s := res.Report.Stage("stream-spill"); s != nil {
-		obs.Counters.ShuffleBytes.Add(s.Bytes)
+	info := obs.RunInfo{
+		Algorithm:    "rp",
+		Points:       res.PointsProcessed,
+		Clusters:     res.NumClusters,
+		Cells:        res.NumCells,
+		SubCells:     res.NumSubCells,
+		DictBytes:    res.DictBytes,
+		Streamed:     true,
+		Chunks:       res.Stream.Chunks,
+		SpillBytes:   res.Stream.SpillBytes,
+		SpillReloads: res.Stream.SpillReloads,
 	}
-	for _, s := range res.Report.Stages {
-		if s.Phase == "III-1" {
-			obs.Counters.MergeOps.Add(int64(len(s.Costs)))
-		}
-	}
+	obs.CountRun(res.Report, info)
+	obs.TakeSnapshot(res.Report, info).Publish()
 	out := &Result{
 		Labels:      res.Labels,
 		Core:        res.CorePoint,

@@ -1,0 +1,49 @@
+package rpdbscan
+
+import (
+	"reflect"
+	"testing"
+
+	"rpdbscan/internal/core"
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
+	"rpdbscan/internal/obs"
+)
+
+// Telemetry must be a pure observer: a run with the obs sink, counters,
+// histograms, and snapshot publication active produces byte-identical
+// labels and core flags to a bare core.Run with no sink installed.
+func TestTelemetryDoesNotPerturbClustering(t *testing.T) {
+	rows := twoBlobs(500, 9)
+	pts, err := geom.FromSlice(rows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Eps: 0.6, MinPts: 5, Rho: 0.01, Seed: 9}
+
+	cl := engine.New(4) // Sink nil: telemetry fully disabled
+	bare, err := core.Run(pts, cfg, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	instrumented, err := ClusterFlat(pts.Coords, pts.Dim, Options{
+		Eps: 0.6, MinPts: 5, Seed: 9, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(bare.Labels, instrumented.Labels) {
+		t.Fatal("labels differ between telemetry-off and telemetry-on runs")
+	}
+	if !reflect.DeepEqual(bare.CorePoint, instrumented.Core) {
+		t.Fatal("core flags differ between telemetry-off and telemetry-on runs")
+	}
+	// The instrumented run must actually have exercised telemetry: the
+	// snapshot it published is the one for this run.
+	snap := obs.PublishedSnapshot()
+	if snap == nil || snap.Run.Points != 500 || snap.Run.Algorithm != "rp" {
+		t.Fatalf("instrumented run did not publish its snapshot: %+v", snap)
+	}
+}
