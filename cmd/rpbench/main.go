@@ -7,8 +7,8 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2 chaos serve stream, or "all". With no
-// arguments, "all" runs.
+// table8 fig19 fig20 fig21 phase2 phase3 chaos serve stream, or "all".
+// With no arguments, "all" runs.
 //
 // Flags:
 //
@@ -21,6 +21,7 @@
 //	-svgdir  also render Figures 16/18 as SVG files into this directory
 //	-csvdir  also write machine-readable CSVs into this directory
 //	-phase2out  where the phase2 experiment writes BENCH_phase2.json ("" skips)
+//	-phase3out  where the phase3 experiment writes BENCH_phase3.json ("" skips)
 //	-chaosout   where the chaos experiment writes BENCH_chaos.json ("" skips)
 //	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
 //	-streamout  where the stream experiment writes BENCH_stream.json ("" skips)
@@ -60,6 +61,7 @@ func main() {
 	flag.StringVar(&svgDir, "svgdir", "", "when set, fig16/fig18 also render scatter plots as SVG files here")
 	flag.StringVar(&csvDir, "csvdir", "", "when set, experiments also write machine-readable CSV files here")
 	flag.StringVar(&phase2Out, "phase2out", "BENCH_phase2.json", "where the phase2 experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&phase3Out, "phase3out", "BENCH_phase3.json", "where the phase3 experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "where the serve experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&streamOut, "streamout", "BENCH_stream.json", "where the stream experiment writes its JSON report (empty: skip)")
@@ -107,11 +109,12 @@ func main() {
 		"fig20":  fig20,
 		"fig21":  fig21,
 		"phase2": phase2,
+		"phase3": phase3,
 		"chaos":  chaosExp,
 		"serve":  serveExp,
 		"stream": streamExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "chaos", "serve", "stream"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "stream"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -507,19 +510,19 @@ func fig20(s harness.Scale) error {
 // skip).
 var phase2Out string
 
-// phase2: Phase II hot-path benchmark — cell-batched region queries vs the
-// per-point oracle on the skewed synthetic mixture.
+// phase2: Phase II hot-path benchmark — blocked SoA kernels vs the scalar
+// batched path vs the per-point oracle, swept over dim and size.
 func phase2(s harness.Scale) error {
-	header("Phase II: cell-batched vs per-point region queries (skewed mixture)")
+	header("Phase II: blocked vs batched vs per-point region queries (skewed mixture)")
 	rows, err := harness.Phase2(s)
 	if err != nil {
 		return err
 	}
 	for _, r := range rows {
-		fmt.Printf("  %-10s stage=%9.1fms  %10.0f ns/op  %8.3f allocs/op  %12.0f points/sec  RI=%.4f  speedup=%.2fx\n",
-			r.Mode, r.StageMillis, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec, r.RandIndex, r.Speedup)
+		fmt.Printf("  n=%-6d dim=%d %-10s stage=%9.1fms  %10.0f ns/op  %8.3f allocs/op  %12.0f points/sec  RI=%.4f  speedup=%.2fx\n",
+			r.N, r.Dim, r.Mode, r.StageMillis, r.NsPerOp, r.AllocsPerOp, r.PointsPerSec, r.RandIndex, r.Speedup)
 		if r.RandIndex != 1 {
-			return fmt.Errorf("phase2: mode %s diverged from batched labels (Rand index %v)", r.Mode, r.RandIndex)
+			return fmt.Errorf("phase2: mode %s (n=%d dim=%d) diverged from blocked labels (Rand index %v)", r.Mode, r.N, r.Dim, r.RandIndex)
 		}
 	}
 	if phase2Out != "" {
@@ -533,6 +536,43 @@ func phase2(s harness.Scale) error {
 		fmt.Printf("  wrote %s\n", phase2Out)
 	}
 	return nil
+}
+
+// phase3Out is where the phase3 experiment writes its JSON report (empty =
+// skip).
+var phase3Out string
+
+// phase3: Phase III merge benchmark — the flat lock-free merge against the
+// serial pairwise tournament on generated partition subgraphs.
+func phase3(s harness.Scale) error {
+	header("Phase III: flat lock-free merge vs serial tournament")
+	rows, err := harness.Phase3(s)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  %-10s workers=%d cells=%-7d subgraphs=%-3d edges=%-8d %9.3fms  speedup=%.2fx  identical=%v\n",
+			r.Mode, r.Workers, r.Cells, r.Subgraphs, r.Edges, r.Millis, r.Speedup, r.Identical)
+		if !r.Identical {
+			return fmt.Errorf("phase3: mode %s workers=%d diverged from the tournament components", r.Mode, r.Workers)
+		}
+	}
+	if phase3Out != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(phase3Out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", phase3Out)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%s,%d,%d,%d,%d,%.3f,%.4f,%v",
+			r.Mode, r.Workers, r.Cells, r.Subgraphs, r.Edges, r.Millis, r.Speedup, r.Identical))
+	}
+	return writeCSV("phase3.csv", "mode,workers,cells,subgraphs,edges,millis,speedup,identical", lines)
 }
 
 // chaosOut is where the chaos experiment writes its JSON report (empty =

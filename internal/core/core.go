@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"rpdbscan/internal/dict"
 	"rpdbscan/internal/engine"
@@ -17,6 +18,32 @@ import (
 	"rpdbscan/internal/graph"
 	"rpdbscan/internal/grid"
 )
+
+// phase2Scratch bundles the blocked path's reusable buffers: the SoA gather
+// of one cell's points, their region counts, and the core-point selection
+// mask. Pooling them across Phase II tasks keeps the per-task allocation
+// cost (and the GC assist it draws mid-stage) off the hot path; each task
+// holds one scratch at a time, so the pool high-water mark is the number of
+// concurrently running tasks, not the partition count.
+type phase2Scratch struct {
+	blk    geom.Block
+	counts []int64
+	sel    []bool
+}
+
+var phase2Pool = sync.Pool{New: func() any { return new(phase2Scratch) }}
+
+// ensure sizes the scratch for cells of up to maxn points of dim
+// dimensions.
+func (s *phase2Scratch) ensure(dim, maxn int) {
+	s.blk.Grow(dim, maxn)
+	if cap(s.counts) < maxn {
+		s.counts = make([]int64, maxn)
+	}
+	if cap(s.sel) < maxn {
+		s.sel = make([]bool, maxn)
+	}
+}
 
 // partitionOf deals a cell to one of k pseudo random partitions: a seeded
 // FNV-1a hash of the cell key, so every mapper computes the same
@@ -68,6 +95,16 @@ type Config struct {
 	// using its kd-tree index (dict.Querier.DisableIndex). Results are
 	// identical; only cost changes.
 	DisableIndex bool
+	// DisableSoA answers batched Phase II residuals point by point (the
+	// pre-SoA scalar loops) instead of through the blocked per-dimension
+	// lane kernels. Results are identical; only cost changes. Ablation /
+	// testing knob; ignored when DisableBatching is set.
+	DisableSoA bool
+	// SerialMerge merges Phase III subgraphs with the pairwise tournament
+	// of Figure 9a instead of the flat lock-free merge, restoring the
+	// per-round edge telemetry of Table 7. Results are identical; only
+	// cost and EdgesPerRound granularity change.
+	SerialMerge bool
 }
 
 // Validate checks the configuration.
@@ -275,31 +312,25 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 		dicts[i] = nil // release the executors' dictionary copies
 	}
 
-	// ---- Phase III-1: progressive graph merging (Algorithm 4, part 1).
+	// ---- Phase III-1: graph merging (Algorithm 4, part 1) — the flat
+	// lock-free merge by default, the pairwise tournament under
+	// cfg.SerialMerge; see merge.go.
 	subgraphs := make([]*graph.Graph, k)
 	for i, st := range parts {
 		subgraphs[i] = st.subgraph
 	}
-	round := 0
-	global := graph.Tournament(subgraphs,
-		func(r int, edges int64) { res.EdgesPerRound = append(res.EdgesPerRound, edges) },
-		func(nMatches int, match func(int)) {
-			round++
-			cl.RunStage("III-1", fmt.Sprintf("merge-round-%d", round), nMatches, match)
-		})
+	finalize := mergePhase(cl, cfg, numCells, subgraphs, res)
 
 	// ---- Phase III-2: point labeling (Algorithm 4, part 2).
 	var comp []int32
 	var preds map[int32][]int32
 	coreByCell := make([][]int, numCells)
 	cl.Serial("III-2", "label-preparation", func() {
-		var nClusters int
-		comp, nClusters = global.CoreComponents()
-		res.NumClusters = nClusters
+		out := finalize()
+		comp, preds = out.comp, out.preds
 		// Shuffle: gather core points of cells that precede partial
 		// edges so workers can run the exact distance checks of
 		// Lemma 3.5.
-		preds = global.PartialPredecessors()
 		needed := make(map[int32]bool)
 		for _, ps := range preds {
 			for _, p := range ps {
@@ -360,18 +391,48 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 // cell-subgraph building (Algorithm 3) — over the owned cells of st,
 // filling st.ids/cellCore/corePts/subgraph and marking core points in
 // corePoint. The hot path batches region queries at cell granularity
-// (dict.Querier.QueryCell): one index traversal per owned cell, per-point
-// residual checks only against boundary candidates, and an early exit from
-// the core-count scan at MinPts. cfg.DisableBatching selects the per-point
-// oracle path instead; both produce identical output.
+// (dict.Querier.QueryCell) and evaluates the per-point residual checks
+// through the blocked SoA kernels: each cell's points are gathered once
+// into per-dimension lanes (geom.Block), CountPoints answers every point's
+// core decision candidate-by-candidate with the MinPts early exit, and
+// AppendNeighborsBlock computes the core points' neighbor-cell union
+// directly. cfg.DisableSoA selects the scalar per-point residual loops and
+// cfg.DisableBatching the per-point oracle path; all three produce
+// identical output.
 func phase2Task(pts *geom.Points, cfg Config, st *partState, d *dict.Dictionary, numCells int, corePoint []bool) {
-	q := dict.NewQuerier(d)
+	q := d.AcquireQuerier()
+	defer d.ReleaseQuerier(q)
 	q.DisableBatching = cfg.DisableBatching
 	q.DisableIndex = cfg.DisableIndex
 	g := graph.New(numCells)
 	st.ids = make([]int32, len(st.cells))
 	st.cellCore = make([]bool, len(st.cells))
 	st.corePts = make([][]int, len(st.cells))
+	// Scratch of the blocked path, pooled across tasks and pre-sized to the
+	// partition's largest cell so the cell loop never reallocates. The
+	// arena backs every cell's core-point list (total core points never
+	// exceed total points): one allocation per task instead of one per core
+	// cell, and it cannot be pooled because the windows are retained in
+	// st.corePts.
+	var scratch *phase2Scratch
+	var counts []int64
+	var sel []bool
+	var arena []int
+	if !cfg.DisableBatching && !cfg.DisableSoA {
+		maxn, total := 0, 0
+		for _, cell := range st.cells {
+			if len(cell.Points) > maxn {
+				maxn = len(cell.Points)
+			}
+			total += len(cell.Points)
+		}
+		scratch = phase2Pool.Get().(*phase2Scratch)
+		defer phase2Pool.Put(scratch)
+		scratch.ensure(pts.Dim, maxn)
+		counts = scratch.counts
+		sel = scratch.sel
+		arena = make([]int, 0, total)
+	}
 	// Sparse-set dedup of neighbor-cell ids keyed by dense cell id: inNC
 	// flags membership, ncIDs lists members for an O(|NC|) reset. Replaces
 	// a map[int32]struct{} whose hashing and clearing dominated cells with
@@ -408,7 +469,7 @@ func phase2Task(pts *geom.Points, cfg Config, st *partState, d *dict.Dictionary,
 					}
 				}
 			}
-		} else {
+		} else if cfg.DisableSoA {
 			b := q.QueryCell(cell.Key)
 			for _, pi := range cell.Points {
 				p := pts.At(pi)
@@ -429,6 +490,53 @@ func phase2Task(pts *geom.Points, cfg Config, st *partState, d *dict.Dictionary,
 			if st.cellCore[ci] {
 				// Fully-inside candidates neighbor every point of the
 				// cell, so they join NC once, not once per core point.
+				for _, nid := range b.InsideCells() {
+					if !inNC[nid] {
+						inNC[nid] = true
+						ncIDs = append(ncIDs, nid)
+					}
+				}
+			}
+		} else {
+			b := q.QueryCell(cell.Key)
+			blk := &scratch.blk
+			blk.Gather(pts, cell.Points)
+			np := len(cell.Points)
+			counts, sel = counts[:np], sel[:np]
+			b.CountPoints(blk, minPts, counts)
+			ncore := 0
+			for i := range cell.Points {
+				sel[i] = counts[i] >= minPts
+				if sel[i] {
+					ncore++
+				}
+			}
+			if ncore > 0 {
+				st.cellCore[ci] = true
+				// The arena's capacity covers every point of the partition,
+				// so these appends never reallocate and the window stays
+				// valid.
+				start := len(arena)
+				for i, pi := range cell.Points {
+					if sel[i] {
+						corePoint[pi] = true
+						arena = append(arena, pi)
+					}
+				}
+				st.corePts[ci] = arena[start:len(arena):len(arena)]
+			}
+			if st.cellCore[ci] {
+				// Per-point neighbor sets are only ever unioned into NC, so
+				// the blocked kernel answers the union over the cell's core
+				// points directly; fully-inside candidates neighbor every
+				// point and join once.
+				neighborCells = b.AppendNeighborsBlock(blk, sel, neighborCells[:0])
+				for _, nid := range neighborCells {
+					if !inNC[nid] {
+						inNC[nid] = true
+						ncIDs = append(ncIDs, nid)
+					}
+				}
 				for _, nid := range b.InsideCells() {
 					if !inNC[nid] {
 						inNC[nid] = true

@@ -1,0 +1,78 @@
+package core
+
+// Phase III-1: graph merging, shared by Run and RunStream. The default is
+// the flat lock-free merge: one stage publishes every cell's globally
+// determined type (disjoint writes — each cell is owned by exactly one
+// partition), then one stage per subgraph classifies its edges against the
+// global table and applies full edges straight to a shared
+// graph.ConcurrentUnionFind. No intermediate graph is ever materialised,
+// and no merge order is ever observable: min-index linking makes the final
+// components — and the dense ids FlatComponents extracts — identical to
+// the tournament's, which the graph package property tests pin.
+//
+// Config.SerialMerge restores the pairwise tournament of Figure 9a, whose
+// per-round edge telemetry the anatomy experiment (Table 7) plots.
+
+import (
+	"fmt"
+
+	"rpdbscan/internal/engine"
+	"rpdbscan/internal/graph"
+)
+
+// mergeOutcome is what Phase III-2 needs from the merge: dense cluster ids
+// per core cell and the partial-edge predecessor map.
+type mergeOutcome struct {
+	comp  []int32
+	preds map[int32][]int32
+}
+
+// mergePhase runs the Phase III-1 stages over the partition subgraphs and
+// returns a finalize closure for the III-2 label-preparation serial step.
+// The closure fills res.NumClusters and — on the flat path, where edge
+// accounting is only known post-quiesce — res.EdgesPerRound, reported as
+// [pre-merge total, post-merge total] (spanning forest + distinct partial
+// edges, equal to the tournament's final count over the same subgraphs).
+func mergePhase(cl *engine.Cluster, cfg Config, numCells int, subgraphs []*graph.Graph, res *Result) func() mergeOutcome {
+	if cfg.SerialMerge {
+		round := 0
+		global := graph.Tournament(subgraphs,
+			func(r int, edges int64) { res.EdgesPerRound = append(res.EdgesPerRound, edges) },
+			func(nMatches int, match func(int)) {
+				round++
+				cl.RunStage("III-1", fmt.Sprintf("merge-round-%d", round), nMatches, match)
+			})
+		return func() mergeOutcome {
+			comp, nClusters := global.CoreComponents()
+			res.NumClusters = nClusters
+			return mergeOutcome{comp: comp, preds: global.PartialPredecessors()}
+		}
+	}
+	var pre int64
+	for _, g := range subgraphs {
+		pre += int64(g.NumEdges())
+	}
+	types := make([]graph.VertexType, numCells)
+	cl.RunStage("III-1", "type-broadcast", len(subgraphs), func(t int) {
+		// Disjoint deterministic writes: idempotent under engine retries.
+		subgraphs[t].OwnedTypes(func(id int32, vt graph.VertexType) { types[id] = vt })
+	})
+	uf := graph.NewConcurrentUnionFind(numCells)
+	partialsPer := make([][]graph.EdgeKey, len(subgraphs))
+	cl.RunStage("III-1", "parallel-merge", len(subgraphs), func(t int) {
+		// Union is idempotent and the partials slice is fresh per attempt,
+		// so a retried task re-applies its subgraph harmlessly.
+		partialsPer[t] = subgraphs[t].MergeInto(types, uf, nil)
+	})
+	return func() mergeOutcome {
+		comp, nClusters, forest := graph.FlatComponents(types, uf)
+		res.NumClusters = nClusters
+		var all []graph.EdgeKey
+		for _, p := range partialsPer {
+			all = append(all, p...)
+		}
+		preds, distinct := graph.Predecessors(all)
+		res.EdgesPerRound = []int64{pre, forest + distinct}
+		return mergeOutcome{comp: comp, preds: preds}
+	}
+}

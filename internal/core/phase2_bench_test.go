@@ -2,10 +2,11 @@ package core
 
 // BenchmarkPhaseII times cell-graph construction only (Algorithm 3):
 // partitioning and the dictionary are built once in setup, and each
-// iteration replays every partition's phase2Task. The batched/per-point
-// pair quantifies the tentpole speedup on the skewed synthetic workload;
-// cmd/rpbench's phase2 experiment reports the same contrast from the
-// engine's stage accounting.
+// iteration replays every partition's phase2Task. The blocked/batched/
+// per-point triple quantifies the SoA-kernel and cell-batching speedups on
+// the skewed synthetic workload; cmd/rpbench's phase2 experiment reports
+// the same contrast from the engine's stage accounting, and CI compares
+// the blocked mode's ns/op against the checked-in BENCH_baseline.json.
 
 import (
 	"sort"
@@ -32,7 +33,7 @@ func newPhase2Fixture(b *testing.B, n, k int) *phase2Fixture {
 	b.Helper()
 	pts := datagen.Mixture(datagen.MixtureConfig{
 		N: n, Dim: 2, Components: 10, Span: 100, Alpha: 3,
-	}, 77)
+	}, 1)
 	cfg := Config{Eps: 5.0, MinPts: 20, Rho: 0.01, NumPartitions: k}
 	side := grid.Side(cfg.Eps, pts.Dim)
 	params := dict.Params{Eps: cfg.Eps, Rho: cfg.Rho, Dim: pts.Dim}
@@ -68,8 +69,9 @@ func newPhase2Fixture(b *testing.B, n, k int) *phase2Fixture {
 	}
 }
 
-func (f *phase2Fixture) run(disableBatching bool) {
+func (f *phase2Fixture) run(disableSoA, disableBatching bool) {
 	cfg := f.cfg
+	cfg.DisableSoA = disableSoA
 	cfg.DisableBatching = disableBatching
 	for i := range f.core {
 		f.core[i] = false
@@ -80,16 +82,21 @@ func (f *phase2Fixture) run(disableBatching bool) {
 }
 
 func BenchmarkPhaseII(b *testing.B) {
-	f := newPhase2Fixture(b, 20000, 8)
+	f := newPhase2Fixture(b, 20000, 40)
 	for _, mode := range []struct {
 		name            string
+		disableSoA      bool
 		disableBatching bool
-	}{{"batched", false}, {"per-point", true}} {
+	}{
+		{name: "blocked"},
+		{name: "batched", disableSoA: true},
+		{name: "per-point", disableBatching: true},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				f.run(mode.disableBatching)
+				f.run(mode.disableSoA, mode.disableBatching)
 			}
 			sec := b.Elapsed().Seconds()
 			if sec > 0 {

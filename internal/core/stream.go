@@ -364,18 +364,13 @@ func RunStream(src pointio.Source, cfg StreamConfig, cl *engine.Cluster) (*Resul
 	}
 	probe("phase2")
 
-	// ---- Phase III-1: progressive graph merging, identical to Run.
+	// ---- Phase III-1: graph merging, identical to Run (flat lock-free by
+	// default, tournament under cfg.SerialMerge; see merge.go).
 	subgraphs := make([]*graph.Graph, k)
 	for i, st := range parts {
 		subgraphs[i] = st.subgraph
 	}
-	round := 0
-	global := graph.Tournament(subgraphs,
-		func(r int, edges int64) { res.EdgesPerRound = append(res.EdgesPerRound, edges) },
-		func(nMatches int, match func(int)) {
-			round++
-			cl.RunStage("III-1", fmt.Sprintf("merge-round-%d", round), nMatches, match)
-		})
+	finalize := mergePhase(cl, cfg.Config, numCells, subgraphs, res)
 
 	// ---- Phase III-2: point labeling. Coordinates of predecessor cells'
 	// core points were released with the partition point sets, so a gather
@@ -385,10 +380,8 @@ func RunStream(src pointio.Source, cfg StreamConfig, cl *engine.Cluster) (*Resul
 	var preds map[int32][]int32
 	needed := make(map[int32]bool)
 	cl.Serial("III-2", "label-preparation", func() {
-		var nClusters int
-		comp, nClusters = global.CoreComponents()
-		res.NumClusters = nClusters
-		preds = global.PartialPredecessors()
+		out := finalize()
+		comp, preds = out.comp, out.preds
 		for _, ps := range preds {
 			for _, p := range ps {
 				needed[p] = true

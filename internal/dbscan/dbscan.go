@@ -67,10 +67,13 @@ func Run(pts *geom.Points, eps float64, minPts int) *Result {
 				continue
 			}
 			visited[j] = true
-			jn := tree.InBall(pts.At(j), eps, nil)
-			if len(jn) >= minPts {
+			// The seed neighborhood was already drained into the queue, so
+			// the scratch slice is free for reuse — a nil dst here
+			// reallocated one neighbor slice per expanded point.
+			neigh = tree.InBall(pts.At(j), eps, neigh[:0])
+			if len(neigh) >= minPts {
 				res.CorePoint[j] = true
-				queue = append(queue, jn...)
+				queue = append(queue, neigh...)
 			}
 		}
 		cluster++

@@ -23,6 +23,11 @@ import (
 	"rpdbscan/internal/grid"
 )
 
+// subChunk is the sub-centre window width of the chunked any-hit scan in
+// AppendNeighborsBlock: wide enough for dense per-dimension inner loops,
+// narrow enough that an early witnessing centre skips most of the work.
+const subChunk = 16
+
 // batchCand is one boundary candidate of a CellBatch: a cell neither
 // provably inside nor provably outside the eps-region of every point of
 // the query cell, so each point runs a residual check against it.
@@ -34,6 +39,11 @@ type batchCand struct {
 	// centers are the candidate's precomputed sub-cell centres (flat,
 	// len(subs)*dim), decoded once at dictionary build time.
 	centers []float64
+	// centersT is the transposed view (dimension-major lanes) and counts
+	// the flat per-sub-cell point counts — the inputs of the blocked SoA
+	// residual kernel.
+	centersT []float64
+	counts   []int32
 }
 
 // CellBatch is the result of one Querier.QueryCell call: the shared
@@ -51,6 +61,14 @@ type CellBatch struct {
 	cands       []batchCand
 	origins     []float64 // flat arena of boundary-candidate cell origins
 	qlo, qhi    []float64 // query cell box, slack-inflated
+
+	// Scratch lanes of the blocked kernels (CountPoints and
+	// AppendNeighborsBlock), reused across calls: per-point near/far box
+	// distances against the current candidate, per-sub-cell distance
+	// accumulators, and one gathered point for the scalar tail.
+	near, far []float64
+	acc       []float64
+	pt        []float64
 }
 
 // InsideCount returns the number of points in fully-inside candidates —
@@ -177,11 +195,13 @@ func (q *Querier) QueryCell(key grid.Key) *CellBatch {
 				continue
 			}
 			b.cands = append(b.cands, batchCand{
-				id:      e.ID,
-				total:   sum,
-				off:     len(b.origins),
-				subs:    e.Subs,
-				centers: sd.SubCenters(ei, d.Dim),
+				id:       e.ID,
+				total:    sum,
+				off:      len(b.origins),
+				subs:     e.Subs,
+				centers:  sd.SubCenters(ei, d.Dim),
+				centersT: sd.SubCentersT(ei, d.Dim),
+				counts:   sd.SubCounts(ei),
 			})
 			b.origins = append(b.origins, q.origin...)
 		}
@@ -249,6 +269,266 @@ func (b *CellBatch) candCount(c *batchCand, p []float64) int64 {
 		}
 	}
 	return n
+}
+
+// boxLanes fills near[i]/far[i] with the squared distances from block
+// point i to the nearest and farthest faces of candidate c's cell box —
+// the lane-major form of the per-dimension loop in candCount. The
+// accumulation order (ascending dimension, one addition per dimension per
+// point) matches the scalar loop exactly, so the results are bit-identical.
+func (b *CellBatch) boxLanes(c *batchCand, blk *geom.Block, near, far []float64) {
+	origin := b.origins[c.off : c.off+b.dim]
+	for i := range near {
+		near[i], far[i] = 0, 0
+	}
+	for dd := 0; dd < b.dim; dd++ {
+		lane := blk.Lane(dd)
+		o := origin[dd]
+		hi := o + b.side
+		for i, p := range lane {
+			d1 := p - o
+			d2 := hi - p
+			if d1 < 0 {
+				near[i] += d1 * d1
+				d1 = -d1
+			} else if d2 < 0 {
+				near[i] += d2 * d2
+				d2 = -d2
+			}
+			if d2 > d1 {
+				d1 = d2
+			}
+			far[i] += d1 * d1
+		}
+	}
+}
+
+// subAcc fills acc[j] with the squared distance from block point i to
+// candidate c's sub-cell centre j, accumulated over the transposed centre
+// lanes. Dimension-ascending accumulation with one addition per dimension
+// reproduces geom.Dist2 bit-for-bit.
+func (b *CellBatch) subAcc(c *batchCand, blk *geom.Block, i int, acc []float64) {
+	b.subAccRange(c, blk, i, 0, acc)
+}
+
+// subAccRange is subAcc over the sub-centre window [j0, j0+len(acc)):
+// acc[j] receives the squared distance to sub-cell centre j0+j. Windowing
+// changes which distances are computed, never their value, so any-hit scans
+// can chunk the sub-centre axis and stop at the first qualifying chunk.
+func (b *CellBatch) subAccRange(c *batchCand, blk *geom.Block, i, j0 int, acc []float64) {
+	m := len(c.subs)
+	w := len(acc)
+	for j := range acc {
+		acc[j] = 0
+	}
+	for dd := 0; dd < b.dim; dd++ {
+		p := blk.At(i, dd)
+		lane := c.centersT[dd*m+j0 : dd*m+j0+w : dd*m+j0+w]
+		for j, x := range lane {
+			d := p - x
+			acc[j] += d * d
+		}
+	}
+}
+
+// grow resizes the scratch lanes for a block of n points and candidates of
+// at most m sub-cells, reusing prior capacity. Growth is geometric: cells
+// arrive in key order, so exact-fit growth would reallocate at every new
+// maximum across a partition's cell loop.
+func (b *CellBatch) grow(n, m int) (near, far, acc []float64) {
+	if cap(b.near) < n {
+		b.near = make([]float64, scratchCap(n, cap(b.near)))
+		b.far = make([]float64, cap(b.near))
+	}
+	if cap(b.acc) < m {
+		b.acc = make([]float64, scratchCap(m, cap(b.acc)))
+	}
+	b.near, b.far, b.acc = b.near[:n], b.far[:n], b.acc[:m]
+	return b.near, b.far, b.acc
+}
+
+// scratchCap doubles the previous capacity until it covers n.
+func scratchCap(n, prev int) int {
+	c := prev * 2
+	if c < n {
+		c = n
+	}
+	return c
+}
+
+// maxSubs returns the largest sub-cell count over the boundary candidates.
+func (b *CellBatch) maxSubs() int {
+	m := 0
+	for ci := range b.cands {
+		if len(b.cands[ci].subs) > m {
+			m = len(b.cands[ci].subs)
+		}
+	}
+	return m
+}
+
+// CountPoints is the blocked form of CountPoint: one call answers the
+// (eps,rho)-region count of every point of blk — the gathered query cell —
+// into counts (len blk.N()). The sweep is candidate-outer, point-inner, so
+// each candidate's origin and centre lanes stay hot while every point's
+// residual is evaluated against them in dense per-dimension loops.
+//
+// Early exit matches CountPoint exactly: a candidate is skipped for point i
+// once counts[i] >= stopAt (stopAt > 0), so the set of (point, candidate)
+// residuals evaluated — and therefore every returned count — is identical
+// to n independent CountPoint calls.
+func (b *CellBatch) CountPoints(blk *geom.Block, stopAt int64, counts []int64) {
+	n := blk.N()
+	for i := 0; i < n; i++ {
+		counts[i] = b.insideCount
+	}
+	if n == 0 || len(b.cands) == 0 {
+		return
+	}
+	near, far, acc := b.grow(n, b.maxSubs())
+	remaining := n
+	if stopAt > 0 && b.insideCount >= stopAt {
+		return
+	}
+	for ci := range b.cands {
+		c := &b.cands[ci]
+		// The dense sweep pays O(points x dim) per candidate no matter how
+		// few points are still undecided. Once at most a quarter remain,
+		// finish the stragglers point-by-point with the scalar residual —
+		// same candidates in the same order under the same skip rule, so
+		// the counts are unchanged.
+		if stopAt > 0 && remaining*4 <= n {
+			b.countTail(blk, ci, stopAt, counts)
+			return
+		}
+		b.boxLanes(c, blk, near, far)
+		for i := 0; i < n; i++ {
+			if stopAt > 0 && counts[i] >= stopAt {
+				continue
+			}
+			if near[i] > b.eps2 {
+				continue
+			}
+			if far[i] <= b.eps2 {
+				counts[i] += c.total
+			} else {
+				sub := acc[:len(c.subs)]
+				b.subAcc(c, blk, i, sub)
+				for j, a := range sub {
+					if a <= b.eps2 {
+						counts[i] += int64(c.counts[j])
+					}
+				}
+			}
+			if stopAt > 0 && counts[i] >= stopAt {
+				remaining--
+				if remaining == 0 {
+					return
+				}
+			}
+		}
+	}
+}
+
+// countTail completes CountPoints for the points still below stopAt when
+// the dense sweep hands over at candidate ci0: each undecided point scans
+// the remaining candidates with the scalar residual check, stopping at
+// stopAt exactly as CountPoint does. The (point, candidate) residual set —
+// and so every count — matches the dense sweep continuing to the end.
+func (b *CellBatch) countTail(blk *geom.Block, ci0 int, stopAt int64, counts []int64) {
+	dim := b.dim
+	if cap(b.pt) < dim {
+		b.pt = make([]float64, dim)
+	}
+	pt := b.pt[:dim]
+	for i := range counts {
+		if counts[i] >= stopAt {
+			continue
+		}
+		for dd := 0; dd < dim; dd++ {
+			pt[dd] = blk.At(i, dd)
+		}
+		for ci := ci0; ci < len(b.cands); ci++ {
+			counts[i] += b.candCount(&b.cands[ci], pt)
+			if counts[i] >= stopAt {
+				break
+			}
+		}
+	}
+}
+
+// AppendNeighborsBlock appends to dst the ids of boundary candidates with
+// at least one qualifying sub-cell for at least one selected point of blk
+// (sel[i] marks the points that matter — Phase II passes the cell's core
+// points). Per-point neighbor sets are only ever unioned by the caller, so
+// the blocked kernel answers the union directly: candidate-outer, it stops
+// scanning a candidate at its first witnessing point, which makes the sweep
+// near-O(candidates) in dense cells where the first selected point already
+// qualifies. The box distances are computed per point on demand — a full
+// lane sweep would pay O(points) per candidate and forfeit the early exit —
+// with the exact accumulation order of the scalar AppendNeighbors, so the
+// appended id set equals the union of the per-point calls.
+func (b *CellBatch) AppendNeighborsBlock(blk *geom.Block, sel []bool, dst []int32) []int32 {
+	n := blk.N()
+	if n == 0 || len(b.cands) == 0 {
+		return dst
+	}
+	dim := b.dim
+	_, _, acc := b.grow(n, b.maxSubs())
+	for ci := range b.cands {
+		c := &b.cands[ci]
+		origin := b.origins[c.off : c.off+dim]
+		for i := 0; i < n; i++ {
+			if !sel[i] {
+				continue
+			}
+			var near2, far2 float64
+			for dd := 0; dd < dim; dd++ {
+				p := blk.At(i, dd)
+				d1 := p - origin[dd]
+				d2 := origin[dd] + b.side - p
+				if d1 < 0 {
+					near2 += d1 * d1
+					d1 = -d1
+				} else if d2 < 0 {
+					near2 += d2 * d2
+					d2 = -d2
+				}
+				if d2 > d1 {
+					d1 = d2
+				}
+				far2 += d1 * d1
+			}
+			if near2 > b.eps2 {
+				continue
+			}
+			hit := far2 <= b.eps2
+			// Chunked any-hit sub-scan: lane-major distance accumulation
+			// per chunk, early exit at the first qualifying chunk. Most
+			// witnessing sub-cells sit early in the scan, so this usually
+			// touches a fraction of the centres a full sweep would.
+			nsubs := len(c.subs)
+			for j0 := 0; !hit && j0 < nsubs; j0 += subChunk {
+				w := nsubs - j0
+				if w > subChunk {
+					w = subChunk
+				}
+				sub := acc[:w]
+				b.subAccRange(c, blk, i, j0, sub)
+				for _, a := range sub {
+					if a <= b.eps2 {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				dst = append(dst, c.id)
+				break
+			}
+		}
+	}
+	return dst
 }
 
 // AppendNeighbors appends to dst the ids of boundary candidates with at

@@ -54,6 +54,60 @@ func BenchmarkQueryCell(b *testing.B) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pts.N()), "ns/point")
 }
 
+// BenchmarkQueryCellBlocked measures the SoA blocked kernel: one Gather
+// per cell, then CountPoints answers every point of the cell against each
+// candidate's origin and centre lanes in dense per-dimension loops.
+func BenchmarkQueryCellBlocked(b *testing.B) {
+	pts, d, g := batchBenchData(b)
+	q := NewQuerier(d)
+	var blk geom.Block
+	counts := make([]int64, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cell := range g.Cells {
+			batch := q.QueryCell(cell.Key)
+			blk.Gather(pts, cell.Points)
+			counts = counts[:len(cell.Points)]
+			batch.CountPoints(&blk, 0, counts)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*pts.N()), "ns/point")
+}
+
+// TestQueryCellAllocFree pins the steady-state zero-allocation contract of
+// the batched hot path: after one warm-up pass over all cells, QueryCell,
+// CountPoint, CountPoints and AppendNeighborsBlock allocate nothing.
+func TestQueryCellAllocFree(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	pts := skewedPoints(r, 5000, 2, 80)
+	d := buildDict(pts, 4.0, 0.03, 0)
+	g := grid.Build(pts, 4.0)
+	q := NewQuerier(d)
+	var blk geom.Block
+	counts := make([]int64, 0, 4096)
+	sel := make([]bool, 0, 4096)
+	dst := make([]int32, 0, 4096)
+	pass := func() {
+		for _, cell := range g.Cells {
+			batch := q.QueryCell(cell.Key)
+			blk.Gather(pts, cell.Points)
+			counts = counts[:len(cell.Points)]
+			sel = sel[:len(cell.Points)]
+			for i := range sel {
+				sel[i] = true
+			}
+			batch.CountPoints(&blk, 0, counts)
+			batch.CountPoint(pts.At(cell.Points[0]), 0)
+			dst = batch.AppendNeighborsBlock(&blk, sel, dst[:0])
+		}
+	}
+	pass() // warm up scratch to steady-state capacity
+	if n := testing.AllocsPerRun(5, pass); n != 0 {
+		t.Fatalf("batched query pass allocates %v per run", n)
+	}
+}
+
 // BenchmarkQueryCellEarlyExit measures the MinPts early exit available to
 // core marking (Algorithm 3): the scan stops once the count is decided.
 func BenchmarkQueryCellEarlyExit(b *testing.B) {

@@ -39,8 +39,55 @@ func checkBatchMatchesQuery(t *testing.T, pts *geom.Points, eps, rho float64, ma
 	batched := NewQuerier(d)
 	batched.DisableIndex = disableIndex
 	g := grid.Build(pts, eps)
+	var blk geom.Block
 	for _, cell := range g.Cells {
 		b := batched.QueryCell(cell.Key)
+		// Blocked kernels against the scalar per-point path: exact counts
+		// (bit-identical residual arithmetic), exact early-exit values, and
+		// the neighbor-id union over an arbitrary selection.
+		blk.Gather(pts, cell.Points)
+		n := len(cell.Points)
+		counts := make([]int64, n)
+		b.CountPoints(&blk, 0, counts)
+		for i, pi := range cell.Points {
+			if want := b.CountPoint(pts.At(pi), 0); counts[i] != want {
+				t.Fatalf("maxCells=%d: CountPoints[%d]=%d, CountPoint=%d", maxCells, i, counts[i], want)
+			}
+		}
+		for _, stop := range []int64{1, 7, 1 << 40} {
+			b.CountPoints(&blk, stop, counts)
+			for i, pi := range cell.Points {
+				if want := b.CountPoint(pts.At(pi), stop); counts[i] != want {
+					t.Fatalf("maxCells=%d stop=%d: CountPoints[%d]=%d, CountPoint=%d",
+						maxCells, stop, i, counts[i], want)
+				}
+			}
+		}
+		sel := make([]bool, n)
+		union := map[int32]bool{}
+		for i, pi := range cell.Points {
+			sel[i] = i%2 == 0 || i == n-1
+			if sel[i] {
+				for _, id := range b.AppendNeighbors(pts.At(pi), nil) {
+					union[id] = true
+				}
+			}
+		}
+		gotUnion := map[int32]bool{}
+		for _, id := range b.AppendNeighborsBlock(&blk, sel, nil) {
+			if gotUnion[id] {
+				t.Fatalf("maxCells=%d: AppendNeighborsBlock repeats id %d", maxCells, id)
+			}
+			gotUnion[id] = true
+		}
+		if len(gotUnion) != len(union) {
+			t.Fatalf("maxCells=%d: blocked neighbor union %v != %v", maxCells, gotUnion, union)
+		}
+		for id := range union {
+			if !gotUnion[id] {
+				t.Fatalf("maxCells=%d: blocked neighbor union missing %d", maxCells, id)
+			}
+		}
 		for _, pi := range cell.Points {
 			p := pts.At(pi)
 			wantCount, wantCells := oracle.Query(p, true, nil)

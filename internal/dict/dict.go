@@ -13,6 +13,7 @@ package dict
 
 import (
 	"sort"
+	"sync"
 
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/grid"
@@ -54,12 +55,32 @@ type SubDict struct {
 	// sub-cell, which dominated the Phase II hot path.
 	subCenters []float64
 	subOff     []int32
+	// subCentersT is the same data transposed within each entry
+	// (dimension-major): coordinate d of entry ei's m centres is the dense
+	// lane subCentersT[subOff[ei]*dim + d*m : subOff[ei]*dim + (d+1)*m].
+	// The blocked residual kernels accumulate squared distances one
+	// dimension lane at a time over it. subCounts holds the matching
+	// sub-cell point counts as one flat lane per entry.
+	subCentersT []float64
+	subCounts   []int32
 }
 
 // SubCenters returns the flat precomputed sub-cell centres of entry ei,
 // len(Entries[ei].Subs)*dim values, centre j at [j*dim:(j+1)*dim].
 func (sd *SubDict) SubCenters(ei int, dim int) []float64 {
 	return sd.subCenters[int(sd.subOff[ei])*dim : int(sd.subOff[ei+1])*dim]
+}
+
+// SubCentersT returns entry ei's sub-cell centres transposed: with m
+// centres, coordinate d is the dense lane [d*m : (d+1)*m].
+func (sd *SubDict) SubCentersT(ei int, dim int) []float64 {
+	return sd.subCentersT[int(sd.subOff[ei])*dim : int(sd.subOff[ei+1])*dim]
+}
+
+// SubCounts returns entry ei's sub-cell point counts as one flat lane,
+// parallel to the centre order of SubCenters/SubCentersT.
+func (sd *SubDict) SubCounts(ei int) []int32 {
+	return sd.subCounts[sd.subOff[ei]:sd.subOff[ei+1]]
 }
 
 // Dictionary is the complete two-level cell dictionary.
@@ -81,6 +102,10 @@ type Dictionary struct {
 	// NumCells and NumSubCells are totals across all sub-dictionaries.
 	NumCells    int
 	NumSubCells int
+
+	// qpool recycles Queriers (AcquireQuerier/ReleaseQuerier) so short
+	// tasks that each need a querier don't regrow its scratch from zero.
+	qpool sync.Pool
 }
 
 // IDOf returns the dense id of a cell key, if the cell is non-empty.
@@ -248,6 +273,22 @@ func newSubDict(entries []CellEntry, d *Dictionary) *SubDict {
 		sd.MBR.Extend(center)
 	}
 	sd.subOff[len(entries)] = off
+	// Transpose each entry's centres into dimension-major lanes and flatten
+	// the sub-cell counts, once, for the blocked residual kernels.
+	sd.subCentersT = make([]float64, len(sd.subCenters))
+	sd.subCounts = make([]int32, 0, numSubs)
+	for ei := range entries {
+		m := int(sd.subOff[ei+1] - sd.subOff[ei])
+		base := int(sd.subOff[ei]) * d.Dim
+		for j := 0; j < m; j++ {
+			for dd := 0; dd < d.Dim; dd++ {
+				sd.subCentersT[base+dd*m+j] = sd.subCenters[base+j*d.Dim+dd]
+			}
+		}
+		for _, sc := range entries[ei].Subs {
+			sd.subCounts = append(sd.subCounts, sc.Count)
+		}
+	}
 	sd.tree = kdtree.Build(sd.centers, nil)
 	return sd
 }
@@ -316,6 +357,25 @@ type Querier struct {
 	batch          CellBatch
 	inflLo, inflHi []float64
 }
+
+// AcquireQuerier returns a querier for d from its pool, with flags and
+// counters reset but scratch buffers retained — many short-lived tasks each
+// needing a querier (Phase II runs one per partition) would otherwise
+// regrow the batch scratch from zero every time. Return it with
+// ReleaseQuerier; like NewQuerier's result it must not be shared between
+// goroutines.
+func (d *Dictionary) AcquireQuerier() *Querier {
+	if q, ok := d.qpool.Get().(*Querier); ok {
+		q.SkippedSubDicts = 0
+		q.DisableIndex, q.DisableMBRSkip, q.DisableBatching = false, false, false
+		return q
+	}
+	return NewQuerier(d)
+}
+
+// ReleaseQuerier returns an acquired querier to d's pool. The querier must
+// not be used afterwards.
+func (d *Dictionary) ReleaseQuerier(q *Querier) { d.qpool.Put(q) }
 
 // NewQuerier returns a querier for d.
 func NewQuerier(d *Dictionary) *Querier {

@@ -502,10 +502,12 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 				if i >= n || failure.Load() != nil {
 					return
 				}
-				t0 := time.Now()
+				// Emit before taking the clock: sink time is telemetry, not
+				// task work, and must not land in the recorded cost.
 				if c.Sink != nil {
-					c.emit(Event{Kind: EventTaskStart, Stage: name, Phase: phase, Task: i, Time: t0})
+					c.emit(Event{Kind: EventTaskStart, Stage: name, Phase: phase, Task: i, Time: time.Now()})
 				}
+				t0 := time.Now()
 				attempt, backoff, err := c.runWithRetry(phase, name, i, fn, &retries, acc)
 				if err != nil {
 					failure.CompareAndSwap(nil, err)

@@ -1,0 +1,59 @@
+package geom
+
+// Block is a structure-of-arrays view of a point batch: coordinate d of
+// every point is one contiguous float64 lane, so per-dimension kernels
+// (distance accumulation, box classification) run over dense slices with
+// no per-point slice-header indirection. Phase II gathers each owned
+// cell's points into a Block once and evaluates all region-query residuals
+// against it candidate-by-candidate; the kd-tree uses the same layout
+// inside its leaves.
+//
+// A Block is scratch: Gather reuses the backing slab across calls, so a
+// Block must not be retained past the next Gather or shared between
+// goroutines.
+type Block struct {
+	dim, n int
+	lanes  []float64 // dimension-major: lane d is lanes[d*n : (d+1)*n]
+}
+
+// Dim returns the dimensionality of the gathered points.
+func (b *Block) Dim() int { return b.dim }
+
+// N returns the number of gathered points.
+func (b *Block) N() int { return b.n }
+
+// Lane returns coordinate d of every gathered point as one dense slice of
+// length N, in gather order.
+func (b *Block) Lane(d int) []float64 {
+	return b.lanes[d*b.n : (d+1)*b.n : (d+1)*b.n]
+}
+
+// At returns coordinate d of gathered point i.
+func (b *Block) At(i, d int) float64 { return b.lanes[d*b.n+i] }
+
+// Grow pre-sizes the backing slab for gathers of up to n points of dim
+// dimensions, so a loop over variably-sized batches pays one allocation up
+// front instead of a realloc at every new maximum.
+func (b *Block) Grow(dim, n int) {
+	if need := dim * n; cap(b.lanes) < need {
+		b.lanes = make([]float64, need)
+	}
+}
+
+// Gather transposes the points at idx into the block's per-dimension
+// lanes, reusing the backing slab when it has capacity.
+func (b *Block) Gather(pts *Points, idx []int) {
+	b.dim, b.n = pts.Dim, len(idx)
+	need := b.dim * b.n
+	if cap(b.lanes) < need {
+		b.lanes = make([]float64, need)
+	}
+	b.lanes = b.lanes[:need]
+	src := pts.Coords
+	for d := 0; d < b.dim; d++ {
+		lane := b.lanes[d*b.n : (d+1)*b.n]
+		for j, pi := range idx {
+			lane[j] = src[pi*b.dim+d]
+		}
+	}
+}

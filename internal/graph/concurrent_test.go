@@ -1,0 +1,257 @@
+package graph
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: the concurrent union-find reaches exactly the partition the
+// sequential UnionFind reaches on the same edge set (applied here without
+// concurrency; the stress tests below add the interleavings).
+func TestConcurrentUnionFindMatchesSequential(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8%50) + 2
+		m := int(m8 % 120)
+		seq := NewUnionFind(n)
+		con := NewConcurrentUnionFind(n)
+		for i := 0; i < m; i++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if seq.Union(a, b) != con.Union(a, b) {
+				return false
+			}
+		}
+		sc := canonical(seq, n)
+		cc := canonicalConcurrent(con, n)
+		for i := range sc {
+			if sc[i] != cc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 105, 300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// canonicalConcurrent densifies a quiesced concurrent union-find the same
+// way canonical does for the sequential one.
+func canonicalConcurrent(u *ConcurrentUnionFind, n int) []int {
+	ids := map[int]int{}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		root := u.Find(i)
+		id, ok := ids[root]
+		if !ok {
+			id = len(ids)
+			ids[root] = id
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// Property: after all unions, every element's root is the minimum id of its
+// component — the invariant that makes parallel merging deterministic.
+func TestConcurrentUnionFindMinRoot(t *testing.T) {
+	f := func(seed int64, n8, m8 uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(n8%50) + 2
+		u := NewConcurrentUnionFind(n)
+		for i := 0; i < int(m8%120); i++ {
+			u.Union(r.Intn(n), r.Intn(n))
+		}
+		// min[root(i)] over members must equal root(i) itself.
+		min := map[int]int{}
+		for i := 0; i < n; i++ {
+			root := u.Find(i)
+			if m, ok := min[root]; !ok || i < m {
+				min[root] = i
+			}
+		}
+		for root, m := range min {
+			if root != m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 106, 300)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUnionFindStress hammers one union-find from many
+// goroutines with adversarial interleavings — overlapping shards, repeated
+// edges, chains designed to maximise root contention — and checks three
+// things: the partition equals the sequential oracle's, every component's
+// root is its minimum element, and the number of true Union returns across
+// all goroutines equals the spanning-forest size (each forest edge is won
+// exactly once). Run under -race in CI.
+func TestConcurrentUnionFindStress(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		n, m    int
+		workers int
+		seed    int64
+	}{
+		{"sparse", 2000, 1500, 8, 1},
+		{"dense", 500, 8000, 8, 2},
+		{"chain", 4000, 3999, 16, 3},
+		{"two-workers", 1000, 4000, 2, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(tc.seed))
+			edges := make([][2]int, tc.m)
+			if tc.name == "chain" {
+				// Worst case for min-root linking: a path applied from
+				// every direction at once.
+				for i := range edges {
+					edges[i] = [2]int{i, i + 1}
+				}
+			} else {
+				for i := range edges {
+					edges[i] = [2]int{r.Intn(tc.n), r.Intn(tc.n)}
+				}
+			}
+			seq := NewUnionFind(tc.n)
+			var wantForest int64
+			for _, e := range edges {
+				if seq.Union(e[0], e[1]) {
+					wantForest++
+				}
+			}
+			con := NewConcurrentUnionFind(tc.n)
+			wins := make([]int64, tc.workers)
+			var wg sync.WaitGroup
+			for w := 0; w < tc.workers; w++ {
+				wg.Add(1)
+				// Each worker applies ALL edges in its own shuffled order:
+				// maximal overlap, every edge raced tc.workers times.
+				order := rand.New(rand.NewSource(tc.seed + int64(w))).Perm(len(edges))
+				go func(w int, order []int) {
+					defer wg.Done()
+					for _, i := range order {
+						if con.Union(edges[i][0], edges[i][1]) {
+							wins[w]++
+						}
+					}
+				}(w, order)
+			}
+			wg.Wait()
+			var gotForest int64
+			for _, c := range wins {
+				gotForest += c
+			}
+			if gotForest != wantForest {
+				t.Fatalf("forest edges won %d times, want %d", gotForest, wantForest)
+			}
+			sc := canonical(seq, tc.n)
+			cc := canonicalConcurrent(con, tc.n)
+			for i := range sc {
+				if sc[i] != cc[i] {
+					t.Fatalf("partition diverged at %d", i)
+				}
+			}
+			for i := 0; i < tc.n; i++ {
+				root := con.Find(i)
+				if root > i {
+					t.Fatalf("root %d of %d is not the component minimum", root, i)
+				}
+			}
+		})
+	}
+}
+
+// Property: the flat lock-free merge produces exactly the tournament's
+// clustering — components, cluster count, partial predecessors, and the
+// post-merge edge total — on random partition-style subgraphs. This is the
+// merge-order-invariance property extended to the lock-free path.
+func TestFlatMergeMatchesTournament(t *testing.T) {
+	f := func(seed int64) bool {
+		const numCells, k = 40, 6
+		build := func() []*Graph {
+			return randomSubgraphs(rand.New(rand.NewSource(seed)), numCells, k)
+		}
+		global := Tournament(build(), nil, nil)
+		wantComp, wantN := global.CoreComponents()
+		wantPreds := global.PartialPredecessors()
+		wantPost := int64(global.NumEdges())
+
+		flat := FlatMerge(build(), 4)
+		if flat.Clusters != wantN {
+			return false
+		}
+		for i := range wantComp {
+			if flat.Comp[i] != wantComp[i] {
+				return false
+			}
+		}
+		if flat.ForestEdges+flat.PartialEdges != wantPost {
+			return false
+		}
+		if len(flat.Preds) != len(wantPreds) {
+			return false
+		}
+		for to, want := range wantPreds {
+			got := flat.Preds[to]
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 107, 150)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FlatMerge is invariant in its worker count, and re-applying a
+// subgraph (the engine's retry/speculation semantics) changes nothing.
+func TestFlatMergeWorkerInvarianceAndIdempotence(t *testing.T) {
+	f := func(seed int64) bool {
+		const numCells, k = 30, 5
+		build := func() []*Graph {
+			return randomSubgraphs(rand.New(rand.NewSource(seed)), numCells, k)
+		}
+		one := FlatMerge(build(), 1)
+		many := FlatMerge(build(), 8)
+		// Doubled: every subgraph merged twice into the same union-find.
+		gs := build()
+		types := GlobalTypes(gs)
+		uf := NewConcurrentUnionFind(numCells)
+		var all []EdgeKey
+		for _, g := range gs {
+			all = g.MergeInto(types, uf, all)
+		}
+		for _, g := range gs {
+			g.MergeInto(types, uf, nil) // retried attempt, fresh collection
+		}
+		comp, clusters, forest := FlatComponents(types, uf)
+		_, partial := Predecessors(all)
+		for _, other := range []*FlatResult{many, {Comp: comp, Clusters: clusters, ForestEdges: forest, PartialEdges: partial}} {
+			if other.Clusters != one.Clusters ||
+				other.ForestEdges != one.ForestEdges ||
+				other.PartialEdges != one.PartialEdges {
+				return false
+			}
+			for i := range one.Comp {
+				if other.Comp[i] != one.Comp[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(t, 108, 120)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package graph
+
+// Flat merging: the lock-free alternative to the pairwise Tournament.
+// Instead of merging subgraphs in O(log k) rounds — each round serialising
+// every surviving graph's edges through a single-threaded UnionFind — the
+// flat merge first publishes every cell's globally determined type (each
+// cell is owned by exactly one partition, so the writes are disjoint), then
+// lets one worker per subgraph classify its edges against the global types
+// and apply full edges straight to a shared ConcurrentUnionFind. No graph
+// is ever materialised beyond the original subgraphs; partial edges are
+// collected per worker and deduplicated once at the end.
+//
+// The result is identical to the tournament's by construction: connectivity
+// over the same full-edge set (union-find is order-invariant), the same
+// deduplicated partial-edge set, and the same dense component ids — the
+// min-index linking of ConcurrentUnionFind makes every component's final
+// root its smallest cell id, so ascending-id extraction assigns ids in
+// ascending order of each component's smallest member, exactly like
+// Graph.CoreComponents. Property tests in this package pin all of that.
+
+import (
+	"sort"
+	"sync"
+)
+
+// ForEachEdge calls fn for every edge of the graph with its currently
+// stored type, in a deterministic order (full, then partial, then
+// undetermined, each set sorted). Full edges are canonical (From < To).
+func (g *Graph) ForEachEdge(fn func(from, to int32, t EdgeType)) {
+	g.full.compact()
+	g.partial.compact()
+	g.undet.compact()
+	for _, e := range g.full.sorted {
+		fn(e.From, e.To, EdgeFull)
+	}
+	for _, e := range g.partial.sorted {
+		fn(e.From, e.To, EdgePartial)
+	}
+	for _, e := range g.undet.sorted {
+		fn(e.From, e.To, EdgeUndetermined)
+	}
+}
+
+// OwnedTypes calls fn(id, type) for every cell this subgraph has
+// determined. The flat merge uses it to publish each partition's share of
+// the global type table.
+func (g *Graph) OwnedTypes(fn func(id int32, t VertexType)) {
+	for id, t := range g.Type {
+		if t != Undetermined {
+			fn(int32(id), t)
+		}
+	}
+}
+
+// MergeInto applies this subgraph's edges to a shared flat merge:
+// undetermined edges are resolved against the global type table (every
+// edge target must be determined there — in RP-DBSCAN every target is a
+// dictionary cell and every dictionary cell is owned by some partition),
+// full edges are unioned into uf, and partial edges are appended to
+// partials, which is returned. Safe to call concurrently for different
+// subgraphs sharing uf, and idempotent: re-applying a subgraph changes
+// neither the union-find partition nor (given a fresh partials slice) the
+// caller's edge collection.
+func (g *Graph) MergeInto(types []VertexType, uf *ConcurrentUnionFind, partials []EdgeKey) []EdgeKey {
+	g.ForEachEdge(func(from, to int32, t EdgeType) {
+		if t == EdgeUndetermined {
+			if types[to] == Core {
+				t = EdgeFull
+			} else {
+				t = EdgePartial
+			}
+		}
+		if t == EdgeFull {
+			uf.Union(int(from), int(to))
+		} else {
+			partials = append(partials, EdgeKey{From: from, To: to})
+		}
+	})
+	return partials
+}
+
+// FlatComponents extracts dense cluster ids from a quiesced flat merge:
+// comp[id] is the cluster of core cell id (-1 for non-core cells), ids
+// assigned in ascending order of each component's smallest cell id —
+// byte-identical to Graph.CoreComponents on the merged graph. It also
+// returns the cluster count and the spanning-forest size (the number of
+// full edges a tournament's ReduceFullEdges would have kept), derived as
+// #core-cells − #components, which no interleaving can change.
+func FlatComponents(types []VertexType, uf *ConcurrentUnionFind) (comp []int32, clusters int, forest int64) {
+	comp = make([]int32, len(types))
+	var next int32
+	var nCore int64
+	for id := range types {
+		if types[id] != Core {
+			comp[id] = -1
+			continue
+		}
+		nCore++
+		root := uf.Find(id)
+		if root == id {
+			comp[id] = next
+			next++
+			continue
+		}
+		// Min-index linking: the final root of a component is its smallest
+		// id, so root < id and comp[root] is already assigned.
+		comp[id] = comp[root]
+	}
+	return comp, int(next), nCore - int64(next)
+}
+
+// Predecessors deduplicates the collected partial edges into the PC map of
+// Algorithm 4 line 18 (non-core target -> sorted core predecessors) and
+// returns the number of distinct partial edges. Output is independent of
+// the input order, so it does not matter how workers interleaved their
+// collections.
+func Predecessors(partials []EdgeKey) (map[int32][]int32, int64) {
+	sort.Slice(partials, func(i, j int) bool { return edgeLess(partials[i], partials[j]) })
+	out := make(map[int32][]int32)
+	var distinct int64
+	var prev EdgeKey
+	for i, e := range partials {
+		if i > 0 && e == prev {
+			continue
+		}
+		prev = e
+		distinct++
+		out[e.To] = append(out[e.To], e.From)
+	}
+	for k := range out {
+		s := out[k]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	return out, distinct
+}
+
+// GlobalTypes assembles the global type table from partition subgraphs over
+// the same cell universe (each cell determined by exactly one of them).
+func GlobalTypes(gs []*Graph) []VertexType {
+	if len(gs) == 0 {
+		return nil
+	}
+	types := make([]VertexType, len(gs[0].Type))
+	for _, g := range gs {
+		g.OwnedTypes(func(id int32, t VertexType) { types[id] = t })
+	}
+	return types
+}
+
+// FlatResult is the outcome of a flat merge: everything Phase III-2 needs,
+// plus the edge accounting the telemetry reports.
+type FlatResult struct {
+	Comp     []int32
+	Clusters int
+	Preds    map[int32][]int32
+	// ForestEdges + PartialEdges is the post-merge edge total — equal to
+	// the final edge count of a tournament over the same subgraphs.
+	ForestEdges  int64
+	PartialEdges int64
+}
+
+// FlatMerge merges partition subgraphs with the given number of concurrent
+// workers sharing one lock-free union-find. The result is independent of
+// workers; the harness and the race stress tests drive it directly, while
+// core runs the same per-subgraph MergeInto bodies as engine stages.
+func FlatMerge(gs []*Graph, workers int) *FlatResult {
+	types := GlobalTypes(gs)
+	uf := NewConcurrentUnionFind(len(types))
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	partialsPer := make([][]EdgeKey, len(gs))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(gs); i += workers {
+				partialsPer[i] = gs[i].MergeInto(types, uf, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var all []EdgeKey
+	for _, p := range partialsPer {
+		all = append(all, p...)
+	}
+	res := &FlatResult{}
+	res.Comp, res.Clusters, res.ForestEdges = FlatComponents(types, uf)
+	res.Preds, res.PartialEdges = Predecessors(all)
+	return res
+}

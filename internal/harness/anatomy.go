@@ -59,9 +59,11 @@ type EdgeReductionRow struct {
 
 // EdgeReduction reproduces Figure 17 / Table 7: progressive graph merging
 // shrinks the edge set every round, so the final merge always fits one
-// machine.
+// machine. It forces the tournament merge — the default flat merge has no
+// rounds, so it reports only [pre, post] totals.
 func EdgeReduction(s Scale) ([]EdgeReductionRow, error) {
 	s = s.norm()
+	s.SerialMerge = true
 	var rows []EdgeReductionRow
 	for _, ds := range SuiteDatasets(s) {
 		for _, eps := range ds.EpsSweep() {

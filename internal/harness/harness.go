@@ -53,6 +53,10 @@ type Scale struct {
 	Density float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// SerialMerge selects the pairwise tournament merge for RP-DBSCAN runs
+	// (core.Config.SerialMerge): the anatomy experiments need its per-round
+	// edge telemetry (Table 7), everything else uses the flat merge.
+	SerialMerge bool
 }
 
 // DefaultScale returns the scale used by cmd/rpbench without flags.
@@ -136,6 +140,7 @@ func RunAlgorithm(algo string, pts *geom.Points, eps float64, minPts int, s Scal
 		res, err := core.Run(pts, core.Config{
 			Eps: eps, MinPts: minPts, Rho: s.Rho,
 			NumPartitions: s.Partitions, Seed: s.Seed,
+			SerialMerge: s.SerialMerge,
 		}, cl)
 		if err != nil {
 			return nil, err

@@ -262,3 +262,57 @@ func TestSizeScalingGrows(t *testing.T) {
 		t.Fatalf("elapsed did not grow with size: %v vs %v", rows[0].Elapsed, rows[4].Elapsed)
 	}
 }
+
+// TestPhase2SweepShape checks the sweep structure and, most importantly,
+// that every mode's clustering is byte-identical to the blocked path's
+// (Rand index exactly 1).
+func TestPhase2SweepShape(t *testing.T) {
+	s := quick()
+	rows, err := Phase2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, dim := range phase2Dims {
+		modes := 2
+		if dim == 2 {
+			modes = 3
+		}
+		want += 2 * modes // two N values per dim
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.RandIndex != 1 {
+			t.Fatalf("mode %s (n=%d dim=%d): Rand index %v, want exactly 1", r.Mode, r.N, r.Dim, r.RandIndex)
+		}
+		if r.Mode == "batched" && r.Speedup != 1 {
+			t.Fatalf("batched row speedup = %v, want 1", r.Speedup)
+		}
+		if r.StageMillis <= 0 {
+			t.Fatalf("mode %s (n=%d dim=%d): non-positive stage time", r.Mode, r.N, r.Dim)
+		}
+	}
+}
+
+// TestPhase3Identical checks that every flat-merge row reproduces the
+// tournament's components exactly, at every worker count.
+func TestPhase3Identical(t *testing.T) {
+	s := quick()
+	rows, err := Phase3(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5 (tournament + 4 flat)", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Fatalf("mode %s workers=%d diverged from the tournament", r.Mode, r.Workers)
+		}
+		if r.Edges == 0 {
+			t.Fatal("generated subgraphs have no edges")
+		}
+	}
+}

@@ -1,11 +1,13 @@
 package harness
 
-// Phase II hot-path benchmark: cell-batched region queries (dict.QueryCell)
-// against the per-point oracle (core.Config.DisableBatching) on the
-// appendix's skewed mixture. The contrast isolates one stage —
+// Phase II hot-path benchmark: the blocked SoA kernel (geom.Block lanes +
+// dict.CellBatch.CountPoints) against the scalar cell-batched path
+// (core.Config.DisableSoA) and the per-point oracle
+// (core.Config.DisableBatching) on the appendix's skewed mixture, swept
+// over dimensionality and size. The contrast isolates one stage —
 // cell-graph-construction (Algorithm 3) — via the engine's per-stage
 // accounting; clusterings must stay byte-identical (Rand index 1.0), since
-// batching only reorders evaluation. cmd/rpbench serialises the rows as
+// the modes only reorder evaluation. cmd/rpbench serialises the rows as
 // BENCH_phase2.json; BenchmarkPhaseII in internal/core is the testing.B
 // counterpart.
 
@@ -27,10 +29,15 @@ const phase2Stage = "cell-graph-construction"
 // reported, testing.B-style, to shed scheduler noise.
 const phase2Rounds = 3
 
-// Phase2Row reports the Phase II stage cost of one query mode.
+// phase2Dims is the dimensionality sweep.
+var phase2Dims = []int{2, 3, 5}
+
+// Phase2Row reports the Phase II stage cost of one query mode at one
+// (n, dim) sweep point.
 type Phase2Row struct {
-	// Mode is "batched" (cell-batched queries, the default path) or
-	// "per-point" (the pre-batching oracle).
+	// Mode is "blocked" (SoA lane kernels, the default path), "batched"
+	// (cell-batched queries with scalar per-point residuals), or
+	// "per-point" (the pre-batching oracle, dim=2 groups only).
 	Mode string `json:"mode"`
 	N    int    `json:"n"`
 	Dim  int    `json:"dim"`
@@ -44,76 +51,105 @@ type Phase2Row struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// PointsPerSec is the stage's region-query throughput.
 	PointsPerSec float64 `json:"points_per_sec"`
-	// RandIndex compares this mode's clustering against the batched
+	// RandIndex compares this mode's clustering against the blocked
 	// run's; any value other than 1 is a correctness bug.
 	RandIndex float64 `json:"rand_index"`
-	// Speedup is the per-point stage time divided by this mode's (1 for
-	// the per-point row itself).
+	// Speedup is the batched (scalar) stage time of the same (n, dim)
+	// group divided by this mode's — 1 for the batched row itself, so the
+	// blocked row reads directly as the SoA layout win.
 	Speedup float64 `json:"speedup"`
 }
 
+// phase2Mode configures one measured query path.
+type phase2Mode struct {
+	name            string
+	disableSoA      bool
+	disableBatching bool
+}
+
 // Phase2 benchmarks the Phase II hot path on the skewed synthetic mixture
-// (alpha = 3, ten components): one row per query mode.
+// (alpha = 3, ten components) over dim x {N/2, N}: one row per query mode
+// per sweep point. The per-point oracle joins only the dim=2 groups — at
+// higher dimension it is minutes-slow and adds nothing the batched
+// contrast doesn't show.
 func Phase2(s Scale) ([]Phase2Row, error) {
 	s = s.norm()
-	pts := synthMixture(s.N, 2, 3, s.Seed)
-	cfg := core.Config{
-		Eps: synthEps, MinPts: s.minPtsFor(20), Rho: s.Rho,
-		NumPartitions: s.Partitions, Seed: s.Seed,
+	ns := []int{s.N / 2, s.N}
+	if ns[0] == ns[1] || ns[0] < 100 {
+		ns = ns[1:]
 	}
-	type modeOut struct {
-		stage  time.Duration
-		allocs int64
-		labels []int
-	}
-	measure := func(disableBatching bool) (modeOut, error) {
-		var out modeOut
-		for round := 0; round < phase2Rounds; round++ {
-			mcfg := cfg
-			mcfg.DisableBatching = disableBatching
-			cl := engine.New(s.Workers)
-			cl.Sink = obs.NewSink(slog.Default())
-			res, err := core.Run(pts, mcfg, cl)
-			if err != nil {
-				return out, err
+	var rows []Phase2Row
+	for _, dim := range phase2Dims {
+		for _, n := range ns {
+			pts := synthMixture(n, dim, 3, s.Seed)
+			cfg := core.Config{
+				Eps: synthEps, MinPts: s.minPtsFor(20), Rho: s.Rho,
+				NumPartitions: s.Partitions, Seed: s.Seed,
 			}
-			st := res.Report.Stage(phase2Stage)
-			if st == nil {
-				return out, fmt.Errorf("harness: stage %q missing from report", phase2Stage)
+			type modeOut struct {
+				stage  time.Duration
+				allocs int64
+				labels []int
 			}
-			if round == 0 || st.Total() < out.stage {
-				out.stage = st.Total()
-				out.allocs = st.MallocDelta
+			measure := func(m phase2Mode) (modeOut, error) {
+				var out modeOut
+				for round := 0; round < phase2Rounds; round++ {
+					mcfg := cfg
+					mcfg.DisableSoA = m.disableSoA
+					mcfg.DisableBatching = m.disableBatching
+					cl := engine.New(s.Workers)
+					cl.Sink = obs.NewSink(slog.Default())
+					res, err := core.Run(pts, mcfg, cl)
+					if err != nil {
+						return out, err
+					}
+					st := res.Report.Stage(phase2Stage)
+					if st == nil {
+						return out, fmt.Errorf("harness: stage %q missing from report", phase2Stage)
+					}
+					if round == 0 || st.Total() < out.stage {
+						out.stage = st.Total()
+						out.allocs = st.MallocDelta
+					}
+					out.labels = res.Labels
+				}
+				return out, nil
 			}
-			out.labels = res.Labels
+			modes := []phase2Mode{
+				{name: "blocked"},
+				{name: "batched", disableSoA: true},
+			}
+			if dim == 2 {
+				modes = append(modes, phase2Mode{name: "per-point", disableBatching: true})
+			}
+			outs := make([]modeOut, len(modes))
+			for i, m := range modes {
+				var err error
+				if outs[i], err = measure(m); err != nil {
+					return nil, err
+				}
+			}
+			blocked, batched := outs[0], outs[1]
+			np := float64(pts.N())
+			for i, m := range modes {
+				o := outs[i]
+				sec := o.stage.Seconds()
+				r := Phase2Row{
+					Mode: m.name, N: pts.N(), Dim: pts.Dim,
+					StageMillis: float64(o.stage.Microseconds()) / 1e3,
+					NsPerOp:     float64(o.stage.Nanoseconds()) / np,
+					AllocsPerOp: float64(o.allocs) / np,
+					RandIndex:   metrics.RandIndex(blocked.labels, o.labels),
+				}
+				if sec > 0 {
+					r.PointsPerSec = np / sec
+				}
+				if o.stage > 0 {
+					r.Speedup = float64(batched.stage) / float64(o.stage)
+				}
+				rows = append(rows, r)
+			}
 		}
-		return out, nil
 	}
-	batched, err := measure(false)
-	if err != nil {
-		return nil, err
-	}
-	perPoint, err := measure(true)
-	if err != nil {
-		return nil, err
-	}
-	n := float64(pts.N())
-	row := func(mode string, m modeOut) Phase2Row {
-		sec := m.stage.Seconds()
-		r := Phase2Row{
-			Mode: mode, N: pts.N(), Dim: pts.Dim,
-			StageMillis: float64(m.stage.Microseconds()) / 1e3,
-			NsPerOp:     float64(m.stage.Nanoseconds()) / n,
-			AllocsPerOp: float64(m.allocs) / n,
-			RandIndex:   metrics.RandIndex(batched.labels, m.labels),
-		}
-		if sec > 0 {
-			r.PointsPerSec = n / sec
-		}
-		if m.stage > 0 {
-			r.Speedup = float64(perPoint.stage) / float64(m.stage)
-		}
-		return r
-	}
-	return []Phase2Row{row("batched", batched), row("per-point", perPoint)}, nil
+	return rows, nil
 }

@@ -1,0 +1,138 @@
+package harness
+
+// Phase III merge benchmark: the flat lock-free merge (shared
+// graph.ConcurrentUnionFind, one worker per subgraph) against the serial
+// pairwise tournament on deterministically generated partition subgraphs.
+// Both paths are measured end to end — merge plus component/predecessor
+// extraction — and must produce identical components; cmd/rpbench
+// serialises the rows as BENCH_phase3.json.
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+	"time"
+
+	"rpdbscan/internal/graph"
+)
+
+// phase3Rounds is how many times each configuration runs; the fastest
+// round is reported, testing.B-style.
+const phase3Rounds = 3
+
+// phase3Degree is the out-degree of each core cell in the generated
+// subgraphs — the neighbor-cell fan-out Phase II typically produces on the
+// skewed mixture.
+const phase3Degree = 8
+
+// Phase3Row reports one merge configuration.
+type Phase3Row struct {
+	// Mode is "tournament" (serial pairwise merging, the Figure 9a
+	// baseline) or "flat" (lock-free concurrent union-find).
+	Mode string `json:"mode"`
+	// Workers is the merge concurrency (1 for the tournament, which
+	// serialises every match through one UnionFind).
+	Workers   int   `json:"workers"`
+	Cells     int   `json:"cells"`
+	Subgraphs int   `json:"subgraphs"`
+	// Edges is the pre-merge edge total across all subgraphs.
+	Edges int64 `json:"edges"`
+	// Millis is the fastest end-to-end merge time (merge + component and
+	// predecessor extraction) of phase3Rounds runs.
+	Millis float64 `json:"millis"`
+	// Speedup is the tournament time divided by this row's (1 for the
+	// tournament itself).
+	Speedup float64 `json:"speedup"`
+	// Identical reports whether this row's components, cluster count, and
+	// predecessor map match the tournament's exactly; anything but true is
+	// a correctness bug.
+	Identical bool `json:"identical"`
+}
+
+// phase3Subgraphs generates k partition subgraphs over numCells cells:
+// cells dealt round-robin, 80% core, each core cell with phase3Degree
+// random out-edges — typed undetermined when the target is owned
+// elsewhere, exactly as Phase II builds them.
+func phase3Subgraphs(numCells, k int, seed int64) []*graph.Graph {
+	r := rand.New(rand.NewSource(seed))
+	gs := make([]*graph.Graph, k)
+	for i := range gs {
+		gs[i] = graph.New(numCells)
+	}
+	for id := 0; id < numCells; id++ {
+		g := gs[id%k]
+		if r.Float64() < 0.8 {
+			g.SetVertex(int32(id), graph.Core)
+			for e := 0; e < phase3Degree; e++ {
+				g.AddEdge(int32(id), int32(r.Intn(numCells)))
+			}
+		} else {
+			g.SetVertex(int32(id), graph.NonCore)
+		}
+	}
+	return gs
+}
+
+// Phase3 benchmarks Phase III graph merging: the serial tournament as the
+// baseline row, then the flat merge at 1, 2, 4, and 8 workers.
+func Phase3(s Scale) ([]Phase3Row, error) {
+	s = s.norm()
+	numCells := s.N
+	k := s.Partitions
+	build := func() []*graph.Graph { return phase3Subgraphs(numCells, k, s.Seed) }
+
+	var pre int64
+	for _, g := range build() {
+		pre += int64(g.NumEdges())
+	}
+
+	// Baseline: the serial pairwise tournament, timed through component
+	// and predecessor extraction like the flat rows.
+	var tourTime time.Duration
+	var refComp []int32
+	var refClusters int
+	var refPreds map[int32][]int32
+	for round := 0; round < phase3Rounds; round++ {
+		gs := build() // Tournament cannibalises its inputs
+		start := time.Now()
+		g := graph.Tournament(gs, nil, nil)
+		comp, clusters := g.CoreComponents()
+		preds := g.PartialPredecessors()
+		el := time.Since(start)
+		if round == 0 || el < tourTime {
+			tourTime = el
+		}
+		refComp, refClusters, refPreds = comp, clusters, preds
+	}
+	row := func(mode string, workers int, el time.Duration, identical bool) Phase3Row {
+		r := Phase3Row{
+			Mode: mode, Workers: workers, Cells: numCells, Subgraphs: k,
+			Edges:  pre,
+			Millis: float64(el.Microseconds()) / 1e3,
+			Identical: identical,
+		}
+		if el > 0 {
+			r.Speedup = float64(tourTime) / float64(el)
+		}
+		return r
+	}
+	rows := []Phase3Row{row("tournament", 1, tourTime, true)}
+	for _, w := range []int{1, 2, 4, 8} {
+		var best time.Duration
+		var fr *graph.FlatResult
+		for round := 0; round < phase3Rounds; round++ {
+			gs := build()
+			start := time.Now()
+			fr = graph.FlatMerge(gs, w)
+			el := time.Since(start)
+			if round == 0 || el < best {
+				best = el
+			}
+		}
+		identical := slices.Equal(fr.Comp, refComp) &&
+			fr.Clusters == refClusters &&
+			maps.EqualFunc(fr.Preds, refPreds, slices.Equal)
+		rows = append(rows, row("flat", w, best, identical))
+	}
+	return rows, nil
+}

@@ -131,6 +131,13 @@ func SizeScaling(s Scale) ([]SizeRunRow, error) {
 	if base < 500 {
 		base = 500
 	}
+	// Warm-up run: the first run after process start pays one-off costs
+	// (page faults, allocator growth) comparable to the smallest measured
+	// run now that the kernels are this fast, which would invert the
+	// size/time trend.
+	if _, err := RunAlgorithm(AlgoRP, synthMixture(base, 5, 8, s.Seed), synthEps, s.minPtsFor(20), s); err != nil {
+		return nil, err
+	}
 	var rows []SizeRunRow
 	for _, mult := range []int{1, 2, 4, 8, 16} {
 		n := base * mult

@@ -3,6 +3,21 @@
 // with it so an (eps,rho)-region query touches O(log |cell|) nodes plus a
 // constant number of candidate cells (Lemma 5.6), independent of the
 // dimension-exponential size of the naive coordinate-box enumeration.
+//
+// # Memory layout
+//
+// The tree is cache-blocked rather than pointer-chased. Nodes live in one
+// flat slice in BFS order — the root is node 0 and the two children of an
+// internal node are adjacent (left and left+1), so the top of the tree,
+// which every query traverses, occupies a handful of consecutive cache
+// lines. Node bounds live in a separate flat float64 slab (2*dim values
+// per node) instead of per-node heap-allocated boxes. Points are bucketed
+// into leaves of up to leafSize entries and stored structure-of-arrays
+// within each leaf: coordinate d of the leaf's points is one contiguous
+// lane, so the distance kernel is a per-dimension accumulation over dense
+// float64 slices — bounds-check-friendly, autovectorizable, and free of
+// per-point slice headers. Traversal is iterative over a fixed-size stack;
+// no query allocates.
 package kdtree
 
 import (
@@ -12,102 +27,129 @@ import (
 // Tree is an immutable kd-tree built over a fixed point set. Each indexed
 // point carries an integer payload (typically an index into a cell table).
 type Tree struct {
-	dim    int
-	coords []float64 // flat, item-major, reordered during build
-	items  []int     // payloads, parallel to points
+	dim int
+	// coords holds the points in tree order, SoA per leaf: a leaf covering
+	// items [s, s+c) stores coordinate d of its j-th point at
+	// coords[s*dim + d*c + j].
+	coords []float64
+	items  []int // payloads, parallel to tree order
 	nodes  []node
-	root   int
+	// bounds is the flat bounding-box slab: node i's box occupies
+	// bounds[i*2*dim : (i+1)*2*dim], min coordinates then max.
+	bounds []float64
 }
 
+// node is one BFS-ordered tree node. Leaves have count > 0 and index
+// points [start, start+count) of coords/items; internal nodes have
+// count == 0 and children at left and left+1.
 type node struct {
-	// Leaf nodes have count > 0 and start indexing into coords/items.
-	// Internal nodes have count == 0 and left/right children.
-	start, count int
-	axis         int
+	start, count int32
+	left         int32
+	axis         int32
 	split        float64
-	left, right  int
-	bounds       geom.Box
 }
 
+// leafSize is the leaf bucket capacity. 16 keeps a leaf's SoA lanes within
+// two cache lines per dimension while still amortising the per-node prune.
 const leafSize = 16
+
+// maxDepth bounds the traversal stacks. Median splits halve every segment,
+// so the depth never exceeds ceil(log2 n) — 64 covers any addressable n.
+const maxDepth = 64
 
 // Build constructs a kd-tree over pts. payload[i] is attached to point i; a
 // nil payload attaches i itself. pts may be empty.
 func Build(pts *geom.Points, payload []int) *Tree {
 	n := pts.N()
-	t := &Tree{
-		dim:    pts.Dim,
-		coords: make([]float64, len(pts.Coords)),
-		items:  make([]int, n),
-	}
-	copy(t.coords, pts.Coords)
-	for i := range t.items {
-		if payload != nil {
-			t.items[i] = payload[i]
-		} else {
-			t.items[i] = i
-		}
-	}
+	t := &Tree{dim: pts.Dim}
 	if n == 0 {
-		t.root = -1
 		return t
 	}
+	dim := t.dim
+	src := pts.Coords
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	t.root = t.build(order, 0, n)
-	// Apply the final permutation: rebuild coords/items in tree order.
-	nc := make([]float64, len(t.coords))
-	ni := make([]int, n)
-	for pos, orig := range order {
-		copy(nc[pos*t.dim:(pos+1)*t.dim], t.coords[orig*t.dim:(orig+1)*t.dim])
-		ni[pos] = t.items[orig]
+	// BFS construction: the work queue is processed FIFO and every entry
+	// becomes exactly one node, so an entry's queue position IS its node
+	// id, and the two children a parent appends together become adjacent
+	// nodes — the left/left+1 layout needs no patching.
+	type seg struct{ lo, hi int }
+	queue := make([]seg, 1, 2*(n/leafSize+1))
+	queue[0] = seg{0, n}
+	for qi := 0; qi < len(queue); qi++ {
+		lo, hi := queue[qi].lo, queue[qi].hi
+		// Bounding box of the segment, appended to the flat slab.
+		t.bounds = append(t.bounds, make([]float64, 2*dim)...)
+		bb := t.bounds[len(t.bounds)-2*dim:]
+		for d := 0; d < dim; d++ {
+			bb[d] = src[order[lo]*dim+d]
+			bb[dim+d] = bb[d]
+		}
+		for _, idx := range order[lo+1 : hi] {
+			p := src[idx*dim : (idx+1)*dim]
+			for d, v := range p {
+				if v < bb[d] {
+					bb[d] = v
+				}
+				if v > bb[dim+d] {
+					bb[dim+d] = v
+				}
+			}
+		}
+		if hi-lo <= leafSize {
+			t.nodes = append(t.nodes, node{start: int32(lo), count: int32(hi - lo)})
+			continue
+		}
+		// Split along the widest axis at the median.
+		axis := 0
+		widest := bb[dim] - bb[0]
+		for d := 1; d < dim; d++ {
+			if w := bb[dim+d] - bb[d]; w > widest {
+				widest, axis = w, d
+			}
+		}
+		selectNth(src, dim, order[lo:hi], (hi-lo)/2, axis)
+		mid := lo + (hi-lo)/2
+		t.nodes = append(t.nodes, node{
+			left:  int32(len(queue)),
+			axis:  int32(axis),
+			split: src[order[mid]*dim+axis],
+		})
+		queue = append(queue, seg{lo, mid}, seg{mid, hi})
 	}
-	t.coords, t.items = nc, ni
-	return t
-}
-
-// build recursively partitions order[lo:hi] and returns the node index.
-func (t *Tree) build(order []int, lo, hi int) int {
-	b := geom.NewBox(t.dim)
-	for _, idx := range order[lo:hi] {
-		b.Extend(t.at(idx))
-	}
-	if hi-lo <= leafSize {
-		t.nodes = append(t.nodes, node{start: lo, count: hi - lo, bounds: b, left: -1, right: -1})
-		return len(t.nodes) - 1
-	}
-	// Split along the widest axis at the median.
-	axis := 0
-	widest := b.Max[0] - b.Min[0]
-	for i := 1; i < t.dim; i++ {
-		if w := b.Max[i] - b.Min[i]; w > widest {
-			widest, axis = w, i
+	// Materialise points in tree order, transposing each leaf to SoA.
+	t.coords = make([]float64, n*dim)
+	t.items = make([]int, n)
+	for ni := range t.nodes {
+		nd := &t.nodes[ni]
+		if nd.count == 0 {
+			continue
+		}
+		s, c := int(nd.start), int(nd.count)
+		base := s * dim
+		for j := 0; j < c; j++ {
+			orig := order[s+j]
+			if payload != nil {
+				t.items[s+j] = payload[orig]
+			} else {
+				t.items[s+j] = orig
+			}
+			for d := 0; d < dim; d++ {
+				t.coords[base+d*c+j] = src[orig*dim+d]
+			}
 		}
 	}
-	seg := order[lo:hi]
-	mid := lo + (hi-lo)/2
-	t.selectNth(seg, (hi-lo)/2, axis)
-	self := len(t.nodes)
-	t.nodes = append(t.nodes, node{axis: axis, split: t.at(order[mid])[axis], bounds: b})
-	l := t.build(order, lo, mid)
-	r := t.build(order, mid, hi)
-	t.nodes[self].left = l
-	t.nodes[self].right = r
-	return self
-}
-
-func (t *Tree) at(i int) []float64 {
-	return t.coords[i*t.dim : (i+1)*t.dim]
+	return t
 }
 
 // selectNth partially orders seg so seg[n] holds the element of rank n by
 // the given axis (Hoare quickselect with median-of-three pivots) — an
 // O(len) median step that replaces a full sort during tree construction.
-func (t *Tree) selectNth(seg []int, n, axis int) {
+func selectNth(src []float64, dim int, seg []int, n, axis int) {
 	lo, hi := 0, len(seg)-1
-	val := func(i int) float64 { return t.at(seg[i])[axis] }
+	val := func(i int) float64 { return src[seg[i]*dim+axis] }
 	for lo < hi {
 		// Median-of-three pivot, moved to lo.
 		mid := lo + (hi-lo)/2
@@ -148,31 +190,88 @@ func (t *Tree) selectNth(seg []int, n, axis int) {
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return len(t.items) }
 
+// nodeMinDist2 returns the squared distance from q to node ni's bounding
+// box, read from the flat slab (geom.Box.MinDist2 arithmetic).
+func (t *Tree) nodeMinDist2(ni int32, q []float64) float64 {
+	b := t.bounds[int(ni)*2*t.dim : (int(ni)+1)*2*t.dim]
+	var s float64
+	for d, v := range q {
+		if v < b[d] {
+			diff := b[d] - v
+			s += diff * diff
+		} else if v > b[t.dim+d] {
+			diff := v - b[t.dim+d]
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// nodeBoxMinDist2 returns the squared gap between node ni's bounding box
+// and the box (lo, hi) (geom.Box.BoxMinDist2 arithmetic).
+func (t *Tree) nodeBoxMinDist2(ni int32, lo, hi []float64) float64 {
+	b := t.bounds[int(ni)*2*t.dim : (int(ni)+1)*2*t.dim]
+	var s float64
+	for d := range lo {
+		if diff := lo[d] - b[t.dim+d]; diff > 0 {
+			s += diff * diff
+		} else if diff := b[d] - hi[d]; diff > 0 {
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// leafDist2 fills acc[0:count] with the squared distance from q to every
+// point of the leaf: one dense accumulation lane per dimension, the same
+// per-point addition order as geom.Dist2 so results are bit-identical.
+func (t *Tree) leafDist2(nd *node, q []float64, acc *[leafSize]float64) {
+	s, c := int(nd.start), int(nd.count)
+	for j := 0; j < c; j++ {
+		acc[j] = 0
+	}
+	base := s * t.dim
+	for d, qd := range q {
+		lane := t.coords[base+d*c : base+(d+1)*c]
+		for j, v := range lane {
+			diff := v - qd
+			acc[j] += diff * diff
+		}
+	}
+}
+
 // InBall appends to dst the payloads of all points within radius r of q and
-// returns the extended slice.
+// returns the extended slice. It allocates nothing when dst has capacity.
 func (t *Tree) InBall(q []float64, r float64, dst []int) []int {
-	if t.root < 0 {
+	if len(t.nodes) == 0 {
 		return dst
 	}
 	r2 := r * r
-	return t.inBall(t.root, q, r2, dst)
-}
-
-func (t *Tree) inBall(ni int, q []float64, r2 float64, dst []int) []int {
-	nd := &t.nodes[ni]
-	if nd.bounds.MinDist2(q) > r2 {
-		return dst
-	}
-	if nd.count > 0 || nd.left < 0 {
-		for i := nd.start; i < nd.start+nd.count; i++ {
-			if geom.Dist2(q, t.at(i)) <= r2 {
-				dst = append(dst, t.items[i])
-			}
+	var stack [maxDepth]int32
+	var acc [leafSize]float64
+	stack[0] = 0
+	sp := 1
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		if t.nodeMinDist2(ni, q) > r2 {
+			continue
 		}
-		return dst
+		nd := &t.nodes[ni]
+		if nd.count > 0 {
+			t.leafDist2(nd, q, &acc)
+			s, c := int(nd.start), int(nd.count)
+			for j := 0; j < c; j++ {
+				if acc[j] <= r2 {
+					dst = append(dst, t.items[s+j])
+				}
+			}
+			continue
+		}
+		stack[sp] = nd.left
+		stack[sp+1] = nd.left + 1
+		sp += 2
 	}
-	dst = t.inBall(nd.left, q, r2, dst)
-	dst = t.inBall(nd.right, q, r2, dst)
 	return dst
 }
 
@@ -183,27 +282,53 @@ func (t *Tree) inBall(ni int, q []float64, r2 float64, dst []int) []int {
 // amortise the index walk over a whole cell instead of paying it per point.
 // Like InBall it allocates nothing when dst has capacity.
 func (t *Tree) InBallBox(b geom.Box, r float64, dst []int) []int {
-	if t.root < 0 || b.Empty() {
+	if len(t.nodes) == 0 || b.Empty() {
 		return dst
 	}
-	return t.inBallBox(t.root, b, r*r, dst)
-}
-
-func (t *Tree) inBallBox(ni int, b geom.Box, r2 float64, dst []int) []int {
-	nd := &t.nodes[ni]
-	if nd.bounds.BoxMinDist2(b) > r2 {
-		return dst
-	}
-	if nd.count > 0 || nd.left < 0 {
-		for i := nd.start; i < nd.start+nd.count; i++ {
-			if b.MinDist2(t.at(i)) <= r2 {
-				dst = append(dst, t.items[i])
-			}
+	r2 := r * r
+	lo, hi := b.Min, b.Max
+	var stack [maxDepth]int32
+	var acc [leafSize]float64
+	stack[0] = 0
+	sp := 1
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		if t.nodeBoxMinDist2(ni, lo, hi) > r2 {
+			continue
 		}
-		return dst
+		nd := &t.nodes[ni]
+		if nd.count > 0 {
+			s, c := int(nd.start), int(nd.count)
+			for j := 0; j < c; j++ {
+				acc[j] = 0
+			}
+			base := s * t.dim
+			// Box.MinDist2 per leaf point, one dense lane per dimension.
+			for d := range lo {
+				blo, bhi := lo[d], hi[d]
+				lane := t.coords[base+d*c : base+(d+1)*c]
+				for j, v := range lane {
+					if v < blo {
+						diff := blo - v
+						acc[j] += diff * diff
+					} else if v > bhi {
+						diff := v - bhi
+						acc[j] += diff * diff
+					}
+				}
+			}
+			for j := 0; j < c; j++ {
+				if acc[j] <= r2 {
+					dst = append(dst, t.items[s+j])
+				}
+			}
+			continue
+		}
+		stack[sp] = nd.left
+		stack[sp+1] = nd.left + 1
+		sp += 2
 	}
-	dst = t.inBallBox(nd.left, b, r2, dst)
-	dst = t.inBallBox(nd.right, b, r2, dst)
 	return dst
 }
 
@@ -214,73 +339,86 @@ func (t *Tree) inBallBox(ni int, b geom.Box, r2 float64, dst []int) []int {
 // order — which is what lets the serving layer promise byte-identical
 // predictions across concurrent and sequential execution.
 func (t *Tree) NearestInBall(q []float64, r float64) (payload int, dist2 float64, ok bool) {
-	if t.root < 0 || r < 0 {
+	if len(t.nodes) == 0 || r < 0 {
 		return 0, 0, false
 	}
-	best := nearest{dist2: r * r, payload: -1}
-	t.nearestInBall(t.root, q, &best)
-	if best.payload < 0 {
-		return 0, 0, false
-	}
-	return best.payload, best.dist2, true
-}
-
-type nearest struct {
-	dist2   float64
-	payload int // -1 until a point qualifies
-}
-
-func (t *Tree) nearestInBall(ni int, q []float64, best *nearest) {
-	nd := &t.nodes[ni]
-	// Prune on the current best radius; "equal" must still be visited so
-	// the smallest-payload tie-break sees every candidate at the boundary.
-	if nd.bounds.MinDist2(q) > best.dist2 {
-		return
-	}
-	if nd.count > 0 || nd.left < 0 {
-		for i := nd.start; i < nd.start+nd.count; i++ {
-			d2 := geom.Dist2(q, t.at(i))
-			if d2 > best.dist2 {
-				continue
-			}
-			if best.payload < 0 || d2 < best.dist2 || t.items[i] < best.payload {
-				best.dist2, best.payload = d2, t.items[i]
-			}
+	bestD2 := r * r
+	best := -1
+	var stack [maxDepth]int32
+	var acc [leafSize]float64
+	stack[0] = 0
+	sp := 1
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		// Prune on the current best radius; "equal" must still be visited
+		// so the smallest-payload tie-break sees every candidate at the
+		// boundary.
+		if t.nodeMinDist2(ni, q) > bestD2 {
+			continue
 		}
-		return
+		nd := &t.nodes[ni]
+		if nd.count > 0 {
+			t.leafDist2(nd, q, &acc)
+			s, c := int(nd.start), int(nd.count)
+			for j := 0; j < c; j++ {
+				d2 := acc[j]
+				if d2 > bestD2 {
+					continue
+				}
+				if best < 0 || d2 < bestD2 || t.items[s+j] < best {
+					bestD2, best = d2, t.items[s+j]
+				}
+			}
+			continue
+		}
+		// Descend the side of the split containing q first: it shrinks the
+		// best radius earliest, pruning more of the far side. The far child
+		// is pushed below the near one so the near side pops first.
+		near, far := nd.left, nd.left+1
+		if q[nd.axis] > nd.split {
+			near, far = far, near
+		}
+		stack[sp] = far
+		stack[sp+1] = near
+		sp += 2
 	}
-	// Descend the side of the split containing q first: it shrinks the
-	// best radius earliest, pruning more of the far side.
-	first, second := nd.left, nd.right
-	if q[nd.axis] > nd.split {
-		first, second = second, first
+	if best < 0 {
+		return 0, 0, false
 	}
-	t.nearestInBall(first, q, best)
-	t.nearestInBall(second, q, best)
+	return best, bestD2, true
 }
 
 // Visit calls fn for every payload whose point is within radius r of q. It
 // avoids the allocation of InBall when the caller only needs to iterate.
 func (t *Tree) Visit(q []float64, r float64, fn func(payload int)) {
-	if t.root < 0 {
+	if len(t.nodes) == 0 {
 		return
 	}
-	t.visit(t.root, q, r*r, fn)
-}
-
-func (t *Tree) visit(ni int, q []float64, r2 float64, fn func(int)) {
-	nd := &t.nodes[ni]
-	if nd.bounds.MinDist2(q) > r2 {
-		return
-	}
-	if nd.count > 0 || nd.left < 0 {
-		for i := nd.start; i < nd.start+nd.count; i++ {
-			if geom.Dist2(q, t.at(i)) <= r2 {
-				fn(t.items[i])
-			}
+	r2 := r * r
+	var stack [maxDepth]int32
+	var acc [leafSize]float64
+	stack[0] = 0
+	sp := 1
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		if t.nodeMinDist2(ni, q) > r2 {
+			continue
 		}
-		return
+		nd := &t.nodes[ni]
+		if nd.count > 0 {
+			t.leafDist2(nd, q, &acc)
+			s, c := int(nd.start), int(nd.count)
+			for j := 0; j < c; j++ {
+				if acc[j] <= r2 {
+					fn(t.items[s+j])
+				}
+			}
+			continue
+		}
+		stack[sp] = nd.left
+		stack[sp+1] = nd.left + 1
+		sp += 2
 	}
-	t.visit(nd.left, q, r2, fn)
-	t.visit(nd.right, q, r2, fn)
 }

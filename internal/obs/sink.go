@@ -78,9 +78,15 @@ func (s *Sink) Emit(e engine.Event) {
 		s.Logger.Debug("speculative win", "stage", e.Stage, "phase", e.Phase,
 			"task", e.Task, "cost", e.Duration)
 	case engine.EventTaskStart:
-		s.Logger.Log(context.Background(), LevelTask, "task start", "stage", e.Stage, "task", e.Task)
+		// Guard before Log: the arguments are boxed at the call site, so an
+		// unguarded call allocates per task even when the level is off.
+		if s.Logger.Enabled(context.Background(), LevelTask) {
+			s.Logger.Log(context.Background(), LevelTask, "task start", "stage", e.Stage, "task", e.Task)
+		}
 	case engine.EventTaskEnd:
-		s.Logger.Log(context.Background(), LevelTask, "task end", "stage", e.Stage, "task", e.Task,
-			"attempt", e.Attempt, "cost", e.Duration)
+		if s.Logger.Enabled(context.Background(), LevelTask) {
+			s.Logger.Log(context.Background(), LevelTask, "task end", "stage", e.Stage, "task", e.Task,
+				"attempt", e.Attempt, "cost", e.Duration)
+		}
 	}
 }

@@ -300,6 +300,20 @@ func TestNewRejectsInvalid(t *testing.T) {
 	}
 }
 
+// TestPredictAllocFree pins the zero-allocation contract of the Predict
+// hot path, inherited from the blocked kd-tree's iterative NearestInBall.
+func TestPredictAllocFree(t *testing.T) {
+	m := fit(t, blobPoints(rand.New(rand.NewSource(10)), 5000, 2), 0.2, 8)
+	q := []float64{0.5, -0.5}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := m.Predict(q); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Predict allocates %v per call", n)
+	}
+}
+
 func BenchmarkPredict(b *testing.B) {
 	m := fit(b, blobPoints(rand.New(rand.NewSource(10)), 5000, 2), 0.2, 8)
 	qs := make([][]float64, 256)
