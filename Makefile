@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./internal/pointio/ ./internal/spill/ ./cmd/rpserve/ ./cmd/rpdbscan/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./internal/pointio/ ./internal/spill/ ./internal/transport/ ./cmd/rpserve/ ./cmd/rpdbscan/
 
 vet:
 	$(GO) vet ./...

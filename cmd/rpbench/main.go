@@ -7,8 +7,8 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2 phase3 chaos serve stream, or "all".
-// With no arguments, "all" runs.
+// table8 fig19 fig20 fig21 phase2 phase3 chaos serve stream transport, or
+// "all". With no arguments, "all" runs.
 //
 // Flags:
 //
@@ -25,6 +25,7 @@
 //	-chaosout   where the chaos experiment writes BENCH_chaos.json ("" skips)
 //	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
 //	-streamout  where the stream experiment writes BENCH_stream.json ("" skips)
+//	-transportout  where the transport experiment writes BENCH_transport.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /metrics, /healthz, /debug/pprof and /debug/vars for
 //	             live profiling and scraping
@@ -48,9 +49,13 @@ import (
 	"rpdbscan/internal/plot"
 	"rpdbscan/internal/serve"
 	"rpdbscan/internal/serve/loadgen"
+	"rpdbscan/internal/transport"
 )
 
 func main() {
+	// The transport experiment re-executes this binary as its worker
+	// processes; a child with the marker set serves tasks and never returns.
+	transport.MaybeWorker()
 	n := flag.Int("n", 20000, "points per data set")
 	workers := flag.Int("workers", 40, "virtual cluster size")
 	minPts := flag.Int("minpts", 0, "DBSCAN minPts (0: per-data-set default)")
@@ -65,6 +70,7 @@ func main() {
 	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "where the serve experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&streamOut, "streamout", "BENCH_stream.json", "where the stream experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&transportOut, "transportout", "BENCH_transport.json", "where the transport experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -94,27 +100,28 @@ func main() {
 		want = []string{"all"}
 	}
 	all := map[string]func(harness.Scale) error{
-		"fig11":  fig11,
-		"fig16":  fig16,
-		"fig12":  fig12,
-		"fig13":  fig13,
-		"fig14":  fig14,
-		"fig15":  fig15,
-		"table4": table4,
-		"table5": table5,
-		"table7": table7,
-		"fig18":  fig18,
-		"table8": table8,
-		"fig19":  fig19,
-		"fig20":  fig20,
-		"fig21":  fig21,
-		"phase2": phase2,
-		"phase3": phase3,
-		"chaos":  chaosExp,
-		"serve":  serveExp,
-		"stream": streamExp,
+		"fig11":     fig11,
+		"fig16":     fig16,
+		"fig12":     fig12,
+		"fig13":     fig13,
+		"fig14":     fig14,
+		"fig15":     fig15,
+		"table4":    table4,
+		"table5":    table5,
+		"table7":    table7,
+		"fig18":     fig18,
+		"table8":    table8,
+		"fig19":     fig19,
+		"fig20":     fig20,
+		"fig21":     fig21,
+		"phase2":    phase2,
+		"phase3":    phase3,
+		"chaos":     chaosExp,
+		"serve":     serveExp,
+		"stream":    streamExp,
+		"transport": transportExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "stream"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "stream", "transport"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -730,6 +737,58 @@ func streamExp(s harness.Scale) error {
 	}
 	return writeCSV("stream.csv",
 		"multiplier,n,chunk_size,identical,chunks,spill_bytes,spill_reloads,peak_phase1_heap_bytes,heap_ceiling_bytes,stream_ms,run_ms,stream_wall_ms,run_wall_ms", lines)
+}
+
+// transportOut is where the transport experiment writes its JSON report
+// (empty = skip).
+var transportOut string
+
+// transportExp: multi-process backend sweep — worker subprocesses over
+// local sockets, differenced against the in-process simulator, with
+// measured-vs-simulated makespan reconciliation per stage.
+func transportExp(s harness.Scale) error {
+	header("Transport: multi-process backend vs in-process simulator")
+	rows, err := harness.Transport(s, harness.TransportConfig{})
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Printf("  seed=%d w=%-2d chaos=%-5v identical=%-5v accounted=%-5v inj=%-3d cksum=%-3d kills=%-3d measured=%9.1fms simulated=%9.1fms bound-ok=%v\n",
+			r.Seed, r.Workers, r.ChaosOn, r.Identical, r.Accounted,
+			r.InjectedFailures, r.ChecksumRejects, r.WorkerKills,
+			r.MeasuredMillis, r.SimulatedMillis, r.WithinBound)
+		if !r.Identical {
+			return fmt.Errorf("transport: seed=%d workers=%d chaos=%v diverged from the in-process run",
+				r.Seed, r.Workers, r.ChaosOn)
+		}
+		if !r.Accounted {
+			return fmt.Errorf("transport: seed=%d workers=%d chaos=%v fault ledger does not reconcile",
+				r.Seed, r.Workers, r.ChaosOn)
+		}
+		if !r.WithinBound {
+			return fmt.Errorf("transport: seed=%d workers=%d chaos=%v measured makespan %0.1fms diverged from simulated %0.1fms beyond the stated bound",
+				r.Seed, r.Workers, r.ChaosOn, r.MeasuredMillis, r.SimulatedMillis)
+		}
+	}
+	if transportOut != "" {
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(transportOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", transportOut)
+	}
+	var lines []string
+	for _, r := range rows {
+		lines = append(lines, fmt.Sprintf("%d,%d,%v,%v,%v,%d,%d,%d,%.3f,%.3f,%v",
+			r.Seed, r.Workers, r.ChaosOn, r.Identical, r.Accounted,
+			r.InjectedFailures, r.ChecksumRejects, r.WorkerKills,
+			r.MeasuredMillis, r.SimulatedMillis, r.WithinBound))
+	}
+	return writeCSV("transport.csv",
+		"seed,workers,chaos,identical,accounted,injected_failures,checksum_rejects,worker_kills,measured_ms,simulated_ms,within_bound", lines)
 }
 
 func fig21(s harness.Scale) error {

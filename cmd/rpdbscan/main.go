@@ -17,8 +17,12 @@
 //	-minpts     DBSCAN core threshold (required)
 //	-rho        approximation rate (default 0.01)
 //	-algo       rp|esp|rbp|cbp|spark|ng|exact (default rp)
+//	-backend    sim|proc (default sim). proc runs Phase I/II on worker
+//	            subprocesses over local sockets (algo rp only); output is
+//	            byte-identical to sim
 //	-partitions number of splits (default workers)
-//	-workers    parallel workers (default GOMAXPROCS)
+//	-workers    parallel workers; with -backend=proc, worker processes
+//	            (default GOMAXPROCS)
 //	-binary       input is rpdatagen binary format
 //	-stream       ingest the input out-of-core in bounded chunks (algo rp
 //	              only; incompatible with -labeled and -save-model, which
@@ -42,6 +46,8 @@
 //	-chaos-fail      probability of failing a task attempt
 //	-chaos-straggler probability of inflating a task into a straggler
 //	-chaos-corrupt   probability of corrupting a payload chunk in transit
+//	-chaos-kill      probability of SIGKILLing the worker process about to
+//	                 serve a task attempt (-backend=proc only)
 //	-chaos-delay     virtual straggler inflation (default 20ms)
 //	-chaos-seed      seed for the injected fault schedule
 package main
@@ -68,6 +74,7 @@ import (
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
 	"rpdbscan/internal/serve"
+	"rpdbscan/internal/transport"
 )
 
 // fatal logs the error through the structured logger and exits.
@@ -77,10 +84,15 @@ func fatal(log *slog.Logger, msg string, err error) {
 }
 
 func main() {
+	// A process spawned with the worker environment marker set never comes
+	// back from this call: it serves tasks until the driver's pipe closes.
+	transport.MaybeWorker()
 	eps := flag.Float64("eps", 0, "DBSCAN radius (required)")
 	minPts := flag.Int("minpts", 0, "DBSCAN core threshold (required)")
 	rho := flag.Float64("rho", 0.01, "approximation rate")
 	algo := flag.String("algo", "rp", "algorithm: rp|esp|rbp|cbp|spark|ng|exact")
+	backend := flag.String("backend", core.BackendSim, "execution backend: sim|proc (algo rp only)")
+	workerMode := flag.Bool("worker", false, "run as a transport worker process (spawned internally by -backend=proc)")
 	partitions := flag.Int("partitions", 0, "number of splits (default workers)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel workers")
 	binary := flag.Bool("binary", false, "input is binary point format")
@@ -98,6 +110,7 @@ func main() {
 	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of failing a task attempt")
 	chaosStraggler := flag.Float64("chaos-straggler", 0, "chaos: probability of inflating a task into a straggler")
 	chaosCorrupt := flag.Float64("chaos-corrupt", 0, "chaos: probability of corrupting a payload chunk")
+	chaosKill := flag.Float64("chaos-kill", 0, "chaos: probability of SIGKILLing a worker process per task attempt (-backend=proc)")
 	chaosDelay := flag.Duration("chaos-delay", 0, "chaos: virtual straggler inflation (default 20ms)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 	var logCfg obs.LogConfig
@@ -110,8 +123,29 @@ func main() {
 		os.Exit(2)
 	}
 	log = log.With("cmd", "rpdbscan")
+	if *workerMode {
+		// Manual worker mode (the subprocess spawner uses the environment
+		// marker instead): serve until stdin closes.
+		transport.RunWorker(os.Stdin, os.Stdout)
+		return
+	}
 	if *eps <= 0 || *minPts < 1 || flag.NArg() != 1 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	switch *backend {
+	case core.BackendSim, "":
+	case core.BackendProc:
+		if *algo != "rp" {
+			log.Error("-backend=proc supports only -algo rp", "algo", *algo)
+			os.Exit(2)
+		}
+		if *stream {
+			log.Error("-backend=proc is incompatible with -stream")
+			os.Exit(2)
+		}
+	default:
+		log.Error("unknown backend", "backend", *backend)
 		os.Exit(2)
 	}
 	if *debugAddr != "" {
@@ -148,17 +182,36 @@ func main() {
 	}
 	cl := engine.New(*workers)
 	cl.Sink = obs.NewSink(log)
-	if *chaosFail > 0 || *chaosStraggler > 0 || *chaosCorrupt > 0 {
-		inj, err := chaos.New(chaos.Config{
+	var inj *chaos.Injector
+	if *chaosFail > 0 || *chaosStraggler > 0 || *chaosCorrupt > 0 || *chaosKill > 0 {
+		if *chaosKill > 0 && *backend != core.BackendProc {
+			log.Error("-chaos-kill needs -backend=proc (there is no worker process to kill)")
+			os.Exit(2)
+		}
+		inj, err = chaos.New(chaos.Config{
 			Seed: *chaosSeed, FailProb: *chaosFail, StragglerProb: *chaosStraggler,
-			CorruptProb: *chaosCorrupt, StragglerDelay: *chaosDelay,
+			CorruptProb: *chaosCorrupt, KillProb: *chaosKill, StragglerDelay: *chaosDelay,
 		})
 		if err != nil {
 			fatal(log, "chaos config", err)
 		}
 		cl.Injector = inj
 		log.Info("chaos enabled", "seed", *chaosSeed, "fail", *chaosFail,
-			"straggler", *chaosStraggler, "corrupt", *chaosCorrupt)
+			"straggler", *chaosStraggler, "corrupt", *chaosCorrupt, "kill", *chaosKill)
+	}
+	if *backend == core.BackendProc {
+		opts := transport.Options{}
+		if inj != nil {
+			opts.Injector = inj
+			opts.Killer = inj
+		}
+		tr, err := transport.NewProc(*workers, opts)
+		if err != nil {
+			fatal(log, "start workers", err)
+		}
+		defer tr.Close()
+		tr.Bind(cl)
+		log.Info("proc backend up", "workers", *workers)
 	}
 	var labels []int
 	var clusters int
@@ -168,7 +221,7 @@ func main() {
 	case "rp":
 		cfg := core.Config{
 			Eps: *eps, MinPts: *minPts, Rho: *rho,
-			NumPartitions: k, Seed: *seed,
+			NumPartitions: k, Seed: *seed, Backend: *backend,
 		}
 		var res *core.Result
 		if *stream {

@@ -130,6 +130,65 @@ func TestGoldenStreamLabels(t *testing.T) {
 	}
 }
 
+// TestGoldenProcBackend: the multi-process backend must produce the exact
+// bytes of the in-process golden — like the stream path, there is no
+// separate proc golden, because the transport's contract is byte-identical
+// output. The worker subprocesses are this same test binary re-executed a
+// second time: main() routes the grandchild into transport.MaybeWorker
+// before any flag parsing, so no TestMain special-casing is needed.
+func TestGoldenProcBackend(t *testing.T) {
+	golden := filepath.Join("testdata", "two_blobs.labels.golden")
+	out, _ := runCLI(t, append([]string{"-backend", "proc"}, fixtureArgs...)...)
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("-backend=proc labels diverged from the in-process golden %s: got %d bytes, want %d",
+			golden, len(out), len(want))
+	}
+	// And under process-level chaos — kills, wire corruption, injected
+	// failures — still not a single byte may move.
+	chaotic, stderr := runCLI(t, append([]string{
+		"-backend", "proc", "-chaos-fail", "0.2", "-chaos-corrupt", "0.2",
+		"-chaos-kill", "0.2", "-chaos-seed", "5",
+	}, fixtureArgs...)...)
+	if !bytes.Equal(chaotic, want) {
+		t.Fatalf("-backend=proc with chaos changed the output labels\nstderr:\n%s", stderr)
+	}
+}
+
+// TestProcBackendFlagErrors pins the proc backend's rejection paths:
+// incompatible flag combinations and unknown backend names must exit
+// non-zero before any clustering starts.
+func TestProcBackendFlagErrors(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]string{
+		"stream":          {"-backend", "proc", "-stream"},
+		"algo":            {"-backend", "proc", "-algo", "exact"},
+		"unknown-backend": {"-backend", "warp"},
+		"kill-needs-proc": {"-chaos-kill", "0.5"},
+	}
+	for name, extra := range cases {
+		cmd := exec.Command(exe, append(extra, fixtureArgs...)...)
+		cmd.Env = append(os.Environ(), "RPDBSCAN_BE_CLI=1")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s: invalid flag combination accepted:\n%s", name, out)
+		}
+	}
+}
+
 // TestStreamFlagIncompatibilities pins the error paths: -stream cannot
 // serve features that need the full coordinate set in memory.
 func TestStreamFlagIncompatibilities(t *testing.T) {

@@ -41,6 +41,12 @@ type Config struct {
 	// corrupting a checksummed payload chunk (attempts below
 	// MaxFaultsPerTask only).
 	CorruptProb float64
+	// KillProb is the per-attempt probability of killing the worker
+	// process about to serve a task attempt (attempts below
+	// MaxFaultsPerTask only). Process-level chaos: it only has an effect
+	// on the multi-process transport — the simulator has no processes to
+	// kill — but the decision, like every other, is worker-independent.
+	KillProb float64
 	// MaxFaultsPerTask bounds consecutive injections at one site so chaos
 	// alone can never exhaust the engine's retry budget (engine default:
 	// 2 retries, i.e. 3 attempts). Zero defaults to 2; it must stay at or
@@ -72,6 +78,8 @@ type Stats struct {
 	StragglerDelay time.Duration
 	// Corruptions counts CorruptFetch calls that returned true.
 	Corruptions int64
+	// Kills counts KillWorker calls that returned true.
+	Kills int64
 }
 
 // Injector implements engine.Injector with seed-driven decisions. Safe for
@@ -82,8 +90,8 @@ type Injector struct {
 	maxFaults int
 	scripted  map[scheduleKey]int
 
-	failures, stragglers, corruptions atomic.Int64
-	stragglerNs                       atomic.Int64
+	failures, stragglers, corruptions, kills atomic.Int64
+	stragglerNs                              atomic.Int64
 }
 
 type scheduleKey struct {
@@ -97,7 +105,7 @@ func New(cfg Config) (*Injector, error) {
 	for _, p := range []struct {
 		name string
 		v    float64
-	}{{"FailProb", cfg.FailProb}, {"StragglerProb", cfg.StragglerProb}, {"CorruptProb", cfg.CorruptProb}} {
+	}{{"FailProb", cfg.FailProb}, {"StragglerProb", cfg.StragglerProb}, {"CorruptProb", cfg.CorruptProb}, {"KillProb", cfg.KillProb}} {
 		if p.v < 0 || p.v > 1 {
 			return nil, fmt.Errorf("chaos: %s = %v out of [0, 1]", p.name, p.v)
 		}
@@ -176,6 +184,22 @@ func (in *Injector) CorruptFetch(stage string, task, attempt, chunk int) bool {
 	return true
 }
 
+// KillWorker implements engine.WorkerKiller: whether to SIGKILL the
+// worker process about to serve attempt `attempt` of task `task`. Like
+// every decision it is a pure function of the site, independent of which
+// worker that happens to be, and bounded below the retry budget so a
+// killed-and-respawned (or surviving) worker always gets a clean attempt.
+func (in *Injector) KillWorker(stage string, task, attempt int) bool {
+	if attempt >= in.maxFaults {
+		return false
+	}
+	if in.roll("kill", stage, task, attempt) >= in.cfg.KillProb {
+		return false
+	}
+	in.kills.Add(1)
+	return true
+}
+
 // Stats snapshots the injection tally.
 func (in *Injector) Stats() Stats {
 	return Stats{
@@ -183,6 +207,7 @@ func (in *Injector) Stats() Stats {
 		Stragglers:     in.stragglers.Load(),
 		StragglerDelay: time.Duration(in.stragglerNs.Load()),
 		Corruptions:    in.corruptions.Load(),
+		Kills:          in.kills.Load(),
 	}
 }
 
@@ -192,6 +217,7 @@ func (in *Injector) ResetStats() {
 	in.stragglers.Store(0)
 	in.stragglerNs.Store(0)
 	in.corruptions.Store(0)
+	in.kills.Store(0)
 }
 
 // roll maps (seed, kind, stage, site, sub) to a uniform fraction in [0, 1)

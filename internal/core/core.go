@@ -105,7 +105,20 @@ type Config struct {
 	// per-round edge telemetry of Table 7. Results are identical; only
 	// cost and EdgesPerRound granularity change.
 	SerialMerge bool
+
+	// Backend selects where stages execute: "" or "sim" runs every stage
+	// in-process on the virtual-cluster simulator (the default), "proc"
+	// runs Phase I/II stages on the cluster's multi-process Transport
+	// (worker subprocesses over local sockets; see internal/transport).
+	// Results are byte-identical; only the execution substrate changes.
+	Backend string
 }
+
+// Backend values for Config.Backend.
+const (
+	BackendSim  = "sim"
+	BackendProc = "proc"
+)
 
 // Validate checks the configuration.
 func (c Config) Validate() error {
@@ -120,6 +133,12 @@ func (c Config) Validate() error {
 	}
 	if c.NumPartitions < 0 {
 		return fmt.Errorf("rpdbscan: NumPartitions must be >= 0, got %d", c.NumPartitions)
+	}
+	switch c.Backend {
+	case "", BackendSim, BackendProc:
+	default:
+		return fmt.Errorf("rpdbscan: unknown backend %q (want %q or %q)",
+			c.Backend, BackendSim, BackendProc)
 	}
 	return nil
 }
@@ -174,6 +193,9 @@ type partState struct {
 func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Backend == BackendProc {
+		return runProc(pts, cfg, cl)
 	}
 	n := pts.N()
 	k := cfg.NumPartitions
@@ -322,6 +344,19 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 	finalize := mergePhase(cl, cfg, numCells, subgraphs, res)
 
 	// ---- Phase III-2: point labeling (Algorithm 4, part 2).
+	labelPhase(cl, cfg, pts, parts, numCells, finalize, res)
+
+	res.Report = cl.Report()
+	return res, nil
+}
+
+// labelPhase runs Phase III-2 — label preparation and point labeling
+// (Algorithm 4, part 2) — over the merged graph. It is driver-side code
+// shared verbatim by the in-process and multi-process Run paths: both
+// arrive here with identical parts and an identical merged graph, so the
+// labels they produce are identical by construction.
+func labelPhase(cl *engine.Cluster, cfg Config, pts *geom.Points, parts []*partState,
+	numCells int, finalize func() mergeOutcome, res *Result) {
 	var comp []int32
 	var preds map[int32][]int32
 	coreByCell := make([][]int, numCells)
@@ -345,7 +380,7 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 			}
 		}
 	})
-	cl.RunStage("III-2", "point-labeling", k, func(t int) {
+	cl.RunStage("III-2", "point-labeling", len(parts), func(t int) {
 		st := parts[t]
 		for ci, cell := range st.cells {
 			if st.cellCore[ci] {
@@ -382,9 +417,6 @@ func Run(pts *geom.Points, cfg Config, cl *engine.Cluster) (*Result, error) {
 			}
 		}
 	})
-
-	res.Report = cl.Report()
-	return res, nil
 }
 
 // phase2Task runs one partition's share of Phase II — core marking and

@@ -143,11 +143,25 @@ func unpack(b []byte) grid.SubIdx {
 // Decode reconstructs a dictionary from its wire form, re-defragmenting
 // with the given sub-dictionary bound (<= 0 keeps one sub-dictionary).
 func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
+	entries, p, err := DecodeEntries(buf)
+	if err != nil {
+		return nil, err
+	}
+	return Build(entries, p, maxCellsPerSub), nil
+}
+
+// DecodeEntries parses the wire form back into raw cell entries plus the
+// encoding parameters, without building a Dictionary's query structures —
+// the inverse of EncodeEntries. The multi-process driver uses it to
+// concatenate per-partition dictionary shards returned by remote workers
+// before one global EncodeEntries broadcast, exactly as the in-process
+// path concatenates the per-task entry slices.
+func DecodeEntries(buf []byte) ([]CellEntry, Params, error) {
 	if len(buf) < checksumStart+2+2+8+8+4 || string(buf[:4]) != magic {
-		return nil, fmt.Errorf("dict: bad header")
+		return nil, Params{}, fmt.Errorf("dict: bad header")
 	}
 	if got := binary.BigEndian.Uint64(buf[4:]); got != fnv64a(buf[checksumStart:]) {
-		return nil, fmt.Errorf("dict: checksum mismatch")
+		return nil, Params{}, fmt.Errorf("dict: checksum mismatch")
 	}
 	off := checksumStart
 	dim := int(binary.BigEndian.Uint16(buf[off:]))
@@ -164,10 +178,10 @@ func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
 	// position must fit the 128-bit SubIdx (Definition 4.1's d*(h-1)
 	// bits), and eps/rho must be usable.
 	if dim < 1 || dim > 128 || int(shift)*dim > 128 {
-		return nil, fmt.Errorf("dict: implausible geometry dim=%d shift=%d", dim, shift)
+		return nil, Params{}, fmt.Errorf("dict: implausible geometry dim=%d shift=%d", dim, shift)
 	}
 	if !(eps > 0) || !(rho > 0) || math.IsInf(eps, 0) || math.IsInf(rho, 0) {
-		return nil, fmt.Errorf("dict: implausible parameters eps=%g rho=%g", eps, rho)
+		return nil, Params{}, fmt.Errorf("dict: implausible parameters eps=%g rho=%g", eps, rho)
 	}
 	sb := subBytes(dim, shift)
 	// Bound allocations by the actual payload size, not the header's
@@ -184,7 +198,7 @@ func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
 	for c := 0; c < numCells; c++ {
 		need := 4*dim + 8
 		if off+need > len(buf) {
-			return nil, fmt.Errorf("dict: truncated cell %d", c)
+			return nil, Params{}, fmt.Errorf("dict: truncated cell %d", c)
 		}
 		key := grid.Key(buf[off : off+4*dim])
 		off += 4 * dim
@@ -195,7 +209,7 @@ func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
 		start := len(arena)
 		for s := 0; s < nsubs; s++ {
 			if off+sb+4 > len(buf) {
-				return nil, fmt.Errorf("dict: truncated sub-cell in cell %d", c)
+				return nil, Params{}, fmt.Errorf("dict: truncated sub-cell in cell %d", c)
 			}
 			idx := unpack(buf[off : off+sb])
 			off += sb
@@ -209,12 +223,12 @@ func Decode(buf []byte, maxCellsPerSub int) (*Dictionary, error) {
 		})
 	}
 	if off != len(buf) {
-		return nil, fmt.Errorf("dict: %d trailing bytes", len(buf)-off)
+		return nil, Params{}, fmt.Errorf("dict: %d trailing bytes", len(buf)-off)
 	}
 	p := Params{Eps: eps, Rho: rho, Dim: dim}
 	if p.shift() != shift {
 		// The shift is derived from rho; a mismatch means corruption.
-		return nil, fmt.Errorf("dict: shift %d inconsistent with rho %g", shift, rho)
+		return nil, Params{}, fmt.Errorf("dict: shift %d inconsistent with rho %g", shift, rho)
 	}
-	return Build(entries, p, maxCellsPerSub), nil
+	return entries, p, nil
 }

@@ -50,6 +50,10 @@ type StageStats struct {
 	// Faults accounts everything the fault injector did to this stage and
 	// how the scheduler responded. All zero when no Injector is installed.
 	Faults FaultStats
+	// TaskWorkers holds, per task, the index of the remote worker process
+	// that served the task's successful attempt, or -1 when the task ran
+	// in-process. Nil for stages executed without a Transport.
+	TaskWorkers []int32
 }
 
 // FaultStats records, per stage, the injected faults and the scheduler's
@@ -73,6 +77,11 @@ type FaultStats struct {
 	// ChecksumRejects counts corrupted payload chunks detected (and
 	// re-fetched) via per-chunk checksums.
 	ChecksumRejects int64
+	// WorkerKills counts worker processes killed under the attempt's feet
+	// by process-level chaos (multi-process transport only; the simulator
+	// has no processes to kill). Each kill fails the in-flight attempt,
+	// which is retried on a respawned or surviving worker.
+	WorkerKills int64
 }
 
 // IsZero reports whether no fault activity was recorded.
@@ -86,6 +95,7 @@ func (f *FaultStats) Add(o FaultStats) {
 	f.SpeculativeLaunches += o.SpeculativeLaunches
 	f.SpeculativeWins += o.SpeculativeWins
 	f.ChecksumRejects += o.ChecksumRejects
+	f.WorkerKills += o.WorkerKills
 }
 
 // Total returns the sum of all task costs.
@@ -310,8 +320,8 @@ func (r *Report) String() string {
 			out += fmt.Sprintf(" retries=%d", s.Retries)
 		}
 		if f := s.Faults; !f.IsZero() {
-			out += fmt.Sprintf(" faults[inj=%d cksum=%d spec=%d/%d backoff=%v straggle=%v]",
-				f.InjectedFailures, f.ChecksumRejects, f.SpeculativeLaunches, f.SpeculativeWins,
+			out += fmt.Sprintf(" faults[inj=%d cksum=%d kill=%d spec=%d/%d backoff=%v straggle=%v]",
+				f.InjectedFailures, f.ChecksumRejects, f.WorkerKills, f.SpeculativeLaunches, f.SpeculativeWins,
 				f.BackoffVirtual.Round(time.Microsecond), f.StragglerDelay.Round(time.Microsecond))
 		}
 		out += "\n"
@@ -365,6 +375,10 @@ type Cluster struct {
 	// fault, broadcast). Nil disables emission at the cost of one nil
 	// check per event site.
 	Sink EventSink
+	// Transport, when set, is the backend remote stages execute on (see
+	// RunStageRemote and PushStage). Nil keeps every stage in-process on
+	// the virtual-cluster simulator — the default, unchanged behavior.
+	Transport Transport
 
 	mu     sync.Mutex
 	report Report
@@ -412,12 +426,17 @@ func (f InjectorFunc) CorruptFetch(string, int, int, int) bool { return false }
 
 // faultAccum is the concurrent accumulator behind a stage's FaultStats.
 type faultAccum struct {
-	stage                                  string
-	injected, rejects, specLaunch, specWin atomic.Int64
-	backoff, straggler                     atomic.Int64 // ns
+	stage                                         string
+	injected, rejects, specLaunch, specWin, kills atomic.Int64
+	backoff, straggler                            atomic.Int64 // ns
 	// extra holds, per task, virtual ns added by Fetch (re-transfer
 	// backoff after checksum rejections) to fold into the task's cost.
 	extra []atomic.Int64
+	// workers holds, per task, 1 + the index of the remote worker that
+	// served the successful attempt (0 = not recorded / local execution).
+	// Written by the transport via ChargeWorkerTask from inside task
+	// bodies; disjoint slots, so plain stores race with nothing.
+	workers []atomic.Int32
 }
 
 // stats snapshots the accumulator into a FaultStats.
@@ -429,6 +448,7 @@ func (a *faultAccum) stats() FaultStats {
 		SpeculativeLaunches: a.specLaunch.Load(),
 		SpeculativeWins:     a.specWin.Load(),
 		ChecksumRejects:     a.rejects.Load(),
+		WorkerKills:         a.kills.Load(),
 	}
 }
 
@@ -473,6 +493,16 @@ func (c *Cluster) Reset() {
 // stage to the report. fn is called with task indices 0..n-1, possibly
 // concurrently from multiple goroutines.
 func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageStats {
+	return c.RunStageAttempts(phase, name, n, func(task, _ int) { fn(task) })
+}
+
+// RunStageAttempts is RunStage for task bodies that need the zero-based
+// attempt number — the remote-execution path, where the attempt index keys
+// the deterministic chaos schedule for wire corruption and worker kills. A
+// speculative re-execution of a straggler is passed an attempt beyond the
+// retry budget (MaxTaskRetries+1), which deterministic injectors bounded by
+// MaxFaultsPerTask treat as a healthy node and never fault.
+func (c *Cluster) RunStageAttempts(phase, name string, n int, fn func(task, attempt int)) *StageStats {
 	s := &StageStats{Name: name, Phase: phase, Costs: make([]time.Duration, n)}
 	var mem0 runtime.MemStats
 	runtime.ReadMemStats(&mem0)
@@ -488,6 +518,9 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 		par = n
 	}
 	acc := &faultAccum{stage: name, extra: make([]atomic.Int64, n)}
+	if c.Transport != nil {
+		acc.workers = make([]atomic.Int32, n)
+	}
 	c.cur.Store(acc)
 	defer c.cur.Store(nil)
 	var next, retries atomic.Int64
@@ -540,6 +573,12 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 	s.Wall = time.Since(start)
 	s.Retries = retries.Load()
 	s.Faults = acc.stats()
+	if acc.workers != nil {
+		s.TaskWorkers = make([]int32, n)
+		for i := range s.TaskWorkers {
+			s.TaskWorkers[i] = acc.workers[i].Load() - 1
+		}
+	}
 	var mem1 runtime.MemStats
 	runtime.ReadMemStats(&mem1)
 	s.AllocDelta = int64(mem1.TotalAlloc - mem0.TotalAlloc)
@@ -561,7 +600,7 @@ func (c *Cluster) RunStage(phase, name string, n int, fn func(task int)) *StageS
 // a panic on the caller's goroutine. Each failed attempt that will be
 // re-executed increments retryCount, accrues a deterministic exponential
 // backoff (virtual time), and emits an EventTaskRetry carrying it.
-func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int), retryCount *atomic.Int64, acc *faultAccum) (int, time.Duration, error) {
+func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int, int), retryCount *atomic.Int64, acc *faultAccum) (int, time.Duration, error) {
 	retries := c.MaxTaskRetries
 	if retries <= 0 {
 		retries = 2
@@ -587,7 +626,7 @@ func (c *Cluster) runWithRetry(phase, stage string, i int, fn func(int), retryCo
 		stage, i, retries+1, err)
 }
 
-func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int), acc *faultAccum) (err error) {
+func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int, int), acc *faultAccum) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("task panic: %v", r)
@@ -602,7 +641,7 @@ func (c *Cluster) attempt(phase, stage string, i, attempt int, fn func(int), acc
 		}
 		return err
 	}
-	fn(i)
+	fn(i, attempt)
 	return nil
 }
 
@@ -660,7 +699,7 @@ func hashFrac(stage string, a, b int) float64 {
 // returned duration is the task's final virtual cost. The speculative copy
 // runs on a "healthy node": the injector is not consulted for it, and a
 // panicking copy simply loses to the original.
-func (c *Cluster) speculate(phase, stage string, task int, measured, delay time.Duration, acc *faultAccum, fn func(int)) time.Duration {
+func (c *Cluster) speculate(phase, stage string, task int, measured, delay time.Duration, acc *faultAccum, fn func(int, int)) time.Duration {
 	inflated := measured + delay
 	factor := c.SpeculationFactor
 	if factor == 0 {
@@ -679,7 +718,10 @@ func (c *Cluster) speculate(phase, stage string, task int, measured, delay time.
 			Time: time.Now(), Duration: inflated})
 	}
 	t0 := time.Now()
-	ok := runRecovered(fn, task)
+	// The speculative copy runs on a healthy node: its attempt index sits
+	// beyond the retry budget, which bounded deterministic injectors never
+	// fault (see RunStageAttempts).
+	ok := runRecovered(fn, task, c.maxRetries()+1)
 	copyCost := time.Since(t0)
 	specFinish := threshold + copyCost
 	if !ok || specFinish >= inflated {
@@ -693,15 +735,23 @@ func (c *Cluster) speculate(phase, stage string, task int, measured, delay time.
 	return specFinish
 }
 
-// runRecovered executes fn(i), absorbing panics.
-func runRecovered(fn func(int), i int) (ok bool) {
+// runRecovered executes fn(i, attempt), absorbing panics.
+func runRecovered(fn func(int, int), i, attempt int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			ok = false
 		}
 	}()
-	fn(i)
+	fn(i, attempt)
 	return true
+}
+
+// maxRetries resolves the effective retry budget.
+func (c *Cluster) maxRetries() int {
+	if c.MaxTaskRetries > 0 {
+		return c.MaxTaskRetries
+	}
+	return 2
 }
 
 // Serial measures a single driver-side action as a one-task stage.

@@ -35,6 +35,13 @@ const (
 	// EventSpecWin fires when the speculative copy finishes first in
 	// virtual time; Duration carries the winning cost.
 	EventSpecWin
+	// EventWorkerKill fires when process-level chaos kills the worker
+	// process serving a task attempt (multi-process transport only);
+	// Worker carries the worker index.
+	EventWorkerKill
+	// EventWorkerSpawn fires when the transport brings a (replacement)
+	// worker process up; Worker carries the worker index and Task is -1.
+	EventWorkerSpawn
 )
 
 // String names the event kind for logs.
@@ -60,6 +67,10 @@ func (k EventKind) String() string {
 		return "speculative-launch"
 	case EventSpecWin:
 		return "speculative-win"
+	case EventWorkerKill:
+		return "worker-kill"
+	case EventWorkerSpawn:
+		return "worker-spawn"
 	}
 	return "unknown"
 }
@@ -77,6 +88,9 @@ type Event struct {
 	Attempt int
 	// Chunk is the payload chunk index (checksum-reject events only).
 	Chunk int
+	// Worker is the remote worker-process index (worker-kill and
+	// worker-spawn events only; zero otherwise).
+	Worker int
 	// Time is when the event occurred.
 	Time time.Time
 	// Duration is the measured cost (task-end) or wall time (stage-end).

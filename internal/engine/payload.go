@@ -72,6 +72,14 @@ func checksum64(b []byte) uint64 {
 	return h
 }
 
+// NewPayload wraps already-produced bytes as a checksummed payload without
+// recording a broadcast stage — the transport push path, where the stage
+// accounting happens in PushStage instead. stage keys the deterministic
+// chaos schedule for the transfer.
+func NewPayload(phase, stage string, data []byte) *Payload {
+	return &Payload{stage: stage, phase: phase, data: data}
+}
+
 // BroadcastChecked is Broadcast plus per-chunk checksums: the returned
 // Payload is what worker tasks Fetch, giving the fault injector a shuffle
 // surface to corrupt and the engine the means to detect it.
@@ -146,3 +154,27 @@ func (a *faultAccum) stageName(fallback string) string {
 	}
 	return a.stage
 }
+
+// PayloadChunkSize is the transfer granularity of checksummed payloads,
+// exported for transports that frame pushes chunk by chunk.
+const PayloadChunkSize = payloadChunkSize
+
+// NumChunks returns the payload's chunk count.
+func (p *Payload) NumChunks() int { return numChunks(len(p.data)) }
+
+// Chunk returns the bytes of chunk i (aliasing the pristine driver copy).
+func (p *Payload) Chunk(i int) []byte {
+	lo, hi := chunkBounds(i, len(p.data))
+	return p.data[lo:hi]
+}
+
+// ChunkSum returns the FNV-1a checksum of chunk i.
+func (p *Payload) ChunkSum(i int) uint64 { return p.checksums()[i] }
+
+// Stage returns the stage name the payload was broadcast under (the key
+// deterministic injectors corrupt against).
+func (p *Payload) Stage() string { return p.stage }
+
+// Checksum64 exposes the engine's FNV-1a payload checksum so transports
+// and workers verify chunks with the exact function that sealed them.
+func Checksum64(b []byte) uint64 { return checksum64(b) }

@@ -91,7 +91,7 @@ func (c *Cluster) StreamStage(phase, name string, pull func(task int) (func(), e
 				if c.Sink != nil {
 					c.emit(Event{Kind: EventTaskStart, Stage: name, Phase: phase, Task: i, Time: t0})
 				}
-				body := func(int) { fn() }
+				body := func(int, int) { fn() }
 				t1 := time.Now()
 				attempt, backoff, err := c.runWithRetry(phase, name, i, body, &retries, acc)
 				if err != nil {

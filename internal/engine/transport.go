@@ -1,0 +1,263 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Transport abstracts where remote stages execute. The engine itself stays
+// the scheduler — retry, backoff, speculation, and the fault ledger all
+// live in RunStageAttempts — while the transport only moves bytes: blobs
+// out to every worker, task invocations out and results back. Two backends
+// exist: the implicit in-process simulator (a nil Transport, the default,
+// where stage closures run on the goroutine pool) and the multi-process
+// backend of internal/transport, where worker subprocesses serve tasks
+// over local HTTP sockets.
+//
+// Implementations must be safe for concurrent use (tasks of one stage
+// invoke in parallel) and must ledger wire-level faults through the
+// cluster they are attached to (ChargeChecksumReject, ChargeWorkerKill,
+// ChargeWorkerTask) so chaos reconciliation sees them.
+type Transport interface {
+	// Workers reports the number of worker processes behind the transport.
+	Workers() int
+	// PushBlob ships the named blob, with p's per-chunk checksums, to
+	// worker w. Called from inside a push stage's task body; attempt keys
+	// the deterministic chaos schedule. A checksum rejection by the worker
+	// is ledgered and returned as an error, which the engine retries.
+	PushBlob(stage string, w, attempt int, name string, p *Payload) error
+	// Invoke executes the named registered handler remotely for one task
+	// attempt and returns the verified response body. Transfer-level
+	// corruption (either direction) is ledgered and surfaces as an error
+	// for the engine to retry.
+	Invoke(stage, handler string, task, attempt int, input []byte) ([]byte, error)
+	// Close tears the workers down. The transport is unusable afterwards.
+	Close() error
+}
+
+// TaskHandler is one named remote task body: it runs on a worker process
+// with the worker's blob state and the task's input bytes, and returns the
+// output bytes shipped back to the driver. Handlers must be deterministic
+// pure functions of (worker state, task, input) — the differential
+// batteries compare their output byte for byte against the in-process
+// closures — and must be safe for concurrent use.
+type TaskHandler func(ws *WorkerState, task int, input []byte) ([]byte, error)
+
+var (
+	handlersMu sync.RWMutex
+	handlers   = make(map[string]TaskHandler)
+)
+
+// RegisterHandler registers a named task handler. Registration happens in
+// package init (internal/core registers the RP-DBSCAN stage handlers), so
+// any binary that imports the algorithm can serve as a worker. Duplicate
+// names panic: silently replacing a handler would make driver and worker
+// disagree about what a name computes.
+func RegisterHandler(name string, h TaskHandler) {
+	handlersMu.Lock()
+	defer handlersMu.Unlock()
+	if _, dup := handlers[name]; dup {
+		panic(fmt.Sprintf("engine: duplicate task handler %q", name))
+	}
+	handlers[name] = h
+}
+
+// Handler looks a registered task handler up by name.
+func Handler(name string) (TaskHandler, bool) {
+	handlersMu.RLock()
+	defer handlersMu.RUnlock()
+	h, ok := handlers[name]
+	return h, ok
+}
+
+// HandlerNames lists the registered handlers, sorted (for diagnostics).
+func HandlerNames() []string {
+	handlersMu.RLock()
+	defer handlersMu.RUnlock()
+	names := make([]string, 0, len(handlers))
+	for n := range handlers {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WorkerState is the per-worker-process state task handlers execute
+// against: the blobs the driver has pushed (input points, the encoded cell
+// dictionary) plus a memoized cache of their decoded forms, so a worker
+// decodes each broadcast once, the way a Spark executor loads a broadcast
+// variable once per JVM. Safe for concurrent use by parallel task
+// invocations.
+type WorkerState struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+	cache map[string]any
+}
+
+// NewWorkerState returns an empty worker state.
+func NewWorkerState() *WorkerState {
+	return &WorkerState{blobs: make(map[string][]byte), cache: make(map[string]any)}
+}
+
+// SetBlob stores (or replaces) a named blob and invalidates its decoded
+// cache entry.
+func (ws *WorkerState) SetBlob(name string, data []byte) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	ws.blobs[name] = data
+	delete(ws.cache, name)
+}
+
+// Blob returns the named blob's bytes.
+func (ws *WorkerState) Blob(name string) ([]byte, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	b, ok := ws.blobs[name]
+	return b, ok
+}
+
+// BlobNames lists the stored blobs, sorted (for diagnostics).
+func (ws *WorkerState) BlobNames() []string {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	names := make([]string, 0, len(ws.blobs))
+	for n := range ws.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Cached returns the decoded form of the named blob, building it at most
+// once per blob version via build. The build runs under the state lock:
+// decode cost is charged to exactly one task (the first to need it), as
+// with executor-side broadcast loading.
+func (ws *WorkerState) Cached(name string, build func(data []byte) (any, error)) (any, error) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if v, ok := ws.cache[name]; ok {
+		return v, nil
+	}
+	data, ok := ws.blobs[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: worker has no blob %q (have %v)", name, ws.blobNamesLocked())
+	}
+	v, err := build(data)
+	if err != nil {
+		return nil, err
+	}
+	ws.cache[name] = v
+	return v, nil
+}
+
+func (ws *WorkerState) blobNamesLocked() []string {
+	names := make([]string, 0, len(ws.blobs))
+	for n := range ws.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RunStageRemote executes one remote stage of n tasks through the
+// cluster's Transport: task t ships inputs[t] to the named handler and the
+// verified outputs come back in order. The engine's whole failure model
+// applies unchanged — injected failures, exponential virtual backoff,
+// speculation, and the per-stage fault ledger — because the remote call is
+// just the task body. A transport-level failure (dead worker, rejected
+// checksum, malformed response) panics the attempt, which runWithRetry
+// turns into a ledgered retry.
+func (c *Cluster) RunStageRemote(phase, name, handler string, inputs [][]byte) ([][]byte, *StageStats) {
+	if c.Transport == nil {
+		panic("engine: RunStageRemote without a Transport")
+	}
+	outs := make([][]byte, len(inputs))
+	st := c.RunStageAttempts(phase, name, len(inputs), func(task, attempt int) {
+		out, err := c.Transport.Invoke(name, handler, task, attempt, inputs[task])
+		if err != nil {
+			panic(fmt.Errorf("transport: stage %q task %d attempt %d: %w", name, task, attempt, err))
+		}
+		outs[task] = out
+	})
+	return outs, st
+}
+
+// PushStage broadcasts a checksummed payload to every worker behind the
+// cluster's Transport as one engine stage, one task per worker, so
+// per-worker transfer cost, retry backoff, and checksum rejections land in
+// the report like any other stage's.
+func (c *Cluster) PushStage(phase, name, blobName string, p *Payload) *StageStats {
+	if c.Transport == nil {
+		panic("engine: PushStage without a Transport")
+	}
+	st := c.RunStageAttempts(phase, name, c.Transport.Workers(), func(w, attempt int) {
+		if err := c.Transport.PushBlob(name, w, attempt, blobName, p); err != nil {
+			panic(fmt.Errorf("transport: push %q to worker %d attempt %d: %w", blobName, w, attempt, err))
+		}
+	})
+	st.Bytes = int64(p.Len()) * int64(c.Transport.Workers())
+	return st
+}
+
+// ChargeChecksumReject ledgers one corrupted-chunk detection on the
+// running stage: the reject count, the virtual re-transfer backoff charged
+// to the task's cost, and the sink event. It is the transport-side
+// equivalent of the rejection accounting inside Fetch; chunk and bytes
+// only annotate the event.
+func (c *Cluster) ChargeChecksumReject(stage string, task, attempt, chunk int, bytes int64) {
+	acc := c.cur.Load()
+	if acc != nil {
+		acc.rejects.Add(1)
+		wait := c.backoffFor(stage, task, attempt)
+		acc.backoff.Add(int64(wait))
+		if task >= 0 && task < len(acc.extra) {
+			acc.extra[task].Add(int64(wait))
+		}
+	}
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventChecksumReject, Stage: stage, Task: task,
+			Attempt: attempt, Chunk: chunk, Time: time.Now(), Bytes: bytes})
+	}
+}
+
+// ChargeWorkerKill ledgers one process-level chaos kill observed while
+// serving the running stage's task.
+func (c *Cluster) ChargeWorkerKill(stage string, task, worker int) {
+	if acc := c.cur.Load(); acc != nil {
+		acc.kills.Add(1)
+	}
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventWorkerKill, Stage: stage, Task: task, Worker: worker,
+			Time: time.Now()})
+	}
+}
+
+// ChargeWorkerRespawn emits the sink event for a replacement worker
+// process coming up after a kill.
+func (c *Cluster) ChargeWorkerRespawn(stage string, worker int) {
+	if c.Sink != nil {
+		c.emit(Event{Kind: EventWorkerSpawn, Stage: stage, Task: -1, Worker: worker,
+			Time: time.Now()})
+	}
+}
+
+// ChargeWorkerTask records which remote worker served the running stage's
+// task (reported in StageStats.TaskWorkers). Later calls overwrite — the
+// worker that served the successful attempt wins.
+func (c *Cluster) ChargeWorkerTask(task, worker int) {
+	acc := c.cur.Load()
+	if acc == nil || acc.workers == nil || task < 0 || task >= len(acc.workers) {
+		return
+	}
+	acc.workers[task].Store(int32(worker) + 1)
+}
+
+// WorkerKiller is the optional process-level extension of Injector: a
+// deterministic decision to SIGKILL the worker about to serve an attempt.
+// Implementations must bound kills per (stage, task) site below the retry
+// budget, exactly as Injector requires for failures.
+type WorkerKiller interface {
+	KillWorker(stage string, task, attempt int) bool
+}

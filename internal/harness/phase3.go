@@ -32,9 +32,9 @@ type Phase3Row struct {
 	Mode string `json:"mode"`
 	// Workers is the merge concurrency (1 for the tournament, which
 	// serialises every match through one UnionFind).
-	Workers   int   `json:"workers"`
-	Cells     int   `json:"cells"`
-	Subgraphs int   `json:"subgraphs"`
+	Workers   int `json:"workers"`
+	Cells     int `json:"cells"`
+	Subgraphs int `json:"subgraphs"`
 	// Edges is the pre-merge edge total across all subgraphs.
 	Edges int64 `json:"edges"`
 	// Millis is the fastest end-to-end merge time (merge + component and
@@ -107,8 +107,8 @@ func Phase3(s Scale) ([]Phase3Row, error) {
 	row := func(mode string, workers int, el time.Duration, identical bool) Phase3Row {
 		r := Phase3Row{
 			Mode: mode, Workers: workers, Cells: numCells, Subgraphs: k,
-			Edges:  pre,
-			Millis: float64(el.Microseconds()) / 1e3,
+			Edges:     pre,
+			Millis:    float64(el.Microseconds()) / 1e3,
 			Identical: identical,
 		}
 		if el > 0 {

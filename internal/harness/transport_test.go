@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"fmt"
+	"testing"
+
+	"rpdbscan/internal/transport"
+)
+
+// TestTransportReconciliation is the makespan-reconciliation harness: every
+// multi-process run in a reduced sweep must (a) reproduce the in-process
+// clustering byte for byte, (b) reconcile its fault ledger exactly against
+// the injector's tally, and (c) keep measured wall time within the stated
+// divergence bound of the simulated makespan — measured within
+// [simulated/25, 25x simulated + 250ms]. The in-process spawner stands in
+// for real subprocesses so the worker code runs under -race and -cover;
+// the subprocess path is pinned separately in internal/transport.
+func TestTransportReconciliation(t *testing.T) {
+	s := QuickScale()
+	s.N = 1500
+	cfg := TransportConfig{
+		Spawn:        transport.InProcess(),
+		WorkerCounts: []int{1, 3},
+		Seeds:        []int64{1, 2},
+	}
+	rows, err := Transport(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfg.Seeds) * len(cfg.WorkerCounts) * 2; len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+	sawFaults := false
+	for _, r := range rows {
+		id := func() string {
+			return fmt.Sprintf("workers=%d seed=%d chaos=%v", r.Workers, r.Seed, r.ChaosOn)
+		}
+		if !r.Identical {
+			t.Errorf("%s: proc clustering diverged from in-process run", id())
+		}
+		if !r.Accounted {
+			t.Errorf("%s: fault ledger (fail=%d reject=%d kill=%d) does not reconcile with injector tally",
+				id(), r.InjectedFailures, r.ChecksumRejects, r.WorkerKills)
+		}
+		if !r.WithinBound {
+			t.Errorf("%s: measured %.3fms vs simulated %.3fms breaches the divergence bound",
+				id(), r.MeasuredMillis, r.SimulatedMillis)
+		}
+		if len(r.Stages) == 0 {
+			t.Errorf("%s: no per-stage breakdown recorded", id())
+		}
+		if !r.ChaosOn && (r.InjectedFailures != 0 || r.ChecksumRejects != 0 || r.WorkerKills != 0) {
+			t.Errorf("%s: chaos-free run ledgered faults", id())
+		}
+		if r.ChaosOn && (r.InjectedFailures > 0 || r.ChecksumRejects > 0 || r.WorkerKills > 0) {
+			sawFaults = true
+		}
+	}
+	if !sawFaults {
+		t.Fatal("no chaos run injected any fault: process-level chaos is not wired up")
+	}
+}

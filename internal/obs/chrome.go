@@ -72,6 +72,11 @@ func WriteChromeTrace(w io.Writer, r *engine.Report) error {
 			if s.Bytes > 0 {
 				args["bytes"] = s.Bytes
 			}
+			// On the multi-process backend, show which worker process served
+			// the task (the lane itself stays the virtual-scheduler worker).
+			if task < len(s.TaskWorkers) && s.TaskWorkers[task] >= 0 {
+				args["proc_worker"] = s.TaskWorkers[task]
+			}
 			trace.TraceEvents = append(trace.TraceEvents,
 				chromeEvent{Name: s.Name, Cat: s.Phase, Ph: "B", Ts: micros(start), Pid: 0, Tid: wk, Args: args},
 				chromeEvent{Name: s.Name, Cat: s.Phase, Ph: "E", Ts: micros(start + cost), Pid: 0, Tid: wk},
@@ -97,6 +102,9 @@ func WriteChromeTrace(w io.Writer, r *engine.Report) error {
 			}
 			if f.StragglerDelay > 0 {
 				args["straggler_delay_ns"] = f.StragglerDelay.Nanoseconds()
+			}
+			if f.WorkerKills > 0 {
+				args["worker_kills"] = f.WorkerKills
 			}
 			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
 				Name: "chaos:" + s.Name, Cat: "chaos", Ph: "I", S: "g",

@@ -58,6 +58,12 @@ var Counters = struct {
 	// StreamSpillReloads counts spill-file scans after the initial write
 	// (dictionary build, Phase II rematerialisation, core-point gather).
 	StreamSpillReloads *expvar.Int
+	// WorkerKills counts chaos-injected worker-process kills observed by
+	// the multi-process transport.
+	WorkerKills *expvar.Int
+	// WorkerSpawns counts replacement worker processes brought up after a
+	// kill.
+	WorkerSpawns *expvar.Int
 }{
 	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
 	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
@@ -79,6 +85,8 @@ var Counters = struct {
 	StreamChunks:        expvar.NewInt("rpdbscan.stream_chunks"),
 	StreamSpillBytes:    expvar.NewInt("rpdbscan.stream_spill_bytes"),
 	StreamSpillReloads:  expvar.NewInt("rpdbscan.stream_spill_reloads"),
+	WorkerKills:         expvar.NewInt("rpdbscan.worker_kills"),
+	WorkerSpawns:        expvar.NewInt("rpdbscan.worker_spawns"),
 }
 
 // counterHelp is the per-counter description the Prometheus exposition
@@ -106,6 +114,8 @@ var counterHelp = map[string]string{
 	"rpdbscan.stream_chunks":        "Input chunks ingested by the out-of-core pipeline.",
 	"rpdbscan.stream_spill_bytes":   "Run-record payload bytes written to partition spill files.",
 	"rpdbscan.stream_spill_reloads": "Spill-file scans after the initial write.",
+	"rpdbscan.worker_kills":         "Chaos-injected worker-process kills observed by the transport.",
+	"rpdbscan.worker_spawns":        "Replacement worker processes brought up after a kill.",
 }
 
 // CounterHelp returns the description of the named counter for exposition

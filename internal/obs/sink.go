@@ -48,6 +48,10 @@ func (s *Sink) Emit(e engine.Event) {
 		Counters.SpeculativeLaunches.Add(1)
 	case engine.EventSpecWin:
 		Counters.SpeculativeWins.Add(1)
+	case engine.EventWorkerKill:
+		Counters.WorkerKills.Add(1)
+	case engine.EventWorkerSpawn:
+		Counters.WorkerSpawns.Add(1)
 	case engine.EventTaskEnd:
 		Histograms.TaskCostNs.Record(int64(e.Duration))
 	}
@@ -77,6 +81,10 @@ func (s *Sink) Emit(e engine.Event) {
 	case engine.EventSpecWin:
 		s.Logger.Debug("speculative win", "stage", e.Stage, "phase", e.Phase,
 			"task", e.Task, "cost", e.Duration)
+	case engine.EventWorkerKill:
+		s.Logger.Warn("worker killed", "stage", e.Stage, "task", e.Task, "worker", e.Worker)
+	case engine.EventWorkerSpawn:
+		s.Logger.Info("worker respawned", "stage", e.Stage, "worker", e.Worker)
 	case engine.EventTaskStart:
 		// Guard before Log: the arguments are boxed at the call site, so an
 		// unguarded call allocates per task even when the level is off.

@@ -32,12 +32,12 @@ type Source interface {
 // chunk. The dimensionality is inferred from the first data line at
 // construction; blank lines and '#' comments are skipped.
 type CSVChunkReader struct {
-	sc     *bufio.Scanner
-	dim    int
-	row    []float64 // reusable parse buffer for one record
-	havePending bool // the probed first record is waiting in row
-	lineNo int
-	err    error // sticky terminal state (io.EOF at the clean end)
+	sc          *bufio.Scanner
+	dim         int
+	row         []float64 // reusable parse buffer for one record
+	havePending bool      // the probed first record is waiting in row
+	lineNo      int
+	err         error // sticky terminal state (io.EOF at the clean end)
 }
 
 // NewCSVChunkReader probes r for its first data record (which fixes the

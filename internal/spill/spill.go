@@ -236,6 +236,73 @@ func parseBody(body []byte) (*Run, error) {
 	return r, nil
 }
 
+// DecodeRun decodes one framed run record from the front of buf and
+// returns it with the number of bytes consumed. It is the in-memory
+// counterpart of readRun, used by the multi-process transport where RPS1
+// frames travel over sockets instead of spill files; verification is
+// identical (magic, checksum gate before parsing, bounded lengths).
+func DecodeRun(buf []byte) (*Run, int, error) {
+	if len(buf) < headerSize {
+		return nil, 0, fmt.Errorf("spill: truncated run header (%d bytes)", len(buf))
+	}
+	if string(buf[:4]) != runMagic {
+		return nil, 0, fmt.Errorf("spill: bad magic %q", buf[:4])
+	}
+	want := binary.BigEndian.Uint64(buf[4:12])
+	bodyLen := int(binary.BigEndian.Uint32(buf[12:16]))
+	if bodyLen < 10 || bodyLen > maxBodyLen {
+		return nil, 0, fmt.Errorf("spill: implausible body length %d", bodyLen)
+	}
+	if len(buf) < headerSize+bodyLen {
+		return nil, 0, fmt.Errorf("spill: truncated run body (%d of %d bytes)",
+			len(buf)-headerSize, bodyLen)
+	}
+	if fnv64a(buf[12:headerSize+bodyLen]) != want {
+		return nil, 0, fmt.Errorf("spill: run checksum mismatch")
+	}
+	r, err := parseBody(buf[headerSize : headerSize+bodyLen])
+	if err != nil {
+		return nil, 0, err
+	}
+	return r, headerSize + bodyLen, nil
+}
+
+// FrameSize returns the total byte length of the framed run record at the
+// front of buf (header included) without verifying or parsing it — the
+// cheap split used to carve a concatenation of frames into columns.
+func FrameSize(buf []byte) (int, error) {
+	if len(buf) < headerSize {
+		return 0, fmt.Errorf("spill: truncated run header (%d bytes)", len(buf))
+	}
+	if string(buf[:4]) != runMagic {
+		return 0, fmt.Errorf("spill: bad magic %q", buf[:4])
+	}
+	bodyLen := int(binary.BigEndian.Uint32(buf[12:16]))
+	if bodyLen < 10 || bodyLen > maxBodyLen {
+		return 0, fmt.Errorf("spill: implausible body length %d", bodyLen)
+	}
+	if len(buf) < headerSize+bodyLen {
+		return 0, fmt.Errorf("spill: truncated run body (%d of %d bytes)",
+			len(buf)-headerSize, bodyLen)
+	}
+	return headerSize + bodyLen, nil
+}
+
+// DecodeRuns decodes a concatenation of framed run records, in order.
+// Trailing garbage (including a truncated final frame) is an error.
+func DecodeRuns(buf []byte) ([]*Run, error) {
+	var runs []*Run
+	for len(buf) > 0 {
+		r, n, err := DecodeRun(buf)
+		if err != nil {
+			return nil, fmt.Errorf("spill: frame %d: %w", len(runs), err)
+		}
+		runs = append(runs, r)
+		buf = buf[n:]
+	}
+	return runs, nil
+}
+
 // Writer appends run records to one partition's spill file. It is safe for
 // concurrent use by the streaming stage's tasks, and appends are
 // idempotent per chunk: the engine re-executes and speculatively

@@ -1,0 +1,37 @@
+package transport
+
+import (
+	"net"
+	"net/http"
+)
+
+// InProcess returns a spawner whose workers are real HTTP servers on
+// loopback sockets inside the current process — the same Server, routes,
+// and checksum verification as a subprocess worker, minus the fork. Kill
+// abruptly closes the server (in-flight requests see broken connections,
+// like a SIGKILL would produce), so the respawn and re-sync paths are
+// exercised for real. Tests use it so `go test -race -cover` observes the
+// worker-side code, which a forked subprocess would hide.
+func InProcess() SpawnFunc {
+	return func(idx int) (Endpoint, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := &http.Server{Handler: NewServer()}
+		go srv.Serve(ln)
+		return &inprocWorker{srv: srv, url: "http://" + ln.Addr().String()}, nil
+	}
+}
+
+type inprocWorker struct {
+	srv *http.Server
+	url string
+}
+
+func (w *inprocWorker) URL() string { return w.url }
+
+// Kill drops the listener and every live connection at once.
+func (w *inprocWorker) Kill() error { return w.srv.Close() }
+
+func (w *inprocWorker) Close() error { return w.srv.Close() }
