@@ -36,6 +36,8 @@ fuzz:
 	$(GO) test -fuzz FuzzChunkReader -fuzztime 30s ./internal/pointio/
 	$(GO) test -fuzz FuzzModelDecode -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzPredictRequest -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzIngestRequest -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzLoadNewest -fuzztime 30s ./internal/serve/
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

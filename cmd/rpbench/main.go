@@ -40,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"rpdbscan"
@@ -69,6 +70,7 @@ func main() {
 	flag.StringVar(&phase3Out, "phase3out", "BENCH_phase3.json", "where the phase3 experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&chaosOut, "chaosout", "BENCH_chaos.json", "where the chaos experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&serveOut, "serveout", "BENCH_serve.json", "where the serve experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&refitOut, "refitout", "BENCH_refit.json", "where the refit experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&streamOut, "streamout", "BENCH_stream.json", "where the stream experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&transportOut, "transportout", "BENCH_transport.json", "where the transport experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
@@ -118,10 +120,11 @@ func main() {
 		"phase3":    phase3,
 		"chaos":     chaosExp,
 		"serve":     serveExp,
+		"refit":     refitExp,
 		"stream":    streamExp,
 		"transport": transportExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "stream", "transport"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "refit", "stream", "transport"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -688,6 +691,181 @@ func serveExp(s harness.Scale) error {
 		rep.ElapsedMS, rep.Throughput, rep.P50MicroS, rep.P99MicroS, rep.P999MicroS, rep.MaxMicroS))
 	return writeCSV("serve.csv",
 		"requests,clients,ok,rejected,errors,elapsed_ms,throughput_rps,p50_us,p99_us,p999_us,max_us", lines)
+}
+
+// refitOut is where the refit experiment writes its JSON report (empty =
+// skip).
+var refitOut string
+
+// durQuantile reads quantile q from a sorted slice of durations.
+func durQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// refitExp: the online loop end to end — ingest a moons stream through a
+// live server, refit at watermarks, hot-swap generations — measuring swap
+// latency (persist + validate + pointer flip), refit throughput, and the
+// serving tail during refits against the same load replayed when the
+// refitter is idle.
+func refitExp(s harness.Scale) error {
+	header("Refit: online ingest, micro-batch refit, atomic hot swap")
+	pts := datagen.Moons(s.N, 0.05, s.Seed)
+	versions := 8
+	watermark := int64(s.N / versions)
+	if watermark < 64 {
+		watermark = 64
+		versions = s.N / int(watermark)
+	}
+	modelDir, err := os.MkdirTemp("", "rpbench-refit-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(modelDir)
+
+	var mu sync.Mutex
+	var events []serve.SwapEvent
+	r, err := serve.NewRefitter(serve.RefitConfig{
+		Watermark: watermark,
+		ModelDir:  modelDir,
+		Eps:       0.1, MinPts: 10, Rho: s.Rho,
+		Workers: s.Workers, Seed: s.Seed,
+		OnSwap: func(ev serve.SwapEvent) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return err
+	}
+	h := serve.NewServer(nil, serve.ServerConfig{Refitter: r}).Handler()
+
+	// First watermark up front so the load stream always has a model.
+	batch := int(watermark) / 10
+	if batch < 1 {
+		batch = 1
+	}
+	ingest := func(from, to int) error {
+		for i := from; i < to; i += batch {
+			end := i + batch
+			if end > to {
+				end = to
+			}
+			if _, _, err := r.Ingest(pts.Coords[i*pts.Dim:end*pts.Dim], pts.Dim); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	total := versions * int(watermark)
+	if err := ingest(0, int(watermark)); err != nil {
+		return err
+	}
+	for r.Current() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	boot := r.Current().Model
+
+	// Serve under refit: one goroutine streams the remaining points (the
+	// refit loop chews through the crossed watermarks) while the seeded
+	// load replays against the live handler.
+	loadCfg := loadgen.Config{
+		Seed: s.Seed, Clients: 16, RequestsPerClient: 400,
+		BatchEvery: 5, BatchSize: 16, InfoEvery: 37,
+	}
+	ingestErr := make(chan error, 1)
+	go func() { ingestErr <- ingest(int(watermark), total) }()
+	during, err := loadgen.Run(h, boot, loadCfg)
+	if err != nil {
+		return err
+	}
+	if err := <-ingestErr; err != nil {
+		return err
+	}
+	if err := r.Close(); err != nil { // drains the remaining watermarks
+		return err
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != versions {
+		return fmt.Errorf("refit: %d swap events, want %d", len(events), versions)
+	}
+	var swaps, fits []time.Duration
+	var refitPoints int64
+	var fitTotal time.Duration
+	for _, ev := range events {
+		if ev.Err != nil {
+			return fmt.Errorf("refit: version %d failed: %w", ev.Version, ev.Err)
+		}
+		swaps = append(swaps, ev.SwapDuration)
+		fits = append(fits, ev.FitDuration)
+		refitPoints += ev.Watermark
+		fitTotal += ev.FitDuration
+	}
+	sort.Slice(swaps, func(i, j int) bool { return swaps[i] < swaps[j] })
+	sort.Slice(fits, func(i, j int) bool { return fits[i] < fits[j] })
+	refitThroughput := float64(refitPoints) / fitTotal.Seconds()
+
+	// The same load against the final generation with the refitter closed:
+	// the idle baseline the during-refit tail is compared to.
+	idle, err := loadgen.Run(h, boot, loadCfg)
+	if err != nil {
+		return err
+	}
+	if during.Errors > 0 || idle.Errors > 0 {
+		return fmt.Errorf("refit: %d during-refit and %d idle serve errors (want 0/0)",
+			during.Errors, idle.Errors)
+	}
+
+	swapP50 := float64(durQuantile(swaps, 0.50).Microseconds())
+	swapP99 := float64(durQuantile(swaps, 0.99).Microseconds())
+	fmt.Printf("  %d versions over %d points (watermark %d), final model %d points\n",
+		versions, total, watermark, int(events[len(events)-1].Watermark))
+	fmt.Printf("  swap latency: p50=%.0fus p99=%.0fus   fit: p50=%.1fms p99=%.1fms   refit throughput %.0f pts/s\n",
+		swapP50, swapP99,
+		float64(durQuantile(fits, 0.50).Microseconds())/1e3,
+		float64(durQuantile(fits, 0.99).Microseconds())/1e3,
+		refitThroughput)
+	fmt.Printf("  serve p99: %.0fus during refit vs %.0fus idle  (p50 %.0fus vs %.0fus, %.0f vs %.0f req/s)\n",
+		during.P99MicroS, idle.P99MicroS, during.P50MicroS, idle.P50MicroS,
+		during.Throughput, idle.Throughput)
+
+	if refitOut != "" {
+		out := struct {
+			Watermark       int64           `json:"watermark"`
+			Versions        int             `json:"versions"`
+			Points          int             `json:"points"`
+			SwapP50MicroS   float64         `json:"swap_p50_us"`
+			SwapP99MicroS   float64         `json:"swap_p99_us"`
+			FitP50MS        float64         `json:"fit_p50_ms"`
+			FitP99MS        float64         `json:"fit_p99_ms"`
+			RefitPointsPerS float64         `json:"refit_points_per_sec"`
+			ServeDuring     *loadgen.Report `json:"serve_during_refit"`
+			ServeIdle       *loadgen.Report `json:"serve_idle"`
+		}{
+			watermark, versions, total, swapP50, swapP99,
+			float64(durQuantile(fits, 0.50).Microseconds()) / 1e3,
+			float64(durQuantile(fits, 0.99).Microseconds()) / 1e3,
+			refitThroughput, during, idle,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(refitOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", refitOut)
+	}
+	lines := []string{fmt.Sprintf("%d,%d,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f",
+		watermark, versions, total, swapP50, swapP99, refitThroughput,
+		during.P50MicroS, during.P99MicroS, idle.P50MicroS, idle.P99MicroS)}
+	return writeCSV("refit.csv",
+		"watermark,versions,points,swap_p50_us,swap_p99_us,refit_points_per_sec,during_p50_us,during_p99_us,idle_p50_us,idle_p99_us", lines)
 }
 
 // streamOut is where the stream experiment writes its JSON report (empty =

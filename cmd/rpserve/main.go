@@ -1,42 +1,63 @@
 // Command rpserve serves predictions from a fitted RP-DBSCAN model
-// artifact (written by `rpdbscan -save-model`) over HTTP.
+// artifact (written by `rpdbscan -save-model`) over HTTP, and — with
+// -ingest — runs the full online loop: accept points, refit at exact
+// point-count watermarks, and hot-swap the served model atomically.
 //
 // Usage:
 //
-//	rpserve -model model.rpm [flags]
+//	rpserve -model model.rpm [flags]                        # frozen model
+//	rpserve -ingest -eps E -minpts M [-model-dir D] [flags] # online
 //
 // Endpoints:
 //
 //	GET  /healthz        liveness probe
 //	GET  /metrics        Prometheus text exposition (counters + histograms)
-//	GET  /model/info     model parameters and artifact identity
-//	POST /predict        {"point":[...]} -> {"label":..,"noise":..,...}
+//	GET  /model/info     model parameters, artifact identity, and served
+//	                     version / watermark / parent hash
+//	POST /predict        {"point":[...]} -> {"label":..,"model_version":..}
 //	POST /predict/batch  {"points":[[...],...]} -> {"predictions":[...],...}
+//	POST /ingest         {"point":[...]} or {"points":[[...],...]} -> append
+//	                     to the online buffer (-ingest mode only)
 //
 // /metrics bypasses the admission queue, so scrapes keep answering while
 // prediction traffic is being shed.
 //
-// The server shares one immutable model across all connections, admits at
-// most -max-inflight requests at once (sheds the rest with 429), caps
-// request bodies at -max-body bytes, and drains gracefully on SIGTERM /
-// SIGINT: the listener closes, in-flight requests complete, then the
-// process exits.
+// Online mode: every -refit-watermark ingested points, the server refits
+// the entire ingested prefix with the out-of-core pipeline and atomically
+// swaps the served model. Versioned, checksummed artifacts land in
+// -model-dir as model-<version>-<hash>.rpm1; on boot the newest valid one
+// serves immediately (corrupt files are skipped). A -buffer-dir makes the
+// ingested stream itself durable across restarts. Cold start (no artifact,
+// no -model) answers 503 on prediction endpoints until the first watermark.
+//
+// The server shares one immutable model snapshot across all connections,
+// admits at most -max-inflight requests at once (sheds the rest with 429),
+// caps request bodies at -max-body bytes, and drains gracefully on
+// SIGTERM / SIGINT: the listener closes, in-flight requests complete,
+// pending refits finish, then the process exits.
 //
 // Flags:
 //
-//	-model        model artifact path (required)
-//	-addr         listen address (default :8399)
-//	-timeout      per-request read/write timeout (default 10s)
-//	-max-body     request body cap in bytes (default 1 MiB)
-//	-max-inflight bounded admission queue depth (default 256)
-//	-max-batch    points per /predict/batch cap (default 4096)
-//	-drain        graceful shutdown budget (default 10s)
-//	-log-level    debug|info|warn|error structured log level (stderr)
-//	-log-format   text|json structured log encoding
-//	-debug-addr   serve /metrics, /healthz, /debug/pprof, /debug/vars on
-//	              this address (separate from the serving mux)
-//	-chaos-fail   probability of an injected handler fault (chaos testing)
-//	-chaos-seed   seed for the injected fault schedule
+//	-model           model artifact path (required unless -ingest)
+//	-addr            listen address (default :8399)
+//	-timeout         per-request read/write timeout (default 10s)
+//	-max-body        request body cap in bytes (default 1 MiB)
+//	-max-inflight    bounded admission queue depth (default 256)
+//	-max-batch       points per /predict/batch or /ingest cap (default 4096)
+//	-drain           graceful shutdown budget (default 10s)
+//	-ingest          enable /ingest + micro-batch refit + hot swap
+//	-refit-watermark refit cadence in ingested points (default 4096)
+//	-model-dir       versioned artifact directory (boot from newest valid)
+//	-buffer-dir      durable ingest-buffer directory
+//	-eps -minpts     fit parameters (required with -ingest)
+//	-rho -partitions -seed -chunk-size -workers
+//	                 further fit parameters, as in rpdbscan
+//	-log-level       debug|info|warn|error structured log level (stderr)
+//	-log-format      text|json structured log encoding
+//	-debug-addr      serve /metrics, /healthz, /debug/pprof, /debug/vars on
+//	                 this address (separate from the serving mux)
+//	-chaos-fail      probability of an injected handler fault (chaos testing)
+//	-chaos-seed      seed for the injected fault schedule
 package main
 
 import (
@@ -67,6 +88,17 @@ func main() {
 	maxBatch := flag.Int("max-batch", 4096, "points per /predict/batch request")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown budget")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/vars on this address")
+	ingest := flag.Bool("ingest", false, "enable /ingest + micro-batch refit + atomic hot swap")
+	watermark := flag.Int64("refit-watermark", 4096, "refit cadence in ingested points (-ingest)")
+	modelDir := flag.String("model-dir", "", "versioned artifact directory; boot from its newest valid model (-ingest)")
+	bufferDir := flag.String("buffer-dir", "", "durable ingest-buffer directory (-ingest)")
+	eps := flag.Float64("eps", 0, "DBSCAN radius (required with -ingest)")
+	minPts := flag.Int("minpts", 0, "DBSCAN core threshold (required with -ingest)")
+	rho := flag.Float64("rho", 0.01, "approximation rate (-ingest)")
+	partitions := flag.Int("partitions", 0, "number of splits per refit (default workers) (-ingest)")
+	workers := flag.Int("workers", 0, "virtual workers per refit (default GOMAXPROCS) (-ingest)")
+	seed := flag.Int64("seed", 1, "partitioning seed (-ingest)")
+	chunkSize := flag.Int("chunk-size", 0, "points per refit chunk (default 65536) (-ingest)")
 	chaosFail := flag.Float64("chaos-fail", 0, "chaos: probability of an injected handler fault")
 	chaosSeed := flag.Int64("chaos-seed", 1, "chaos: fault-schedule seed")
 	var logCfg obs.LogConfig
@@ -79,8 +111,12 @@ func main() {
 		os.Exit(2)
 	}
 	log = log.With("cmd", "rpserve")
-	if *modelPath == "" || flag.NArg() != 0 {
+	if (*modelPath == "" && !*ingest) || flag.NArg() != 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *ingest && (*eps <= 0 || *minPts < 1) {
+		log.Error("-ingest requires -eps > 0 and -minpts >= 1")
 		os.Exit(2)
 	}
 	if *debugAddr != "" {
@@ -89,20 +125,42 @@ func main() {
 		}
 	}
 
-	f, err := os.Open(*modelPath)
-	if err != nil {
-		fatal(log, "open model", err)
+	// Boot model resolution: the newest valid versioned artifact wins,
+	// then an explicit -model artifact, then (online mode only) a cold
+	// start that 503s until the first watermark.
+	var boot *serve.Model
+	var bootVersion int64
+	if *ingest && *modelDir != "" {
+		if err := os.MkdirAll(*modelDir, 0o755); err != nil {
+			fatal(log, "model dir", err)
+		}
+		m, v, err := serve.LoadNewest(*modelDir)
+		if err != nil {
+			fatal(log, "scan model dir", err)
+		}
+		if m != nil {
+			boot, bootVersion = m, v
+			log.Info("model loaded", "dir", *modelDir, "version", v,
+				"checksum", m.Info().Checksum, "points", m.Len())
+		}
 	}
-	model, err := serve.Load(f)
-	f.Close()
-	if err != nil {
-		fatal(log, "load model", err)
+	if boot == nil && *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			fatal(log, "open model", err)
+		}
+		m, err := serve.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(log, "load model", err)
+		}
+		boot = m
+		info := m.Info()
+		log.Info("model loaded", "path", *modelPath, "points", info.Points,
+			"core_points", info.CorePoints, "clusters", info.Clusters,
+			"dim", info.Dim, "eps", info.Eps, "min_pts", info.MinPts,
+			"checksum", info.Checksum)
 	}
-	info := model.Info()
-	log.Info("model loaded", "path", *modelPath, "points", info.Points,
-		"core_points", info.CorePoints, "clusters", info.Clusters,
-		"dim", info.Dim, "eps", info.Eps, "min_pts", info.MinPts,
-		"checksum", info.Checksum)
 
 	cfg := serve.ServerConfig{
 		MaxBodyBytes:   *maxBody,
@@ -119,12 +177,41 @@ func main() {
 		cfg.Injector = inj
 		log.Info("chaos enabled", "seed", *chaosSeed, "fail", *chaosFail)
 	}
+
+	var refitter *serve.Refitter
+	var srvModel *serve.Model
+	if *ingest {
+		refitter, err = serve.NewRefitter(serve.RefitConfig{
+			Watermark:   *watermark,
+			ModelDir:    *modelDir,
+			BufferDir:   *bufferDir,
+			Eps:         *eps,
+			MinPts:      *minPts,
+			Rho:         *rho,
+			Partitions:  *partitions,
+			Workers:     *workers,
+			Seed:        *seed,
+			ChunkSize:   *chunkSize,
+			Boot:        boot,
+			BootVersion: bootVersion,
+			Log:         log,
+		})
+		if err != nil {
+			fatal(log, "refitter", err)
+		}
+		cfg.Refitter = refitter
+		log.Info("online mode", "watermark", *watermark,
+			"model_dir", *modelDir, "buffer_dir", *bufferDir,
+			"eps", *eps, "min_pts", *minPts)
+	} else {
+		srvModel = boot
+	}
 	// Install the signal handler before announcing the address: a SIGTERM
 	// arriving between "serving" and handler registration would kill the
 	// process instead of draining it.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	srv := serve.NewServer(model, cfg)
+	srv := serve.NewServer(srvModel, cfg)
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fatal(log, "listen", err)
@@ -137,6 +224,11 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		fatal(log, "drain", err)
+	}
+	if refitter != nil {
+		if err := refitter.Close(); err != nil {
+			fatal(log, "close refitter", err)
+		}
 	}
 	log.Info("stopped")
 }

@@ -39,12 +39,21 @@ func TestMain(m *testing.M) {
 // that SIGTERMs the process and asserts a clean drain (exit status 0).
 func startServer(t *testing.T, extraArgs ...string) (base string, stop func()) {
 	t.Helper()
+	return startCLI(t, append([]string{
+		"-model", filepath.Join("testdata", "two_blobs.model"),
+	}, extraArgs...)...)
+}
+
+// startCLI boots the real CLI with exactly the given flags (plus a
+// kernel-assigned port and JSON logs) — the online-mode tests use it to
+// start without a -model.
+func startCLI(t *testing.T, extraArgs ...string) (base string, stop func()) {
+	t.Helper()
 	exe, err := os.Executable()
 	if err != nil {
 		t.Fatal(err)
 	}
 	args := append([]string{
-		"-model", filepath.Join("testdata", "two_blobs.model"),
 		"-addr", "127.0.0.1:0",
 		"-log-format", "json",
 	}, extraArgs...)
@@ -142,6 +151,52 @@ func transcript(method, path, reqBody string, resp *http.Response, respBody []by
 	return b.String()
 }
 
+// checkGolden performs one HTTP exchange and pins its transcript to
+// testdata/<name>.golden (rewriting it under -update).
+func checkGolden(t *testing.T, base, name, method, path, reqBody string) {
+	t.Helper()
+	var req *http.Request
+	var err error
+	if reqBody != "" {
+		req, err = http.NewRequest(method, base+path, strings.NewReader(reqBody))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+	} else {
+		req, err = http.NewRequest(method, base+path, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := transcript(method, path, reqBody, resp, body)
+
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("transcript diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if intentional)",
+			golden, got, want)
+	}
+}
+
 // TestGoldenEndpoints boots the real rpserve binary on the checked-in
 // fixture model and pins every endpoint's exact status, headers, and
 // canonical JSON body. Regenerate with -update after intentional changes.
@@ -149,48 +204,76 @@ func TestGoldenEndpoints(t *testing.T) {
 	base, _ := startServer(t)
 	for _, tc := range endpointCases {
 		t.Run(tc.name, func(t *testing.T) {
-			var req *http.Request
-			var err error
-			if tc.body != "" {
-				req, err = http.NewRequest(tc.method, base+tc.path, strings.NewReader(tc.body))
-				if err == nil {
-					req.Header.Set("Content-Type", "application/json")
-				}
-			} else {
-				req, err = http.NewRequest(tc.method, base+tc.path, nil)
-			}
-			if err != nil {
-				t.Fatal(err)
-			}
-			resp, err := http.DefaultClient.Do(req)
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer resp.Body.Close()
-			body, err := io.ReadAll(resp.Body)
-			if err != nil {
-				t.Fatal(err)
-			}
-			got := transcript(tc.method, tc.path, tc.body, resp, body)
-
-			golden := filepath.Join("testdata", tc.name+".golden")
-			if *update {
-				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-					t.Fatal(err)
-				}
-				t.Logf("rewrote %s", golden)
-				return
-			}
-			want, err := os.ReadFile(golden)
-			if err != nil {
-				t.Fatalf("%v (regenerate with -update)", err)
-			}
-			if got != string(want) {
-				t.Fatalf("transcript diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if intentional)",
-					golden, got, want)
-			}
+			checkGolden(t, base, tc.name, tc.method, tc.path, tc.body)
 		})
 	}
+}
+
+// TestGoldenIngest boots the real rpserve binary in online mode (cold
+// start, watermark 8, fully pinned fit parameters) and walks the ingest
+// lifecycle through golden transcripts: cold-start 503, single and batch
+// ingest with watermark arithmetic, the validation error paths, the first
+// refit's versioned /model/info, and a post-swap prediction stamped with
+// the model version. The refit itself is awaited by polling (not
+// recorded); every recorded body is a pure function of the ingested
+// points and flags, so the transcripts are byte-stable.
+func TestGoldenIngest(t *testing.T) {
+	base, _ := startCLI(t,
+		"-ingest", "-refit-watermark", "8",
+		"-eps", "0.5", "-minpts", "2", "-partitions", "2", "-workers", "2",
+		"-seed", "1", "-model-dir", t.TempDir(),
+	)
+
+	steps := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+	}{
+		{"ingest_cold_predict", "POST", "/predict", `{"point":[1,1]}`},
+		{"ingest_single", "POST", "/ingest", `{"point":[1.0,1.0]}`},
+		{"ingest_batch", "POST", "/ingest", `{"points":[[1.1,1.0],[0.9,1.1],[1.0,0.9],[-1.0,-1.0],[-1.1,-0.9],[-0.9,-1.0]]}`},
+		{"ingest_both_forms", "POST", "/ingest", `{"point":[1,2],"points":[[3,4]]}`},
+		{"ingest_empty", "POST", "/ingest", `{}`},
+		{"ingest_dim_mismatch", "POST", "/ingest", `{"points":[[1,2],[3]]}`},
+		{"ingest_wrong_method", "GET", "/ingest", ""},
+		// Crosses watermark 8: the reply itself is still deterministic
+		// (totals and watermark arithmetic do not depend on refit timing).
+		{"ingest_crosses_watermark", "POST", "/ingest", `{"points":[[6.0,6.0],[1.05,0.95]]}`},
+	}
+	for _, tc := range steps {
+		t.Run(tc.name, func(t *testing.T) {
+			checkGolden(t, base, tc.name, tc.method, tc.path, tc.body)
+		})
+	}
+
+	// Await generation 1 (polling is not part of any transcript), then pin
+	// the versioned /model/info and a version-stamped prediction.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/model/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vi struct {
+			Version int64 `json:"version"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vi)
+		resp.Body.Close()
+		if err == nil && vi.Version >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("generation 1 never served")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Run("ingest_model_info", func(t *testing.T) {
+		checkGolden(t, base, "ingest_model_info", "GET", "/model/info", "")
+	})
+	t.Run("ingest_predict_versioned", func(t *testing.T) {
+		checkGolden(t, base, "ingest_predict_versioned", "POST", "/predict", `{"point":[1.02,1.01]}`)
+	})
 }
 
 // TestGracefulSIGTERM pins the drain contract at the process level: a

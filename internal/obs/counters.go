@@ -64,6 +64,22 @@ var Counters = struct {
 	// WorkerSpawns counts replacement worker processes brought up after a
 	// kill.
 	WorkerSpawns *expvar.Int
+	// IngestPoints counts points accepted by the serving stack's /ingest
+	// endpoint into the online buffer.
+	IngestPoints *expvar.Int
+	// RefitRuns counts completed micro-batch refits (a fit that produced
+	// a model, whether or not the swap then succeeded).
+	RefitRuns *expvar.Int
+	// RefitFailures counts refit attempts that did not produce a swapped
+	// model (fit error, artifact persist/validate failure). The old model
+	// keeps serving after each one.
+	RefitFailures *expvar.Int
+	// RefitPoints counts points covered by completed refits (each refit
+	// re-clusters its full ingested prefix).
+	RefitPoints *expvar.Int
+	// ModelSwaps counts atomic served-model pointer flips (one per
+	// validated refit).
+	ModelSwaps *expvar.Int
 }{
 	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
 	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
@@ -87,6 +103,11 @@ var Counters = struct {
 	StreamSpillReloads:  expvar.NewInt("rpdbscan.stream_spill_reloads"),
 	WorkerKills:         expvar.NewInt("rpdbscan.worker_kills"),
 	WorkerSpawns:        expvar.NewInt("rpdbscan.worker_spawns"),
+	IngestPoints:        expvar.NewInt("rpdbscan.ingest_points"),
+	RefitRuns:           expvar.NewInt("rpdbscan.refit_runs"),
+	RefitFailures:       expvar.NewInt("rpdbscan.refit_failures"),
+	RefitPoints:         expvar.NewInt("rpdbscan.refit_points"),
+	ModelSwaps:          expvar.NewInt("rpdbscan.model_swaps"),
 }
 
 // counterHelp is the per-counter description the Prometheus exposition
@@ -116,6 +137,11 @@ var counterHelp = map[string]string{
 	"rpdbscan.stream_spill_reloads": "Spill-file scans after the initial write.",
 	"rpdbscan.worker_kills":         "Chaos-injected worker-process kills observed by the transport.",
 	"rpdbscan.worker_spawns":        "Replacement worker processes brought up after a kill.",
+	"rpdbscan.ingest_points":        "Points accepted by /ingest into the online buffer.",
+	"rpdbscan.refit_runs":           "Completed micro-batch refits over the ingested prefix.",
+	"rpdbscan.refit_failures":       "Refit attempts that produced no swap (old model kept serving).",
+	"rpdbscan.refit_points":         "Points covered by completed refits (full prefix per refit).",
+	"rpdbscan.model_swaps":          "Atomic served-model pointer flips after validated refits.",
 }
 
 // CounterHelp returns the description of the named counter for exposition

@@ -257,11 +257,25 @@ var Histograms = struct {
 	// StreamChunkPoints records the number of points per ingested
 	// out-of-core chunk.
 	StreamChunkPoints *Histogram
+	// IngestBatchPoints records the number of points per accepted /ingest
+	// request.
+	IngestBatchPoints *Histogram
+	// RefitDurationNs records wall time of each completed micro-batch
+	// refit (the RunStream fit plus model construction), in nanoseconds.
+	RefitDurationNs *Histogram
+	// SwapLatencyNs records the hot-swap window of each refit — artifact
+	// persist, reload validation, and the atomic pointer flip — in
+	// nanoseconds. The served model is stale-but-valid for this long
+	// after a fit completes, never absent.
+	SwapLatencyNs *Histogram
 }{
 	ServeLatencyNs:     registerHistogram("rpdbscan.serve_latency_ns", "Prediction-server handler latency in nanoseconds."),
 	PredictBatchPoints: registerHistogram("rpdbscan.predict_batch_points", "Points per /predict/batch request."),
 	TaskCostNs:         registerHistogram("rpdbscan.task_cost_ns", "Measured engine task cost per successful attempt, in nanoseconds."),
 	StreamChunkPoints:  registerHistogram("rpdbscan.stream_chunk_points", "Points per ingested out-of-core chunk."),
+	IngestBatchPoints:  registerHistogram("rpdbscan.ingest_batch_points", "Points per accepted /ingest request."),
+	RefitDurationNs:    registerHistogram("rpdbscan.refit_duration_ns", "Micro-batch refit duration (fit + model build), in nanoseconds."),
+	SwapLatencyNs:      registerHistogram("rpdbscan.swap_latency_ns", "Hot-swap window (persist + validate + pointer flip), in nanoseconds."),
 }
 
 // histRegistry lists the registered histograms in registration order for

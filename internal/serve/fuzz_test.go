@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -85,6 +87,119 @@ func FuzzPredictRequest(f *testing.F) {
 		}
 		if !json.Valid(out) {
 			t.Fatalf("response is not valid JSON: %q", out)
+		}
+	})
+}
+
+// FuzzIngestRequest throws arbitrary bodies at the online /ingest
+// endpoint: the handler must never panic, must answer canonical
+// newline-terminated JSON with a documented status, and — the invariant
+// the buffer depends on — must never let a rejected request change the
+// ingested total. A high watermark keeps refits out of the loop, so every
+// execution exercises validation, not clustering.
+func FuzzIngestRequest(f *testing.F) {
+	r, err := NewRefitter(RefitConfig{
+		Watermark: 1 << 40, // never crossed: fuzzing validates ingest, not refit
+		Eps:       0.3, MinPts: 4,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Cleanup(func() { r.Close() })
+	h := NewServer(nil, ServerConfig{MaxBodyBytes: 1 << 16, MaxBatch: 64, Refitter: r}).Handler()
+
+	f.Add(`{"point":[0.5,0.5]}`)
+	f.Add(`{"points":[[1,2],[3,4]]}`)
+	f.Add(`{"point":[1,2],"points":[[3,4]]}`)
+	f.Add(`{"points":[]}`)
+	f.Add(`{"points":[[1,2],[3]]}`)
+	f.Add(`{"point":[1e309]}`)
+	f.Add(`{"point":[NaN]}`)
+	f.Add(`{"point":null}`)
+	f.Add(`{}`)
+	f.Add(``)
+	f.Add(`{"point":[1,2]}{"point":[3,4]}`)
+
+	f.Fuzz(func(t *testing.T, body string) {
+		before := r.Buffer().Total()
+		req := httptest.NewRequest(http.MethodPost, "/ingest", bytes.NewReader([]byte(body)))
+		req.Header.Set("Content-Type", "application/json")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		switch w.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge:
+		default:
+			t.Fatalf("unexpected status %d for body %q", w.Code, body)
+		}
+		out := w.Body.Bytes()
+		if !bytes.HasSuffix(out, []byte("\n")) {
+			t.Fatalf("response not newline-terminated: %q", out)
+		}
+		if !json.Valid(out) {
+			t.Fatalf("response is not valid JSON: %q", out)
+		}
+		if w.Code != http.StatusOK && r.Buffer().Total() != before {
+			t.Fatalf("rejected request grew the buffer: %d -> %d points (body %q)",
+				before, r.Buffer().Total(), body)
+		}
+	})
+}
+
+// FuzzLoadNewest drops hostile bytes into a model directory alongside one
+// known-good versioned artifact: the loader must never panic, must never
+// boot a corrupt artifact, and must fall back to the valid generation
+// whenever the newer file fails its gates. An input that genuinely decodes
+// is also planted under its true artifact name and must then win as the
+// newer version.
+func FuzzLoadNewest(f *testing.F) {
+	validModel := fit(f, blobPoints(rand.New(rand.NewSource(3)), 40, 2), 0.3, 4)
+	valid := validModel.Encode()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("RPM1"))
+	f.Add([]byte{})
+	mut := bytes.Clone(valid)
+	mut[checksumStart+2] ^= 0xff
+	f.Add(mut)
+	f.Add(Reseal(bytes.Clone(mut)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		write := func(name string, buf []byte) {
+			if err := os.WriteFile(filepath.Join(dir, name), buf, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		write(artifactName(3, validModel.Checksum()), valid)
+		// The hostile bytes claim version 7 with a checksum name they
+		// almost certainly do not have...
+		write("model-7-0123456789abcdef.rpm1", data)
+		// ...and, when they do decode, are also planted under their true
+		// name, which the loader has no grounds to reject.
+		wantVersion := int64(3)
+		if m, err := Decode(data); err == nil {
+			write(artifactName(7, m.Checksum()), data)
+			wantVersion = 7
+		}
+		// Undecodable junk that happens to match the claimed name is
+		// possible only if Decode accepts it — covered above.
+
+		m, v, err := LoadNewest(dir)
+		if err != nil {
+			t.Fatalf("LoadNewest errored instead of skipping: %v", err)
+		}
+		if m == nil {
+			t.Fatal("LoadNewest found nothing despite a valid generation 3")
+		}
+		if v != wantVersion {
+			t.Fatalf("booted version %d, want %d", v, wantVersion)
+		}
+		if v == 3 && m.Info().Checksum != validModel.Info().Checksum {
+			t.Fatal("booted generation 3 with the wrong artifact")
+		}
+		// Whatever booted must be servable.
+		if _, err := m.Predict(make([]float64, m.Dim())); err != nil {
+			t.Fatalf("booted model cannot predict: %v", err)
 		}
 	})
 }

@@ -125,6 +125,10 @@ func (m *Model) finish() {
 // Dim returns the model's point dimensionality.
 func (m *Model) Dim() int { return m.dim }
 
+// Checksum returns the artifact's raw FNV-1a checksum (the value Info
+// renders as "fnv1a:%016x"). Versioned artifact filenames embed it.
+func (m *Model) Checksum() uint64 { return m.checksum }
+
 // Len returns the number of training points.
 func (m *Model) Len() int { return len(m.labels) }
 

@@ -48,19 +48,29 @@ type ServerConfig struct {
 	// Injector, when non-nil, injects deterministic handler faults
 	// (500s) for chaos testing.
 	Injector FaultInjector
+	// Refitter, when non-nil, runs the server online: /ingest mounts,
+	// every reply carries the served model_version, and the served model
+	// is whatever snapshot the refitter last published (the boot model
+	// passes through RefitConfig.Boot, not NewServer). Nil serves one
+	// frozen model forever, exactly as before.
+	Refitter *Refitter
 }
 
-// Server serves predictions from one immutable Model. Create with
-// NewServer, mount Handler on any mux or listen with Serve/Start, stop
-// with Shutdown (graceful drain: in-flight requests complete).
+// Server serves predictions from an immutable model snapshot — either one
+// frozen Model for the process lifetime, or the live generation published
+// by a Refitter. Create with NewServer, mount Handler on any mux or listen
+// with Serve/Start, stop with Shutdown (graceful drain: in-flight requests
+// complete; a Refitter is closed separately by its owner).
 type Server struct {
-	model *Model
-	cfg   ServerConfig
-	sem   chan struct{}
-	http  *http.Server
+	static *Snapshot // frozen generation when no Refitter is configured
+	cfg    ServerConfig
+	sem    chan struct{}
+	http   *http.Server
 }
 
-// NewServer builds a Server around m.
+// NewServer builds a Server. Without cfg.Refitter, m is the frozen model
+// (required). With cfg.Refitter, the refitter supplies the model and m
+// must be nil.
 func NewServer(m *Model, cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
@@ -74,7 +84,11 @@ func NewServer(m *Model, cfg ServerConfig) *Server {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 10 * time.Second
 	}
-	s := &Server{model: m, cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
+	if m != nil {
+		// A frozen model is generation 0 fitted on its whole training set.
+		s.static = &Snapshot{Model: m, Watermark: int64(m.Len())}
+	}
 	s.http = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -85,14 +99,29 @@ func NewServer(m *Model, cfg ServerConfig) *Server {
 	return s
 }
 
+// current returns the serving snapshot: the refitter's latest generation,
+// or the frozen one. Nil means no model exists yet (online cold start
+// before the first watermark) and model-backed endpoints answer 503.
+// Handlers load it exactly once per request so each reply is internally
+// consistent across a concurrent hot swap.
+func (s *Server) current() *Snapshot {
+	if s.cfg.Refitter != nil {
+		return s.cfg.Refitter.Current()
+	}
+	return s.static
+}
+
 // Handler returns the server's routed handler: /predict, /predict/batch,
-// /model/info, /healthz.
+// /model/info, /healthz, and — when a Refitter is configured — /ingest.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.HandleFunc("/model/info", s.instrument("/model/info", s.handleInfo))
 	mux.HandleFunc("/predict", s.instrument("/predict", s.handlePredict))
 	mux.HandleFunc("/predict/batch", s.instrument("/predict/batch", s.handleBatch))
+	if s.cfg.Refitter != nil {
+		mux.HandleFunc("/ingest", s.instrument("/ingest", s.handleIngest))
+	}
 	// /metrics mounts raw: scrapes bypass the admission queue (so they keep
 	// working during overload) and stay out of the serve_* counters and
 	// latency histogram (so monitoring traffic never skews serving stats).
@@ -231,16 +260,46 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, healthReply{Status: "ok"})
 }
 
+// requireModel loads the serving snapshot, answering 503 when no
+// generation exists yet (online cold start before the first watermark).
+func (s *Server) requireModel(w http.ResponseWriter) *Snapshot {
+	snap := s.current()
+	if snap == nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no model fitted yet")
+	}
+	return snap
+}
+
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	if !requireMethod(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, http.StatusOK, s.model.Info())
+	snap := s.requireModel(w)
+	if snap == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, VersionInfo{
+		Info:       snap.Model.Info(),
+		Version:    snap.Version,
+		Watermark:  snap.Watermark,
+		ParentHash: snap.ParentHash,
+	})
 }
 
 // predictRequest is the /predict body.
 type predictRequest struct {
 	Point []float64 `json:"point"`
+}
+
+// predictReply is the /predict body's answer: the prediction plus the
+// generation that computed it. The version is what lets a concurrent
+// client attribute every answer to a specific served model — the
+// differential harness replays each prediction against the offline fit of
+// that exact version.
+type predictReply struct {
+	Prediction
+	ModelVersion int64 `json:"model_version"`
 }
 
 // batchRequest is the /predict/batch body.
@@ -249,8 +308,33 @@ type batchRequest struct {
 }
 
 type batchReply struct {
-	Predictions []Prediction `json:"predictions"`
-	NoiseCount  int          `json:"noise_count"`
+	Predictions  []Prediction `json:"predictions"`
+	NoiseCount   int          `json:"noise_count"`
+	ModelVersion int64        `json:"model_version"`
+}
+
+// ingestRequest is the /ingest body: exactly one of Point (single) or
+// Points (batch).
+type ingestRequest struct {
+	Point  []float64   `json:"point,omitempty"`
+	Points [][]float64 `json:"points,omitempty"`
+}
+
+// ingestReply reports the accepted batch and where the online stream
+// stands. It deliberately carries no model version: the refit triggered by
+// a crossing runs asynchronously, so the post-crossing version is not yet
+// knowable when the ingest reply is written.
+type ingestReply struct {
+	// Accepted is the number of points this request appended.
+	Accepted int `json:"accepted"`
+	// TotalPoints is the stream total after the append.
+	TotalPoints int64 `json:"total_points"`
+	// NextWatermark is the point count at which the next refit fires
+	// (already-crossed watermarks refit in order first).
+	NextWatermark int64 `json:"next_watermark"`
+	// RefitQueued reports whether this append crossed (or the stream had
+	// already crossed) the next watermark, so a refit is due.
+	RefitQueued bool `json:"refit_queued"`
 }
 
 // readBody decodes one JSON request body into v, mapping failure modes to
@@ -302,13 +386,17 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.injected(w, "/predict", encodePoint(req.Point)) {
 		return
 	}
-	pred, err := s.model.Predict(req.Point)
+	snap := s.requireModel(w)
+	if snap == nil {
+		return
+	}
+	pred, err := snap.Model.Predict(req.Point)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	obs.Counters.ServePredictPoints.Add(1)
-	writeJSON(w, http.StatusOK, pred)
+	writeJSON(w, http.StatusOK, predictReply{Prediction: pred, ModelVersion: snap.Version})
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -332,7 +420,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.injected(w, "/predict/batch", flat) {
 		return
 	}
-	preds, err := s.model.PredictBatch(req.Points)
+	snap := s.requireModel(w)
+	if snap == nil {
+		return
+	}
+	preds, err := snap.Model.PredictBatch(req.Points)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -344,7 +436,66 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			noise++
 		}
 	}
-	writeJSON(w, http.StatusOK, batchReply{Predictions: preds, NoiseCount: noise})
+	writeJSON(w, http.StatusOK, batchReply{Predictions: preds, NoiseCount: noise, ModelVersion: snap.Version})
+}
+
+// handleIngest accepts one point or one batch into the online buffer. The
+// append is synchronous (an accepted reply means the points are in the
+// buffer, durably if a buffer dir is configured); the refit a crossing
+// triggers is not — the reply only reports that one is due.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if !requireMethod(w, r, http.MethodPost) {
+		return
+	}
+	var req ingestRequest
+	if !readBody(w, r, &req) {
+		return
+	}
+	var pts [][]float64
+	switch {
+	case len(req.Point) > 0 && len(req.Points) > 0:
+		writeError(w, http.StatusBadRequest, "exactly one of point and points")
+		return
+	case len(req.Point) > 0:
+		pts = [][]float64{req.Point}
+	case len(req.Points) > 0:
+		pts = req.Points
+	default:
+		writeError(w, http.StatusBadRequest, "empty ingest request")
+		return
+	}
+	if len(pts) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d points exceeds limit %d", len(pts), s.cfg.MaxBatch))
+		return
+	}
+	dim := len(pts[0])
+	flat := make([]float64, 0, len(pts)*dim)
+	for i, p := range pts {
+		if len(p) != dim {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("point %d has %d coordinates, point 0 has %d", i, len(p), dim))
+			return
+		}
+		flat = append(flat, p...)
+	}
+	if s.injected(w, "/ingest", encodePoint(flat)) {
+		return
+	}
+	total, queued, err := s.cfg.Refitter.Ingest(flat, dim)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wm := s.cfg.Refitter.Watermark()
+	writeJSON(w, http.StatusOK, ingestReply{
+		Accepted:    len(pts),
+		TotalPoints: total,
+		// The next multiple of the cadence strictly above the new total —
+		// a pure function of the total, stable across refit timing.
+		NextWatermark: (total/wm + 1) * wm,
+		RefitQueued:   queued,
+	})
 }
 
 // encodePoint canonicalises a coordinate slice for fault-site hashing.

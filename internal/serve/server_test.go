@@ -123,7 +123,7 @@ func TestCountersAccumulate(t *testing.T) {
 func TestPredictResponseIsCanonicalJSON(t *testing.T) {
 	h := NewServer(testModel(t), ServerConfig{}).Handler()
 	w := do(h, "POST", "/predict", `{"point":[99,99]}`)
-	want := `{"label":-1,"noise":true,"core_index":-1,"core_dist":0}` + "\n"
+	want := `{"label":-1,"noise":true,"core_index":-1,"core_dist":0,"model_version":0}` + "\n"
 	if w.Body.String() != want {
 		t.Fatalf("noise reply = %q, want %q", w.Body.String(), want)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"rpdbscan/internal/core"
 	"rpdbscan/internal/engine"
+	"rpdbscan/internal/geom"
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
 )
@@ -59,6 +60,21 @@ func CSVSource(r io.Reader) (StreamSource, error) {
 // (the format WriteBinary of cmd/rpdbscan emits).
 func BinarySource(r io.Reader) (StreamSource, error) {
 	return pointio.NewBinaryChunkReader(r)
+}
+
+// SliceSource returns a StreamSource over flat point-major coordinates
+// already in memory: len(coords)/dim points of dimensionality dim. It is
+// how an online harness replays an ingested prefix through ClusterStream —
+// the serve-while-refit differential battery fits the exact buffered
+// prefix offline and compares artifacts byte for byte.
+func SliceSource(coords []float64, dim int) (StreamSource, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("rpdbscan: dimension must be >= 1, got %d", dim)
+	}
+	if len(coords)%dim != 0 {
+		return nil, fmt.Errorf("rpdbscan: %d coordinates not divisible by dimension %d", len(coords), dim)
+	}
+	return pointio.FromPoints(&geom.Points{Dim: dim, Coords: coords}), nil
 }
 
 // ClusterStream runs RP-DBSCAN over a single-pass point stream without
