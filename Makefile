@@ -13,7 +13,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./internal/pointio/ ./internal/spill/ ./internal/transport/ ./cmd/rpserve/ ./cmd/rpdbscan/
+	$(GO) test -race ./internal/engine/ ./internal/core/ ./internal/baselines/... ./internal/serve/... ./internal/pointio/ ./internal/spill/ ./internal/transport/ ./internal/registry/ ./cmd/rpserve/ ./cmd/rpdbscan/ ./cmd/rpmodel/
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,8 @@ fuzz:
 	$(GO) test -fuzz FuzzPredictRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzIngestRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -fuzz FuzzLoadNewest -fuzztime 30s ./internal/serve/
+	$(GO) test -fuzz FuzzManifestDecode -fuzztime 30s ./internal/registry/
+	$(GO) test -fuzz FuzzRegistryOpen -fuzztime 30s ./internal/registry/
 
 tools:
 	$(GO) build -o bin/ ./cmd/...

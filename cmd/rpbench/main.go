@@ -7,8 +7,8 @@
 //	rpbench [flags] [experiment ...]
 //
 // Experiments: fig11 fig12 fig13 fig14 fig15 table4 table5 table7 fig18
-// table8 fig19 fig20 fig21 phase2 phase3 chaos serve stream transport, or
-// "all". With no arguments, "all" runs.
+// table8 fig19 fig20 fig21 phase2 phase3 chaos serve stream transport
+// registry, or "all". With no arguments, "all" runs.
 //
 // Flags:
 //
@@ -26,6 +26,7 @@
 //	-serveout   where the serve experiment writes BENCH_serve.json ("" skips)
 //	-streamout  where the stream experiment writes BENCH_stream.json ("" skips)
 //	-transportout  where the transport experiment writes BENCH_transport.json ("" skips)
+//	-registryout   where the registry experiment writes BENCH_registry.json ("" skips)
 //	-log-level / -log-format  structured logging (stderr); debug logs stage events
 //	-debug-addr  serve /metrics, /healthz, /debug/pprof and /debug/vars for
 //	             live profiling and scraping
@@ -48,6 +49,7 @@ import (
 	"rpdbscan/internal/harness"
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/plot"
+	"rpdbscan/internal/registry"
 	"rpdbscan/internal/serve"
 	"rpdbscan/internal/serve/loadgen"
 	"rpdbscan/internal/transport"
@@ -73,6 +75,7 @@ func main() {
 	flag.StringVar(&refitOut, "refitout", "BENCH_refit.json", "where the refit experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&streamOut, "streamout", "BENCH_stream.json", "where the stream experiment writes its JSON report (empty: skip)")
 	flag.StringVar(&transportOut, "transportout", "BENCH_transport.json", "where the transport experiment writes its JSON report (empty: skip)")
+	flag.StringVar(&registryOut, "registryout", "BENCH_registry.json", "where the registry experiment writes its JSON report (empty: skip)")
 	var logCfg obs.LogConfig
 	logCfg.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -123,8 +126,9 @@ func main() {
 		"refit":     refitExp,
 		"stream":    streamExp,
 		"transport": transportExp,
+		"registry":  registryExp,
 	}
-	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "refit", "stream", "transport"}
+	order := []string{"fig11", "fig12", "fig13", "fig14", "fig15", "table4", "fig16", "table5", "table7", "fig18", "table8", "fig19", "fig20", "fig21", "phase2", "phase3", "chaos", "serve", "refit", "stream", "transport", "registry"}
 
 	run := map[string]bool{}
 	for _, w := range want {
@@ -967,6 +971,129 @@ func transportExp(s harness.Scale) error {
 	}
 	return writeCSV("transport.csv",
 		"seed,workers,chaos,identical,accounted,injected_failures,checksum_rejects,worker_kills,measured_ms,simulated_ms,within_bound", lines)
+}
+
+// registryOut is where the registry experiment writes its JSON report
+// (empty = skip).
+var registryOut string
+
+// registryExp: the model registry's hot paths — durable manifest appends
+// (frame + fsync + HEAD seal per publish), a full verify (chain walk plus
+// re-hashing every blob), and head/version index lookups.
+func registryExp(s harness.Scale) error {
+	header("Registry: durable publish, full verify, index lookups")
+	dir, err := os.MkdirTemp("", "rpbench-registry-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	reg, err := registry.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer reg.Close()
+
+	// Distinct tiny artifacts: content-addressing makes every publish hit
+	// both the blob path and the manifest path.
+	publishes := 200
+	if s.N < 5000 { // -quick
+		publishes = 50
+	}
+	artifact := func(i int) ([]byte, error) {
+		coords := []float64{float64(i), 0, float64(i) + 0.25, 0.1}
+		m, err := serve.New(coords, 2, []int{0, 0}, []bool{true, true}, 0.5, 1, 0.01, 1)
+		if err != nil {
+			return nil, err
+		}
+		return m.Encode(), nil
+	}
+	var appends []time.Duration
+	var parent uint64
+	for i := 1; i <= publishes; i++ {
+		art, err := artifact(i)
+		if err != nil {
+			return err
+		}
+		sum := registry.ArtifactHash(art)
+		rec := registry.Record{
+			Version: int64(i), ModelHash: sum, Parent: parent,
+			Watermark: int64(i) * 64, ConfigSum: 0xbe9c4, Points: 2,
+			Clusters: 1, Bytes: int64(len(art)),
+		}
+		// Publish + Sync per record: one frame, one fsync, one HEAD seal —
+		// the per-generation durability cost an online server pays.
+		start := time.Now()
+		if _, err := reg.Publish(art, rec); err != nil {
+			return err
+		}
+		if err := reg.Sync(); err != nil {
+			return err
+		}
+		appends = append(appends, time.Since(start))
+		parent = sum
+	}
+	sort.Slice(appends, func(i, j int) bool { return appends[i] < appends[j] })
+	appendP50 := float64(durQuantile(appends, 0.50).Microseconds())
+	appendP99 := float64(durQuantile(appends, 0.99).Microseconds())
+
+	verifyStart := time.Now()
+	rep, err := reg.Verify()
+	if err != nil {
+		return err
+	}
+	verifyDur := time.Since(verifyStart)
+	verifyMBs := float64(rep.BlobBytes) / (1 << 20) / verifyDur.Seconds()
+	verifyRecs := float64(rep.Records) / verifyDur.Seconds()
+
+	lookups := 200_000
+	lookupStart := time.Now()
+	for i := 0; i < lookups; i++ {
+		if _, ok := reg.Head(); !ok {
+			return fmt.Errorf("registry: head vanished")
+		}
+		if _, ok := reg.ByVersion(int64(i%publishes) + 1); !ok {
+			return fmt.Errorf("registry: version %d vanished", i%publishes+1)
+		}
+	}
+	lookupNs := float64(time.Since(lookupStart).Nanoseconds()) / float64(lookups)
+
+	fmt.Printf("  %d durable publishes: append p50=%.0fus p99=%.0fus\n",
+		publishes, appendP50, appendP99)
+	fmt.Printf("  verify: %d records, %d blobs (%d bytes) in %v  (%.1f MB/s, %.0f rec/s)\n",
+		rep.Records, rep.Blobs, rep.BlobBytes, verifyDur.Round(time.Microsecond), verifyMBs, verifyRecs)
+	fmt.Printf("  head+version lookup: %.0fns per pair\n", lookupNs)
+
+	if registryOut != "" {
+		out := struct {
+			Publishes       int     `json:"publishes"`
+			AppendP50MicroS float64 `json:"append_p50_us"`
+			AppendP99MicroS float64 `json:"append_p99_us"`
+			VerifyRecords   int     `json:"verify_records"`
+			VerifyBlobs     int     `json:"verify_blobs"`
+			VerifyBytes     int64   `json:"verify_bytes"`
+			VerifyMS        float64 `json:"verify_ms"`
+			VerifyMBPerSec  float64 `json:"verify_mb_per_sec"`
+			VerifyRecPerSec float64 `json:"verify_records_per_sec"`
+			HeadLookupNs    float64 `json:"head_lookup_ns"`
+		}{
+			publishes, appendP50, appendP99,
+			rep.Records, rep.Blobs, rep.BlobBytes,
+			float64(verifyDur.Microseconds()) / 1e3, verifyMBs, verifyRecs, lookupNs,
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(registryOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", registryOut)
+	}
+	lines := []string{fmt.Sprintf("%d,%.0f,%.0f,%d,%d,%.3f,%.1f,%.0f",
+		publishes, appendP50, appendP99, rep.Records, rep.Blobs,
+		float64(verifyDur.Microseconds())/1e3, verifyMBs, lookupNs)}
+	return writeCSV("registry.csv",
+		"publishes,append_p50_us,append_p99_us,verify_records,verify_blobs,verify_ms,verify_mb_per_sec,head_lookup_ns", lines)
 }
 
 func fig21(s harness.Scale) error {

@@ -1,0 +1,186 @@
+// Command rpmodel inspects and maintains a content-addressed model
+// registry (the directory rpserve publishes into: blobs/<hash>.rpm1 plus
+// a tamper-evident manifest of fit records).
+//
+// Usage:
+//
+//	rpmodel -dir DIR list           ledger in fit order, one line per record
+//	rpmodel -dir DIR show REF       one record in full; REF is a version
+//	                                number, a content hash (fnv1a:HEX or
+//	                                bare hex), a tag, or the word "head"
+//	rpmodel -dir DIR verify         full audit: chain walk over the
+//	                                manifest + HEAD seal, every blob
+//	                                re-hashed against its address
+//	rpmodel -dir DIR gc             remove unreferenced blobs, temp debris,
+//	                                and superseded legacy artifacts
+//
+// Exit status: 0 on success, 1 when the registry is damaged or a REF does
+// not resolve, 2 on usage errors. All diagnostics go to stderr; command
+// output goes to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"text/tabwriter"
+
+	"rpdbscan/internal/registry"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: rpmodel -dir DIR {list | show REF | verify | gc}")
+	flag.PrintDefaults()
+}
+
+func main() {
+	dir := flag.String("dir", "", "model registry root (required)")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, rest := flag.Arg(0), flag.Args()[1:]
+	code, err := run(*dir, cmd, rest)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rpmodel:", err)
+	}
+	os.Exit(code)
+}
+
+func run(dir, cmd string, rest []string) (int, error) {
+	switch cmd {
+	case "list", "show", "verify", "gc":
+	default:
+		usage()
+		return 2, nil
+	}
+	if (cmd == "show") != (len(rest) == 1) || (cmd != "show" && len(rest) != 0) {
+		usage()
+		return 2, nil
+	}
+	reg, err := registry.Open(dir)
+	if err != nil {
+		return 1, err
+	}
+	defer reg.Close()
+	switch cmd {
+	case "list":
+		err = list(reg)
+	case "show":
+		err = show(reg, rest[0])
+	case "verify":
+		err = verify(reg)
+	case "gc":
+		err = gc(reg)
+	}
+	if err != nil {
+		return 1, err
+	}
+	if err := reg.Close(); err != nil {
+		return 1, err
+	}
+	return 0, nil
+}
+
+// orDash renders a zero hash (no parent) as "-".
+func orDash(h uint64) string {
+	if h == 0 {
+		return "-"
+	}
+	return registry.FormatHash(h)
+}
+
+// list prints the ledger in fit order, head last — the same order the
+// manifest records were sealed in.
+func list(reg *registry.Registry) error {
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "VERSION\tHASH\tPARENT\tWATERMARK\tPOINTS\tCLUSTERS\tBYTES\tTAG")
+	for _, rec := range reg.Records() {
+		tag := rec.Tag
+		if tag == "" {
+			tag = "-"
+		}
+		fmt.Fprintf(w, "%d\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+			rec.Version, registry.FormatHash(rec.ModelHash), orDash(rec.Parent),
+			rec.Watermark, rec.Points, rec.Clusters, rec.Bytes, tag)
+	}
+	return w.Flush()
+}
+
+// resolve maps a user REF to a manifest record: "head", a decimal version,
+// a content hash, or a tag — tried in that order.
+func resolve(reg *registry.Registry, ref string) (registry.Record, error) {
+	if ref == "head" {
+		if rec, ok := reg.Head(); ok {
+			return rec, nil
+		}
+		return registry.Record{}, fmt.Errorf("registry is empty")
+	}
+	if v, err := strconv.ParseInt(ref, 10, 64); err == nil {
+		if rec, ok := reg.ByVersion(v); ok {
+			return rec, nil
+		}
+		return registry.Record{}, fmt.Errorf("no record for version %d", v)
+	}
+	if sum, err := registry.ParseHash(ref); err == nil {
+		if rec, ok := reg.ByHash(sum); ok {
+			return rec, nil
+		}
+		return registry.Record{}, fmt.Errorf("no record for hash %s", registry.FormatHash(sum))
+	}
+	if rec, ok := reg.ByTag(ref); ok {
+		return rec, nil
+	}
+	return registry.Record{}, fmt.Errorf("%q is not a version, hash, tag, or \"head\" in this registry", ref)
+}
+
+func show(reg *registry.Registry, ref string) error {
+	rec, err := resolve(reg, ref)
+	if err != nil {
+		return err
+	}
+	tag := rec.Tag
+	if tag == "" {
+		tag = "-"
+	}
+	fmt.Printf("version:    %d\n", rec.Version)
+	fmt.Printf("hash:       %s\n", registry.FormatHash(rec.ModelHash))
+	fmt.Printf("parent:     %s\n", orDash(rec.Parent))
+	fmt.Printf("tag:        %s\n", tag)
+	fmt.Printf("watermark:  %d\n", rec.Watermark)
+	fmt.Printf("points:     %d\n", rec.Points)
+	fmt.Printf("clusters:   %d\n", rec.Clusters)
+	fmt.Printf("bytes:      %d\n", rec.Bytes)
+	fmt.Printf("config_sum: %016x\n", rec.ConfigSum)
+	fmt.Printf("fit_ns:     %d\n", rec.FitNs)
+	fmt.Printf("blob:       %s\n", reg.BlobPath(rec.ModelHash))
+	return nil
+}
+
+func verify(reg *registry.Registry) error {
+	rep, err := reg.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("verified %d records, %d blobs (%d bytes)\n", rep.Records, rep.Blobs, rep.BlobBytes)
+	if rep.ExternalParents > 0 {
+		fmt.Printf("external parents: %d (boot models fitted outside this registry)\n", rep.ExternalParents)
+	}
+	fmt.Println("OK")
+	return nil
+}
+
+func gc(reg *registry.Registry) error {
+	removed, err := reg.GC()
+	if err != nil {
+		return err
+	}
+	for _, rel := range removed {
+		fmt.Println("removed", rel)
+	}
+	fmt.Printf("removed %d file(s)\n", len(removed))
+	return nil
+}

@@ -1,0 +1,324 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rpdbscan"
+	"rpdbscan/internal/registry"
+	"rpdbscan/internal/serve"
+)
+
+// update regenerates the fixture registry AND the golden transcripts:
+//
+//	go test ./cmd/rpmodel -update
+var update = flag.Bool("update", false, "rewrite the fixture registry and golden files")
+
+// TestMain lets the test binary impersonate the real CLI (same convention
+// as cmd/rpdbscan and cmd/rpserve).
+func TestMain(m *testing.M) {
+	if os.Getenv("RPMODEL_BE_CLI") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI invokes the CLI (this test binary re-executed) with args and
+// returns stdout, stderr, and the exit code.
+func runCLI(t *testing.T, args ...string) (stdout, stderr []byte, code int) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "RPMODEL_BE_CLI=1")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	err = cmd.Run()
+	if exitErr, ok := err.(*exec.ExitError); ok {
+		return out.Bytes(), errb.Bytes(), exitErr.ExitCode()
+	}
+	if err != nil {
+		t.Fatalf("cli %v: %v", args, err)
+	}
+	return out.Bytes(), errb.Bytes(), 0
+}
+
+const fixtureDir = "testdata/registry"
+
+// fixtureCoords is two well-separated blobs; prefixes of it are the three
+// fixture generations' training sets.
+var fixtureCoords = []float64{
+	1, 1, 1.1, 1, 0.9, 1.1, 1, 0.9, -1, -1, -1.1, -0.9, -0.9, -1, 1.05, 0.95, // 8 points
+	-1.05, -0.95, 1.02, 1.01, 0.98, 0.99, -0.98, -1.01, // 12
+	6, 6, 1.0, 1.05, -1.0, -1.05, 0.95, 1.0, // 16
+}
+
+// fitArtifact fits the first n fixture points through the public streaming
+// API with fully pinned parameters and returns the artifact bytes —
+// byte-deterministic, so the fixture registry regenerates identically.
+func fitArtifact(t *testing.T, n int) []byte {
+	t.Helper()
+	coords := append([]float64(nil), fixtureCoords[:2*n]...)
+	src, err := rpdbscan.SliceSource(coords, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := rpdbscan.Options{Eps: 0.5, MinPts: 2, Rho: 0.01, Partitions: 2, Workers: 2, Seed: 1}
+	res, err := rpdbscan.ClusterStream(src, rpdbscan.StreamOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.ModelFlat(coords, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rebuildFixture regenerates testdata/registry from scratch: three
+// generations over growing prefixes, a parent chain, a tagged release, and
+// fixed fit durations (wall time must never leak into a fixture).
+func rebuildFixture(t *testing.T) {
+	t.Helper()
+	if err := os.RemoveAll(fixtureDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(fixtureDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := registry.Open(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parent uint64
+	for i, gen := range []struct {
+		n   int
+		tag string
+	}{{8, ""}, {12, ""}, {16, "release"}} {
+		art := fitArtifact(t, gen.n)
+		m, err := serve.Decode(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := registry.ArtifactHash(art)
+		if _, err := reg.Publish(art, registry.Record{
+			Version:   int64(i + 1),
+			ModelHash: sum,
+			Parent:    parent,
+			Watermark: int64(gen.n),
+			ConfigSum: 0xfeedbead,
+			Points:    int64(m.Len()),
+			Clusters:  int64(m.Info().Clusters),
+			Bytes:     int64(len(art)),
+			FitNs:     int64(i+1) * 1_500_000,
+			Tag:       gen.tag,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		parent = sum
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("rebuilt %s", fixtureDir)
+}
+
+// checkGolden pins one CLI invocation's stdout (exit 0 required) to
+// testdata/<name>.golden.
+func checkGolden(t *testing.T, name string, args ...string) {
+	t.Helper()
+	out, errb, code := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("rpmodel %v exited %d\nstderr:\n%s", args, code, errb)
+	}
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("transcript diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\n(re-run with -update if intentional)",
+			golden, out, want)
+	}
+}
+
+// TestGoldenTranscripts pins list / show / verify on the checked-in
+// fixture registry, byte for byte.
+func TestGoldenTranscripts(t *testing.T) {
+	if *update {
+		rebuildFixture(t)
+	}
+	checkGolden(t, "list", "-dir", fixtureDir, "list")
+	checkGolden(t, "show_version", "-dir", fixtureDir, "show", "2")
+	checkGolden(t, "show_head", "-dir", fixtureDir, "show", "head")
+	checkGolden(t, "show_tag", "-dir", fixtureDir, "show", "release")
+	checkGolden(t, "verify", "-dir", fixtureDir, "verify")
+
+	// show by content hash resolves to the same record as by version.
+	reg, err := registry.Open(fixtureDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := reg.ByVersion(2)
+	reg.Close()
+	if !ok {
+		t.Fatal("fixture has no version 2")
+	}
+	byHash, _, code := runCLI(t, "-dir", fixtureDir, "show", registry.FormatHash(rec.ModelHash))
+	if code != 0 {
+		t.Fatalf("show by hash exited %d", code)
+	}
+	byVersion, err := os.ReadFile(filepath.Join("testdata", "show_version.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(byHash, byVersion) {
+		t.Fatalf("show-by-hash diverges from show-by-version:\n%s\nvs\n%s", byHash, byVersion)
+	}
+}
+
+// copyFixture clones the fixture registry into a temp dir so destructive
+// commands can run against it.
+func copyFixture(t *testing.T) string {
+	t.Helper()
+	dst := t.TempDir()
+	err := filepath.Walk(fixtureDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(fixtureDir, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, raw, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dst
+}
+
+// TestGoldenGC plants orphans in a copy of the fixture (an unreferenced
+// well-formed blob, temp-file debris, a superseded legacy artifact) and
+// pins gc's removal transcript; a second gc removes nothing, and verify
+// still passes.
+func TestGoldenGC(t *testing.T) {
+	dir := copyFixture(t)
+	writes := map[string]string{
+		filepath.Join("blobs", "deadbeefdeadbeef.rpm1"): "orphan",
+		filepath.Join("blobs", "tmp-12345"):             "debris",
+		"model-1-00000000000000aa.rpm1":                 "legacy",
+	}
+	for rel, content := range writes {
+		if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, errb, code := runCLI(t, "-dir", dir, "gc")
+	if code != 0 {
+		t.Fatalf("gc exited %d\nstderr:\n%s", code, errb)
+	}
+	golden := filepath.Join("testdata", "gc.golden")
+	if *update {
+		if err := os.WriteFile(golden, out, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+	} else {
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("gc transcript diverged:\n--- got ---\n%s\n--- want ---\n%s", out, want)
+		}
+	}
+	out, _, code = runCLI(t, "-dir", dir, "gc")
+	if code != 0 || !strings.Contains(string(out), "removed 0 file(s)") {
+		t.Fatalf("second gc should remove nothing, exited %d:\n%s", code, out)
+	}
+	out, errb, code = runCLI(t, "-dir", dir, "verify")
+	if code != 0 || !strings.Contains(string(out), "OK") {
+		t.Fatalf("post-gc verify exited %d:\n%s%s", code, out, errb)
+	}
+}
+
+// TestVerifyRejectsTamper flips one manifest byte in a copy and proves the
+// CLI exits non-zero with a diagnostic — the registry's tamper evidence
+// surfaced at the operator level.
+func TestVerifyRejectsTamper(t *testing.T) {
+	dir := copyFixture(t)
+	manifest := filepath.Join(dir, "manifest.rpl")
+	raw, err := os.ReadFile(manifest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x01
+	if err := os.WriteFile(manifest, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, errb, code := runCLI(t, "-dir", dir, "verify")
+	if code != 1 {
+		t.Fatalf("verify of a tampered registry exited %d, want 1\nstderr:\n%s", code, errb)
+	}
+	if len(errb) == 0 {
+		t.Fatal("tampered verify produced no diagnostic")
+	}
+}
+
+// TestShowUnknownRef pins the not-found exit path.
+func TestShowUnknownRef(t *testing.T) {
+	for _, ref := range []string{"99", "fnv1a:0123456789abcdef", "no-such-tag"} {
+		_, errb, code := runCLI(t, "-dir", fixtureDir, "show", ref)
+		if code != 1 {
+			t.Fatalf("show %s exited %d, want 1", ref, code)
+		}
+		if len(errb) == 0 {
+			t.Fatalf("show %s produced no diagnostic", ref)
+		}
+	}
+}
+
+// TestUsageErrors pins exit 2 on malformed invocations.
+func TestUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"list"},
+		{"-dir", fixtureDir},
+		{"-dir", fixtureDir, "bogus"},
+		{"-dir", fixtureDir, "show"},
+		{"-dir", fixtureDir, "list", "extra"},
+	}
+	for _, args := range cases {
+		if _, _, code := runCLI(t, args...); code != 2 {
+			t.Fatalf("rpmodel %v exited %d, want 2", args, code)
+		}
+	}
+}

@@ -7,6 +7,9 @@
 //
 //	rpserve -model model.rpm [flags]                        # frozen model
 //	rpserve -ingest -eps E -minpts M [-model-dir D] [flags] # online
+//	rpserve -model-dir D -pin fnv1a:HASH [flags]            # pin a generation
+//	rpserve -model-dir D -rollback V [flags]                # serve version V
+//	rpserve -model-dir D -ab HASHA,HASHB,SPLIT [flags]      # A/B split
 //
 // Endpoints:
 //
@@ -24,11 +27,23 @@
 //
 // Online mode: every -refit-watermark ingested points, the server refits
 // the entire ingested prefix with the out-of-core pipeline and atomically
-// swaps the served model. Versioned, checksummed artifacts land in
-// -model-dir as model-<version>-<hash>.rpm1; on boot the newest valid one
-// serves immediately (corrupt files are skipped). A -buffer-dir makes the
-// ingested stream itself durable across restarts. Cold start (no artifact,
-// no -model) answers 503 on prediction endpoints until the first watermark.
+// swaps the served model. Each swap publishes through the content-addressed
+// model registry rooted at -model-dir: the artifact lands in
+// blobs/<hash>.rpm1 and a fit record is appended to the tamper-evident
+// manifest. On boot the registry head serves immediately (a corrupt
+// registry aborts startup — use `rpmodel verify` to diagnose). A
+// -buffer-dir makes the ingested stream itself durable across restarts.
+// Cold start (no head, no -model) answers 503 on prediction endpoints
+// until the first watermark.
+//
+// Registry serving modes (all frozen, mutually exclusive with -ingest and
+// -model, all requiring -model-dir):
+//
+//	-pin fnv1a:HASH    serve exactly the generation with that content hash
+//	-rollback V        serve the generation recorded at version V
+//	-ab A,B,SPLIT      split traffic between two generations by request
+//	                   hash: SPLIT of every 1000 request bodies go to hash
+//	                   A, the rest to hash B; batches route as one unit
 //
 // The server shares one immutable model snapshot across all connections,
 // admits at most -max-inflight requests at once (sheds the rest with 429),
@@ -47,7 +62,10 @@
 //	-drain           graceful shutdown budget (default 10s)
 //	-ingest          enable /ingest + micro-batch refit + hot swap
 //	-refit-watermark refit cadence in ingested points (default 4096)
-//	-model-dir       versioned artifact directory (boot from newest valid)
+//	-model-dir       model registry root (boot from head; publish on swap)
+//	-pin             serve one registry generation by content hash (frozen)
+//	-rollback        serve one registry generation by version (frozen)
+//	-ab              hashA,hashB,split — registry A/B split (frozen)
 //	-buffer-dir      durable ingest-buffer directory
 //	-eps -minpts     fit parameters (required with -ingest)
 //	-rho -partitions -seed -chunk-size -workers
@@ -63,20 +81,79 @@ package main
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log/slog"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"rpdbscan/internal/chaos"
 	"rpdbscan/internal/obs"
+	"rpdbscan/internal/registry"
 	"rpdbscan/internal/serve"
 )
 
 func fatal(log *slog.Logger, msg string, err error) {
 	log.Error(msg, "err", err)
 	os.Exit(1)
+}
+
+// loadSnapshot resolves one manifest record to a served snapshot: blob
+// fetched by content hash (verified against both checksums on read) and
+// decoded, with the record's version / watermark / parent carried along.
+func loadSnapshot(reg *registry.Registry, rec registry.Record) (*serve.Snapshot, error) {
+	blob, err := reg.Blob(rec.ModelHash)
+	if err != nil {
+		return nil, err
+	}
+	m, err := serve.Decode(blob)
+	if err != nil {
+		return nil, err
+	}
+	parent := ""
+	if rec.Parent != 0 {
+		parent = registry.FormatHash(rec.Parent)
+	}
+	return &serve.Snapshot{Model: m, Version: rec.Version, Watermark: rec.Watermark, ParentHash: parent}, nil
+}
+
+// snapshotByHash resolves a -pin / -ab operand ("fnv1a:HEX" or bare hex)
+// through the registry index.
+func snapshotByHash(reg *registry.Registry, ref string) (*serve.Snapshot, error) {
+	sum, err := registry.ParseHash(ref)
+	if err != nil {
+		return nil, err
+	}
+	rec, ok := reg.ByHash(sum)
+	if !ok {
+		return nil, fmt.Errorf("no manifest record for hash %s", registry.FormatHash(sum))
+	}
+	return loadSnapshot(reg, rec)
+}
+
+// parseABSpec splits the -ab operand "hashA,hashB,split" and resolves both
+// arms; split is the per-mille share of requests routed to arm A.
+func parseABSpec(reg *registry.Registry, spec string) (*serve.ABConfig, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("-ab wants hashA,hashB,split, got %q", spec)
+	}
+	split, err := strconv.Atoi(parts[2])
+	if err != nil || split < 0 || split > 1000 {
+		return nil, fmt.Errorf("-ab split must be an integer in [0,1000], got %q", parts[2])
+	}
+	a, err := snapshotByHash(reg, parts[0])
+	if err != nil {
+		return nil, fmt.Errorf("arm A: %w", err)
+	}
+	b, err := snapshotByHash(reg, parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("arm B: %w", err)
+	}
+	return &serve.ABConfig{A: a, B: b, SplitMilli: split}, nil
 }
 
 func main() {
@@ -90,7 +167,10 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz, /debug/pprof and /debug/vars on this address")
 	ingest := flag.Bool("ingest", false, "enable /ingest + micro-batch refit + atomic hot swap")
 	watermark := flag.Int64("refit-watermark", 4096, "refit cadence in ingested points (-ingest)")
-	modelDir := flag.String("model-dir", "", "versioned artifact directory; boot from its newest valid model (-ingest)")
+	modelDir := flag.String("model-dir", "", "model registry root; boot from its head (-ingest) or serve from it (-pin/-rollback/-ab)")
+	pin := flag.String("pin", "", "serve the registry generation with this content hash, frozen (requires -model-dir)")
+	rollback := flag.Int64("rollback", 0, "serve the registry generation recorded at this version, frozen (requires -model-dir)")
+	abSpec := flag.String("ab", "", "hashA,hashB,split — frozen A/B split between two registry generations (requires -model-dir)")
 	bufferDir := flag.String("buffer-dir", "", "durable ingest-buffer directory (-ingest)")
 	eps := flag.Float64("eps", 0, "DBSCAN radius (required with -ingest)")
 	minPts := flag.Int("minpts", 0, "DBSCAN core threshold (required with -ingest)")
@@ -111,8 +191,22 @@ func main() {
 		os.Exit(2)
 	}
 	log = log.With("cmd", "rpserve")
-	if (*modelPath == "" && !*ingest) || flag.NArg() != 0 {
+	modes := 0
+	for _, on := range []bool{*modelPath != "", *ingest, *pin != "", *rollback != 0, *abSpec != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes != 1 || flag.NArg() != 0 {
+		if modes > 1 {
+			log.Error("-model, -ingest, -pin, -rollback and -ab are mutually exclusive")
+		}
 		flag.Usage()
+		os.Exit(2)
+	}
+	registryMode := *pin != "" || *rollback != 0 || *abSpec != ""
+	if registryMode && *modelDir == "" {
+		log.Error("-pin, -rollback and -ab require -model-dir")
 		os.Exit(2)
 	}
 	if *ingest && (*eps <= 0 || *minPts < 1) {
@@ -125,23 +219,64 @@ func main() {
 		}
 	}
 
-	// Boot model resolution: the newest valid versioned artifact wins,
-	// then an explicit -model artifact, then (online mode only) a cold
-	// start that 503s until the first watermark.
+	// Boot model resolution. Online mode boots from the registry head;
+	// -pin / -rollback / -ab resolve their generations through the
+	// registry index; -model loads one artifact file. Cold start (online,
+	// empty registry) 503s until the first watermark.
 	var boot *serve.Model
 	var bootVersion int64
-	if *ingest && *modelDir != "" {
-		if err := os.MkdirAll(*modelDir, 0o755); err != nil {
-			fatal(log, "model dir", err)
-		}
-		m, v, err := serve.LoadNewest(*modelDir)
+	var bootParent string
+	var reg *registry.Registry // online publish target; closed after drain
+	var static *serve.Snapshot
+	var ab *serve.ABConfig
+	if *modelDir != "" && (*ingest || registryMode) {
+		r, err := registry.Open(*modelDir)
 		if err != nil {
-			fatal(log, "scan model dir", err)
+			fatal(log, "open model registry", err)
 		}
-		if m != nil {
-			boot, bootVersion = m, v
-			log.Info("model loaded", "dir", *modelDir, "version", v,
-				"checksum", m.Info().Checksum, "points", m.Len())
+		reg = r
+		switch {
+		case *pin != "":
+			if static, err = snapshotByHash(reg, *pin); err != nil {
+				fatal(log, "pin", err)
+			}
+			log.Info("model pinned", "dir", *modelDir, "version", static.Version,
+				"checksum", static.Model.Info().Checksum, "watermark", static.Watermark)
+		case *rollback != 0:
+			rec, ok := reg.ByVersion(*rollback)
+			if !ok {
+				fatal(log, "rollback", fmt.Errorf("no manifest record for version %d", *rollback))
+			}
+			if static, err = loadSnapshot(reg, rec); err != nil {
+				fatal(log, "rollback", err)
+			}
+			log.Info("model rolled back", "dir", *modelDir, "version", static.Version,
+				"checksum", static.Model.Info().Checksum, "watermark", static.Watermark)
+		case *abSpec != "":
+			if ab, err = parseABSpec(reg, *abSpec); err != nil {
+				fatal(log, "ab", err)
+			}
+			log.Info("ab split", "dir", *modelDir, "split_milli", ab.SplitMilli,
+				"version_a", ab.A.Version, "checksum_a", ab.A.Model.Info().Checksum,
+				"version_b", ab.B.Version, "checksum_b", ab.B.Model.Info().Checksum)
+		default: // -ingest: the head (if any) serves until the next swap
+			if head, ok := reg.Head(); ok {
+				snap, err := loadSnapshot(reg, head)
+				if err != nil {
+					fatal(log, "load registry head", err)
+				}
+				boot, bootVersion, bootParent = snap.Model, snap.Version, snap.ParentHash
+				log.Info("model loaded", "dir", *modelDir, "version", snap.Version,
+					"checksum", snap.Model.Info().Checksum, "points", snap.Model.Len())
+			}
+		}
+		if registryMode {
+			// Frozen modes decode their generations into memory up front;
+			// the registry handle has nothing further to do.
+			if err := reg.Close(); err != nil {
+				fatal(log, "close registry", err)
+			}
+			reg = nil
 		}
 	}
 	if boot == nil && *modelPath != "" {
@@ -167,6 +302,8 @@ func main() {
 		MaxInFlight:    *maxInflight,
 		MaxBatch:       *maxBatch,
 		RequestTimeout: *timeout,
+		Static:         static,
+		AB:             ab,
 		Log:            log,
 	}
 	if *chaosFail > 0 {
@@ -182,19 +319,20 @@ func main() {
 	var srvModel *serve.Model
 	if *ingest {
 		refitter, err = serve.NewRefitter(serve.RefitConfig{
-			Watermark:   *watermark,
-			ModelDir:    *modelDir,
-			BufferDir:   *bufferDir,
-			Eps:         *eps,
-			MinPts:      *minPts,
-			Rho:         *rho,
-			Partitions:  *partitions,
-			Workers:     *workers,
-			Seed:        *seed,
-			ChunkSize:   *chunkSize,
-			Boot:        boot,
-			BootVersion: bootVersion,
-			Log:         log,
+			Watermark:      *watermark,
+			Registry:       reg,
+			BufferDir:      *bufferDir,
+			Eps:            *eps,
+			MinPts:         *minPts,
+			Rho:            *rho,
+			Partitions:     *partitions,
+			Workers:        *workers,
+			Seed:           *seed,
+			ChunkSize:      *chunkSize,
+			Boot:           boot,
+			BootVersion:    bootVersion,
+			BootParentHash: bootParent,
+			Log:            log,
 		})
 		if err != nil {
 			fatal(log, "refitter", err)
@@ -228,6 +366,11 @@ func main() {
 	if refitter != nil {
 		if err := refitter.Close(); err != nil {
 			fatal(log, "close refitter", err)
+		}
+	}
+	if reg != nil {
+		if err := reg.Close(); err != nil {
+			fatal(log, "close registry", err)
 		}
 	}
 	log.Info("stopped")

@@ -16,6 +16,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"rpdbscan/internal/registry"
 )
 
 // update regenerates the golden files instead of comparing against them:
@@ -274,6 +276,117 @@ func TestGoldenIngest(t *testing.T) {
 	t.Run("ingest_predict_versioned", func(t *testing.T) {
 		checkGolden(t, base, "ingest_predict_versioned", "POST", "/predict", `{"point":[1.02,1.01]}`)
 	})
+}
+
+// awaitVersion polls /model/info until the served generation reaches v
+// (polling is never part of a golden transcript).
+func awaitVersion(t *testing.T, base string, v int64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/model/info")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vi struct {
+			Version int64 `json:"version"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&vi)
+		resp.Body.Close()
+		if err == nil && vi.Version >= v {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("generation %d never served", v)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// ingestJSON posts one ingest body and asserts 200.
+func ingestJSON(t *testing.T, base, body string) {
+	t.Helper()
+	resp, err := http.Post(base+"/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		reply, _ := io.ReadAll(resp.Body)
+		t.Fatalf("ingest = %d %s", resp.StatusCode, reply)
+	}
+}
+
+// TestGoldenRegistryLifecycle walks the registry serving modes end to end
+// through the real CLI, pinned to golden transcripts. One online rpserve
+// grows a registry to two generations (fixed points, fixed fit flags, so
+// both artifacts are byte-deterministic) and drains; then `-rollback 1`
+// serves the prior generation, `-pin` serves generation 1 by content hash,
+// and `-ab` splits between both — each mode's /model/info and a
+// version-stamped prediction pinned byte for byte. The rollback goldens
+// prove there is no torn swap: version 1's exact checksum and watermark
+// serve again after version 2 existed.
+func TestGoldenRegistryLifecycle(t *testing.T) {
+	dir := t.TempDir()
+
+	// Phase 1: grow the registry to two generations online, then drain.
+	base, stop := startCLI(t,
+		"-ingest", "-refit-watermark", "8",
+		"-eps", "0.5", "-minpts", "2", "-partitions", "2", "-workers", "2",
+		"-seed", "1", "-model-dir", dir,
+	)
+	ingestJSON(t, base, `{"points":[[1,1],[1.1,1],[0.9,1.1],[1,0.9],[-1,-1],[-1.1,-0.9],[-0.9,-1],[1.05,0.95]]}`)
+	awaitVersion(t, base, 1)
+	ingestJSON(t, base, `{"points":[[-1.05,-0.95],[1.02,1.01],[0.98,0.99],[-0.98,-1.01],[6,6],[1.0,1.05],[-1.0,-1.05],[0.95,1.0]]}`)
+	awaitVersion(t, base, 2)
+	stop() // SIGTERM: drains, seals the manifest, exits 0
+
+	// Resolve both generations' content hashes from the sealed registry.
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec1, ok1 := reg.ByVersion(1)
+	rec2, ok2 := reg.ByVersion(2)
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok1 || !ok2 {
+		t.Fatalf("registry missing generations: v1=%v v2=%v", ok1, ok2)
+	}
+	hash1 := registry.FormatHash(rec1.ModelHash)
+	hash2 := registry.FormatHash(rec2.ModelHash)
+
+	// Phase 2: -rollback 1 serves the prior generation, frozen.
+	base, stop = startCLI(t, "-model-dir", dir, "-rollback", "1")
+	t.Run("rollback_model_info", func(t *testing.T) {
+		checkGolden(t, base, "rollback_model_info", "GET", "/model/info", "")
+	})
+	t.Run("rollback_predict", func(t *testing.T) {
+		checkGolden(t, base, "rollback_predict", "POST", "/predict", `{"point":[1.02,1.01]}`)
+	})
+	stop()
+
+	// Phase 3: -pin addresses the same generation by content hash.
+	base, stop = startCLI(t, "-model-dir", dir, "-pin", hash1)
+	t.Run("pin_model_info", func(t *testing.T) {
+		checkGolden(t, base, "pin_model_info", "GET", "/model/info", "")
+	})
+	t.Run("pin_predict", func(t *testing.T) {
+		checkGolden(t, base, "pin_predict", "POST", "/predict", `{"point":[-1.02,-0.99]}`)
+	})
+	stop()
+
+	// Phase 4: -ab splits between both generations; the fixed request body
+	// routes deterministically, so the stamped version is golden-stable.
+	base, stop = startCLI(t, "-model-dir", dir, "-ab", hash1+","+hash2+",300")
+	t.Run("ab_model_info", func(t *testing.T) {
+		checkGolden(t, base, "ab_model_info", "GET", "/model/info", "")
+	})
+	t.Run("ab_predict", func(t *testing.T) {
+		checkGolden(t, base, "ab_predict", "POST", "/predict", `{"point":[0.97,1.03]}`)
+	})
+	stop()
 }
 
 // TestGracefulSIGTERM pins the drain contract at the process level: a

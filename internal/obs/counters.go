@@ -80,6 +80,15 @@ var Counters = struct {
 	// ModelSwaps counts atomic served-model pointer flips (one per
 	// validated refit).
 	ModelSwaps *expvar.Int
+	// RegistryPublishes counts artifacts published into the model registry
+	// (blob write + manifest record).
+	RegistryPublishes *expvar.Int
+	// RegistryBlobBytes accumulates blob bytes written by registry
+	// publishes (deduplicated republishes add nothing).
+	RegistryBlobBytes *expvar.Int
+	// RegistryGCRemoved counts files removed by registry garbage
+	// collection (unreferenced blobs, temp strays, stale legacy artifacts).
+	RegistryGCRemoved *expvar.Int
 }{
 	PointsRead:          expvar.NewInt("rpdbscan.points_read"),
 	CellsBuilt:          expvar.NewInt("rpdbscan.cells_built"),
@@ -108,6 +117,9 @@ var Counters = struct {
 	RefitFailures:       expvar.NewInt("rpdbscan.refit_failures"),
 	RefitPoints:         expvar.NewInt("rpdbscan.refit_points"),
 	ModelSwaps:          expvar.NewInt("rpdbscan.model_swaps"),
+	RegistryPublishes:   expvar.NewInt("rpdbscan.registry_publishes"),
+	RegistryBlobBytes:   expvar.NewInt("rpdbscan.registry_blob_bytes"),
+	RegistryGCRemoved:   expvar.NewInt("rpdbscan.registry_gc_removed"),
 }
 
 // counterHelp is the per-counter description the Prometheus exposition
@@ -142,6 +154,9 @@ var counterHelp = map[string]string{
 	"rpdbscan.refit_failures":       "Refit attempts that produced no swap (old model kept serving).",
 	"rpdbscan.refit_points":         "Points covered by completed refits (full prefix per refit).",
 	"rpdbscan.model_swaps":          "Atomic served-model pointer flips after validated refits.",
+	"rpdbscan.registry_publishes":   "Artifacts published into the model registry (blob + manifest record).",
+	"rpdbscan.registry_blob_bytes":  "Blob bytes written by registry publishes (dedup republishes add nothing).",
+	"rpdbscan.registry_gc_removed":  "Files removed by registry GC (unreferenced blobs, temp strays, stale legacy artifacts).",
 }
 
 // CounterHelp returns the description of the named counter for exposition

@@ -268,6 +268,11 @@ var Histograms = struct {
 	// nanoseconds. The served model is stale-but-valid for this long
 	// after a fit completes, never absent.
 	SwapLatencyNs *Histogram
+	// ManifestAppendNs records the durable-append window of each registry
+	// manifest batch (frame writes + fsync + HEAD seal), in nanoseconds.
+	// Appends are batched off the swap path, so this bounds publish-to-
+	// durable lag, not swap latency.
+	ManifestAppendNs *Histogram
 }{
 	ServeLatencyNs:     registerHistogram("rpdbscan.serve_latency_ns", "Prediction-server handler latency in nanoseconds."),
 	PredictBatchPoints: registerHistogram("rpdbscan.predict_batch_points", "Points per /predict/batch request."),
@@ -276,6 +281,7 @@ var Histograms = struct {
 	IngestBatchPoints:  registerHistogram("rpdbscan.ingest_batch_points", "Points per accepted /ingest request."),
 	RefitDurationNs:    registerHistogram("rpdbscan.refit_duration_ns", "Micro-batch refit duration (fit + model build), in nanoseconds."),
 	SwapLatencyNs:      registerHistogram("rpdbscan.swap_latency_ns", "Hot-swap window (persist + validate + pointer flip), in nanoseconds."),
+	ManifestAppendNs:   registerHistogram("rpdbscan.manifest_append_ns", "Registry manifest batch append (frames + fsync + HEAD seal), in nanoseconds."),
 }
 
 // histRegistry lists the registered histograms in registration order for

@@ -1,0 +1,151 @@
+package registry
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzManifestDecode throws arbitrary bytes at the manifest scanner. The
+// scanner must never panic, must bound allocation by the input size, and
+// every record it does accept must re-encode byte-identical to the bytes
+// it consumed (the chain walk re-derived from scratch must agree).
+func FuzzManifestDecode(f *testing.F) {
+	// Seeds: empty manifest, one record, three records, a torn tail, and
+	// a record with a tag.
+	seed := func(recs ...Record) []byte {
+		buf := []byte(manifestMagic)
+		chain := chainSeed()
+		for _, rec := range recs {
+			frame, next, err := encodeFrame(chain, rec)
+			if err != nil {
+				f.Fatal(err)
+			}
+			buf = append(buf, frame...)
+			chain = next
+		}
+		return buf
+	}
+	f.Add([]byte(manifestMagic))
+	f.Add(seed(Record{Version: 1, ModelHash: 0xabc}))
+	f.Add(seed(
+		Record{Version: 1, ModelHash: 0xabc, Watermark: 8},
+		Record{Version: 2, ModelHash: 0xdef, Parent: 0xabc, Watermark: 16},
+		Record{Version: 3, ModelHash: 0x123, Parent: 0xdef, Watermark: 24, Tag: "head"},
+	))
+	f.Add(seed(Record{Version: 1, ModelHash: 0xabc})[:20])
+	f.Add(append(seed(Record{Version: 9, ModelHash: 1, Tag: "rollback"}), 0xff, 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < len(manifestMagic) || string(data[:len(manifestMagic)]) != manifestMagic {
+			return
+		}
+		scan := scanManifest(data)
+		if scan.end < int64(len(manifestMagic)) || scan.end > int64(len(data)) {
+			t.Fatalf("scan.end %d outside [4, %d]", scan.end, len(data))
+		}
+		if scan.damaged == (scan.derr == nil) {
+			t.Fatalf("damaged=%v but derr=%v", scan.damaged, scan.derr)
+		}
+		if !scan.damaged && scan.end != int64(len(data)) {
+			t.Fatalf("clean scan stopped at %d of %d", scan.end, len(data))
+		}
+		// Accepted records must reproduce the consumed bytes exactly when
+		// re-encoded with a fresh chain: the format is canonical.
+		reenc := []byte(manifestMagic)
+		chain := chainSeed()
+		for i, rec := range scan.recs {
+			frame, next, err := encodeFrame(chain, rec)
+			if err != nil {
+				t.Fatalf("record %d accepted but does not re-encode: %v", i, err)
+			}
+			reenc = append(reenc, frame...)
+			chain = next
+		}
+		if !bytes.Equal(reenc, data[:scan.end]) {
+			t.Fatalf("re-encoding %d records diverges from consumed bytes", len(scan.recs))
+		}
+		if chain != scan.tip() {
+			t.Fatalf("re-derived chain %016x != scan tip %016x", chain, scan.tip())
+		}
+	})
+}
+
+// FuzzRegistryOpen builds a registry directory from fuzzed manifest bytes
+// plus one planted valid blob and opens it. Open must never panic; when
+// it succeeds, the index must be consistent with Records() and the sealed
+// ledger must survive a reopen.
+func FuzzRegistryOpen(f *testing.F) {
+	art := testArtifact(1)
+	sum := ArtifactHash(art)
+	valid := []byte(manifestMagic)
+	frame, _, err := encodeFrame(chainSeed(), Record{Version: 1, ModelHash: sum, Watermark: 8})
+	if err != nil {
+		f.Fatal(err)
+	}
+	valid = append(valid, frame...)
+	f.Add([]byte(manifestMagic), []byte(nil))
+	f.Add(valid, []byte(nil))
+	validScan := scanManifest(valid)
+	f.Add(valid, encodeHead(1, validScan.tip()))
+	f.Add(valid[:9], []byte(nil))
+	f.Add([]byte("NOPE"), encodeHead(0, chainSeed()))
+
+	f.Fuzz(func(t *testing.T, manifest, head []byte) {
+		if len(manifest) > 1<<16 || len(head) > 256 {
+			return // keep the corpus small; framing limits are covered
+		}
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, blobDirName), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s/%016x.rpm1", blobDirName, sum)), art, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if len(head) > 0 {
+			if err := os.WriteFile(filepath.Join(dir, headName), head, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r, err := Open(dir)
+		if err != nil {
+			return // rejected: fine, as long as nothing panicked
+		}
+		recs := r.Records()
+		for _, rec := range recs {
+			got, ok := r.ByVersion(rec.Version)
+			if !ok {
+				t.Fatalf("version %d in ledger but not in index", rec.Version)
+			}
+			if got.Version != rec.Version {
+				t.Fatalf("index resolves version %d to %d", rec.Version, got.Version)
+			}
+			if _, ok := r.ByHash(rec.ModelHash); !ok {
+				t.Fatalf("hash %016x in ledger but not in index", rec.ModelHash)
+			}
+		}
+		if head, ok := r.Head(); ok != (len(recs) > 0) {
+			t.Fatalf("Head ok=%v with %d records", ok, len(recs))
+		} else if ok && head != recs[len(recs)-1] {
+			t.Fatalf("Head %+v != last record", head)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Whatever Open accepted it must have sealed: reopen sees the
+		// same ledger.
+		r2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("accepted registry fails reopen: %v", err)
+		}
+		if len(r2.Records()) != len(recs) {
+			t.Fatalf("reopen sees %d records, had %d", len(r2.Records()), len(recs))
+		}
+		r2.Close()
+	})
+}

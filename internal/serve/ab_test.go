@@ -1,0 +1,206 @@
+package serve_test
+
+// The A/B serving tier: two registry-pinned generations split
+// deterministically by request hash, proven from the client side — every
+// reply's model_version re-predicted against the named artifact, and the
+// split ratio matched exactly against the router, not statistically.
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+
+	"rpdbscan/internal/registry"
+	"rpdbscan/internal/serve"
+)
+
+// abFixture publishes two distinct generations into a fresh registry and
+// returns their snapshots (loaded back through registry blobs, exactly as
+// rpserve -ab does) plus the registry.
+func abFixture(t *testing.T) (*registry.Registry, *serve.Snapshot, *serve.Snapshot) {
+	t.Helper()
+	reg, err := registry.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+
+	mkSnap := func(version int64, n int, parent uint64) *serve.Snapshot {
+		var coords []float64
+		for i := 0; i < n; i++ {
+			coords = append(coords, ingestPoint(i)...)
+		}
+		art := offlineArtifact(t, coords, 2)
+		m, err := serve.Decode(art)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := reg.Publish(art, registry.Record{
+			Version: version, ModelHash: m.Checksum(), Parent: parent, Watermark: int64(n),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := reg.Blob(m.Checksum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := serve.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &serve.Snapshot{Model: loaded, Version: version, Watermark: int64(n)}
+	}
+	// Two genuinely different fits: different prefixes of the same stream.
+	snapA := mkSnap(1, 60, 0)
+	snapB := mkSnap(2, 120, snapA.Model.Checksum())
+	if snapA.Model.Checksum() == snapB.Model.Checksum() {
+		t.Fatal("fixture arms are identical; the split would be unobservable")
+	}
+	return reg, snapA, snapB
+}
+
+// TestABDifferential drives concurrent clients against an -ab split and
+// proves, request by request: (1) the model_version in every reply is the
+// one the deterministic request-hash router names for that exact body;
+// (2) re-predicting the point against the named arm's registry artifact
+// reproduces the reply bit for bit; (3) the observed split count equals
+// the router's count over the request set — exact, not within tolerance.
+func TestABDifferential(t *testing.T) {
+	reg, snapA, snapB := abFixture(t)
+	ab := &serve.ABConfig{A: snapA, B: snapB, SplitMilli: 300}
+	h := serve.NewServer(nil, serve.ServerConfig{MaxInFlight: 64, AB: ab}).Handler()
+
+	// Re-load both arms from the registry by hash: the oracle predicts
+	// from the artifact bytes, not from the serving process's memory.
+	oracle := map[int64]*serve.Model{}
+	for _, s := range []*serve.Snapshot{snapA, snapB} {
+		blob, err := reg.Blob(s.Model.Checksum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := serve.Decode(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle[s.Version] = m
+	}
+
+	type obsAB struct {
+		point   []float64
+		version int64
+		pred    serve.Prediction
+	}
+	const clients, perClient = 8, 60
+	observed := make([][]obsAB, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)*7919 + 13))
+			for i := 0; i < perClient; i++ {
+				p := []float64{rng.Float64()*4 - 2, rng.Float64()*4 - 2}
+				body, _ := json.Marshal(map[string]any{"point": p})
+				code, reply := postJSON(h, "POST", "/predict", body)
+				if code != http.StatusOK {
+					t.Errorf("predict = %d %q", code, reply)
+					return
+				}
+				var vp versionedPrediction
+				if err := json.Unmarshal(reply, &vp); err != nil {
+					t.Errorf("reply: %v", err)
+					return
+				}
+				observed[c] = append(observed[c], obsAB{point: p, version: vp.ModelVersion, pred: vp.Prediction})
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	var gotA, wantA, total int
+	for c := range observed {
+		if len(observed[c]) != perClient {
+			t.Fatalf("client %d observed %d replies, want %d", c, len(observed[c]), perClient)
+		}
+		for _, o := range observed[c] {
+			total++
+			toA := ab.RouteSingle(o.point) // the server's exact router
+			wantVersion := snapB.Version
+			if toA {
+				wantVersion = snapA.Version
+				wantA++
+			}
+			if o.version != wantVersion {
+				t.Fatalf("point %v routed to version %d, router names %d", o.point, o.version, wantVersion)
+			}
+			if o.version == snapA.Version {
+				gotA++
+			}
+			// The named artifact must reproduce the reply exactly.
+			want, err := oracle[o.version].Predict(o.point)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want != o.pred {
+				t.Fatalf("version %d replied %+v for %v; its registry artifact predicts %+v",
+					o.version, o.pred, o.point, want)
+			}
+		}
+	}
+	if gotA != wantA {
+		t.Fatalf("observed %d/%d replies from arm A, router expects exactly %d", gotA, total, wantA)
+	}
+	if gotA == 0 || gotA == total {
+		t.Fatalf("split 300/1000 sent %d/%d to A: fixture points never exercised both arms", gotA, total)
+	}
+	t.Logf("split: %d/%d to arm A (router-exact)", gotA, total)
+
+	// Batch requests route as one unit and stamp the arm's version.
+	pts := [][]float64{{0.9, 1.1}, {-1.0, -0.9}, {3.5, 3.5}}
+	body, _ := json.Marshal(map[string]any{"points": pts})
+	code, reply := postJSON(h, "POST", "/predict/batch", body)
+	if code != http.StatusOK {
+		t.Fatalf("batch = %d %q", code, reply)
+	}
+	var br struct {
+		Predictions  []serve.Prediction `json:"predictions"`
+		ModelVersion int64              `json:"model_version"`
+	}
+	if err := json.Unmarshal(reply, &br); err != nil {
+		t.Fatal(err)
+	}
+	wantVersion := snapB.Version
+	if ab.RouteBatch(pts) {
+		wantVersion = snapA.Version
+	}
+	if br.ModelVersion != wantVersion {
+		t.Fatalf("batch routed to version %d, router names %d", br.ModelVersion, wantVersion)
+	}
+	for i, p := range pts {
+		want, err := oracle[br.ModelVersion].Predict(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if br.Predictions[i] != want {
+			t.Fatalf("batch point %d: got %+v, artifact predicts %+v", i, br.Predictions[i], want)
+		}
+	}
+
+	// /model/info reports arm A: the pinned baseline.
+	code, reply = postJSON(h, "GET", "/model/info", nil)
+	if code != http.StatusOK {
+		t.Fatalf("info = %d", code)
+	}
+	var vi serve.VersionInfo
+	if err := json.Unmarshal(reply, &vi); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != snapA.Version {
+		t.Fatalf("info reports version %d, want arm A (%d)", vi.Version, snapA.Version)
+	}
+}

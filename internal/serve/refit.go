@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log/slog"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -17,6 +19,7 @@ import (
 	"rpdbscan/internal/geom"
 	"rpdbscan/internal/obs"
 	"rpdbscan/internal/pointio"
+	"rpdbscan/internal/registry"
 )
 
 // Snapshot is one immutable served-model generation. The refitter
@@ -90,9 +93,15 @@ type RefitConfig struct {
 	// exact multiple (W, 2W, 3W, ...) of ingested points, each over the
 	// full prefix up to that multiple. Required, > 0.
 	Watermark int64
-	// ModelDir, when set, receives one validated artifact per swap, named
-	// model-<version>-<checksum>.rpm1. Empty keeps models in memory only.
+	// ModelDir, when set, is the model-registry root: every swap publishes
+	// its artifact content-addressed (blobs/<hash>.rpm1) with a fit record
+	// appended to the registry's tamper-evident manifest. Empty keeps
+	// models in memory only.
 	ModelDir string
+	// Registry, when set, is the registry to publish through (the caller
+	// keeps ownership). Nil with a ModelDir makes the refitter open and
+	// own one rooted there.
+	Registry *registry.Registry
 	// BufferDir, when set, backs the ingest buffer with durable spill
 	// segments (see IngestBuffer). Empty keeps the buffer memory-only.
 	BufferDir string
@@ -139,6 +148,14 @@ type Refitter struct {
 	buf *IngestBuffer
 	cur atomic.Pointer[Snapshot]
 
+	// reg is the publish target (nil without a model dir); ownReg marks a
+	// registry the refitter opened itself and must close.
+	reg    *registry.Registry
+	ownReg bool
+	// configSum fingerprints the fit configuration for manifest records:
+	// same prefix + same configSum ⇒ byte-identical artifact.
+	configSum uint64
+
 	notify chan struct{} // cap 1: "total may have crossed nextTarget"
 	done   chan struct{} // closed when the refit goroutine exits
 
@@ -161,20 +178,29 @@ func NewRefitter(cfg RefitConfig) (*Refitter, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	if cfg.ModelDir != "" {
-		if err := os.MkdirAll(cfg.ModelDir, 0o755); err != nil {
-			return nil, fmt.Errorf("serve: model dir: %w", err)
+	reg, ownReg := cfg.Registry, false
+	if reg == nil && cfg.ModelDir != "" {
+		var err error
+		if reg, err = registry.Open(cfg.ModelDir); err != nil {
+			return nil, fmt.Errorf("serve: model registry: %w", err)
 		}
+		ownReg = true
 	}
 	buf, err := NewIngestBuffer(cfg.BufferDir)
 	if err != nil {
+		if ownReg {
+			reg.Close()
+		}
 		return nil, err
 	}
 	r := &Refitter{
-		cfg:    cfg,
-		buf:    buf,
-		notify: make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		cfg:       cfg,
+		buf:       buf,
+		reg:       reg,
+		ownReg:    ownReg,
+		configSum: configFingerprint(cfg),
+		notify:    make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	if cfg.Boot != nil {
 		r.cur.Store(&Snapshot{
@@ -196,6 +222,32 @@ func (r *Refitter) Current() *Snapshot { return r.cur.Load() }
 
 // Buffer exposes the ingest buffer (the HTTP layer appends to it).
 func (r *Refitter) Buffer() *IngestBuffer { return r.buf }
+
+// Registry exposes the publish target (nil without a model dir). Callers
+// must not Close a registry they did not pass in.
+func (r *Refitter) Registry() *registry.Registry { return r.reg }
+
+// configFingerprint hashes the fit configuration fields that determine the
+// artifact bytes for a given prefix: the manifest's config_sum column.
+func configFingerprint(cfg RefitConfig) uint64 {
+	parts := cfg.Partitions
+	if parts == 0 {
+		parts = cfg.Workers
+	}
+	chunk := cfg.ChunkSize
+	if chunk == 0 {
+		chunk = core.DefaultChunkSize
+	}
+	buf := make([]byte, 0, 64)
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(cfg.Eps))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(cfg.MinPts))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(cfg.Rho))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(parts))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(cfg.Seed))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(chunk))
+	buf = append(buf, cfg.Backend...)
+	return fnv64a(buf)
+}
 
 // Watermark returns the refit cadence in points.
 func (r *Refitter) Watermark() int64 { return r.cfg.Watermark }
@@ -248,7 +300,13 @@ func (r *Refitter) Close() error {
 	r.mu.Unlock()
 	r.wake()
 	<-r.done
-	return r.buf.Close()
+	err := r.buf.Close()
+	if r.ownReg {
+		if rerr := r.reg.Close(); err == nil {
+			err = rerr
+		}
+	}
+	return err
 }
 
 // loop is the refit goroutine: wait for a signal, then fit every crossed
@@ -284,8 +342,10 @@ func (r *Refitter) loop() {
 func (r *Refitter) refitTo(target int64) {
 	version := target / r.cfg.Watermark
 	parent := ""
+	var parentSum uint64
 	if cur := r.cur.Load(); cur != nil {
 		parent = cur.Model.Info().Checksum
+		parentSum = cur.Model.Checksum()
 	}
 	ev := SwapEvent{Version: version, Watermark: target, ParentHash: parent}
 	defer func() {
@@ -318,7 +378,7 @@ func (r *Refitter) refitTo(target int64) {
 	obs.Histograms.RefitDurationNs.Record(int64(ev.FitDuration))
 
 	swapStart := time.Now()
-	path, err := r.persist(m, version)
+	path, err := r.publish(m, version, target, parentSum, ev.FitDuration)
 	if err != nil {
 		ev.Err = err
 		return
@@ -418,46 +478,44 @@ func (r *Refitter) cluster() (*engine.Cluster, func(), error) {
 	return cl, func() {}, nil
 }
 
-// persist writes the generation's artifact and validates it end to end
-// before the caller may swap: encode, write to a temp file, rename into
-// place, re-read, decode, and byte-compare against the in-memory encoding.
-// A model that cannot be proven durable and loadable never serves. Returns
-// "" without a model dir (in-memory generations skip persistence).
-func (r *Refitter) persist(m *Model, version int64) (string, error) {
-	if r.cfg.ModelDir == "" {
+// publish stores the generation's artifact through the registry and
+// validates it end to end before the caller may swap: encode, publish
+// (content-addressed blob, fsynced and read back; fit record appended to
+// the tamper-evident manifest), then re-read the blob, byte-compare, and
+// decode. A model that cannot be proven durable and loadable never
+// serves. The manifest record itself rides the registry's batched
+// appender, so ledger fsync stays off this path. Returns "" without a
+// model dir (in-memory generations skip persistence).
+func (r *Refitter) publish(m *Model, version, watermark int64, parent uint64, fitDur time.Duration) (string, error) {
+	if r.reg == nil {
 		return "", nil
 	}
 	art := m.Encode()
-	name := artifactName(version, m.Checksum())
-	path := filepath.Join(r.cfg.ModelDir, name)
-	tmp, err := os.CreateTemp(r.cfg.ModelDir, name+".tmp-*")
+	sum := m.Checksum()
+	rec := registry.Record{
+		Version:   version,
+		ModelHash: sum,
+		Parent:    parent,
+		Watermark: watermark,
+		ConfigSum: r.configSum,
+		Points:    int64(m.Len()),
+		Clusters:  int64(m.Info().Clusters),
+		Bytes:     int64(len(art)),
+		FitNs:     fitDur.Nanoseconds(),
+	}
+	path, err := r.reg.Publish(art, rec)
 	if err != nil {
-		return "", fmt.Errorf("serve: persist model: %w", err)
+		return "", fmt.Errorf("serve: publish model: %w", err)
 	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(art); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("serve: persist model: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return "", fmt.Errorf("serve: persist model: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return "", fmt.Errorf("serve: persist model: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return "", fmt.Errorf("serve: persist model: %w", err)
-	}
-	back, err := os.ReadFile(path)
+	back, err := r.reg.Blob(sum)
 	if err != nil {
-		return "", fmt.Errorf("serve: validate artifact: %w", err)
+		return "", fmt.Errorf("serve: validate artifact %016x: %w", sum, err)
 	}
 	if string(back) != string(art) {
-		return "", fmt.Errorf("serve: validate artifact %s: readback differs from encoding", name)
+		return "", fmt.Errorf("serve: validate artifact %016x: readback differs from encoding", sum)
 	}
 	if _, err := Decode(back); err != nil {
-		return "", fmt.Errorf("serve: validate artifact %s: %w", name, err)
+		return "", fmt.Errorf("serve: validate artifact %016x: %w", sum, err)
 	}
 	return path, nil
 }

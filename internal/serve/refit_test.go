@@ -14,6 +14,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +24,7 @@ import (
 	"rpdbscan/internal/core"
 	"rpdbscan/internal/engine"
 	"rpdbscan/internal/obs"
+	"rpdbscan/internal/registry"
 	"rpdbscan/internal/serve"
 	"rpdbscan/internal/transport"
 )
@@ -135,10 +137,13 @@ func offlineArtifact(t *testing.T, coords []float64, dim int) []byte {
 }
 
 // assertDifferential proves every swapped generation byte-identical to the
-// offline oracle over the same prefix, and the parent-hash chain intact.
+// offline oracle over the same prefix, the parent-hash chain intact, and
+// every generation retrievable from the model registry by hash — the same
+// bytes the server swapped in, under a manifest that passes Verify.
 func assertDifferential(t *testing.T, r *serve.Refitter, events []serve.SwapEvent) {
 	t.Helper()
 	dim := r.Buffer().Dim()
+	reg := r.Registry()
 	prevChecksum := ""
 	for _, ev := range events {
 		if ev.Err != nil {
@@ -167,6 +172,31 @@ func assertDifferential(t *testing.T, r *serve.Refitter, events []serve.SwapEven
 		if sum := m.Info().Checksum; sum != ev.Checksum {
 			t.Fatalf("version %d checksum %s, offline %s", ev.Version, ev.Checksum, sum)
 		}
+		// Registry retrievability: the generation must come back by hash,
+		// byte-identical to what was served, with a manifest record that
+		// names the exact version and watermark.
+		hash, err := registry.ParseHash(ev.Checksum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := reg.Blob(hash)
+		if err != nil {
+			t.Fatalf("version %d not retrievable from registry: %v", ev.Version, err)
+		}
+		if !bytes.Equal(blob, want) {
+			t.Fatalf("version %d registry blob differs from the served artifact", ev.Version)
+		}
+		rec, ok := reg.ByHash(hash)
+		if !ok || rec.Version != ev.Version || rec.Watermark != ev.Watermark {
+			t.Fatalf("registry record for version %d = %+v, %v", ev.Version, rec, ok)
+		}
+	}
+	rep, err := reg.Verify()
+	if err != nil {
+		t.Fatalf("registry verify: %v", err)
+	}
+	if rep.Records < len(events) {
+		t.Fatalf("registry verified %d records for %d swaps", rep.Records, len(events))
 	}
 }
 
@@ -426,12 +456,15 @@ func TestRefitFailureNoTornSwap(t *testing.T) {
 	if cur := r.Current(); cur != nil {
 		t.Fatalf("failed refit swapped a model in: version %d", cur.Version)
 	}
-	entries, err := os.ReadDir(cfg.ModelDir)
+	if head, ok := r.Registry().Head(); ok {
+		t.Fatalf("failed refit published a manifest record: %+v", head)
+	}
+	blobs, err := os.ReadDir(filepath.Join(cfg.ModelDir, "blobs"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range entries {
-		t.Fatalf("failed refit left artifact %s", e.Name())
+	for _, e := range blobs {
+		t.Fatalf("failed refit left artifact blob %s", e.Name())
 	}
 
 	// The next watermark proceeds as if nothing happened; version 1 stays
@@ -563,8 +596,9 @@ func TestRefitProcKillChaos(t *testing.T) {
 
 // TestRefitterRecoversDurableBuffer closes an online server mid-stream and
 // reopens it over the same buffer and model directories: the stream and
-// the served generation must come back, and refits must continue from
-// where they left off.
+// the served generation must come back (boot resolves through the
+// registry head, as rpserve does), and refits must continue from where
+// they left off.
 func TestRefitterRecoversDurableBuffer(t *testing.T) {
 	const watermark = 40
 	bufDir := t.TempDir()
@@ -574,15 +608,30 @@ func TestRefitterRecoversDurableBuffer(t *testing.T) {
 		cfg.ModelDir = modelDir
 		cfg.BufferDir = bufDir
 		cfg.OnSwap = rec.record
-		boot, v, err := serve.LoadNewest(modelDir)
+		reg, err := registry.Open(modelDir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.Boot, cfg.BootVersion = boot, v
+		if head, ok := reg.Head(); ok {
+			blob, err := reg.Blob(head.ModelHash)
+			if err != nil {
+				t.Fatal(err)
+			}
+			boot, err := serve.Decode(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Boot, cfg.BootVersion = boot, head.Version
+			if head.Parent != 0 {
+				cfg.BootParentHash = registry.FormatHash(head.Parent)
+			}
+		}
+		cfg.Registry = reg
 		r, err := serve.NewRefitter(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
+		t.Cleanup(func() { reg.Close() })
 		return r
 	}
 
@@ -590,6 +639,11 @@ func TestRefitterRecoversDurableBuffer(t *testing.T) {
 	r1 := mk(rec1)
 	ingestDirect(t, r1, 0, watermark+13) // one watermark plus a tail
 	if err := r1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The first life's registry is caller-owned: close it so the manifest
+	// record is sealed before the second life opens the same directory.
+	if err := r1.Registry().Close(); err != nil {
 		t.Fatal(err)
 	}
 	if ev := <-rec1.ch; ev.Version != 1 || ev.Err != nil {
@@ -632,15 +686,24 @@ func TestRefitterRecoversDurableBuffer(t *testing.T) {
 	if !bytes.Equal(got, want) {
 		t.Fatal("post-recovery artifact differs from stop-the-world fit over the recovered stream")
 	}
-	// And LoadNewest boots the newest generation.
-	m, v, err := serve.LoadNewest(modelDir)
+	// And the registry head resolves the newest generation — the boot
+	// path a third life would take.
+	head, ok := r2.Registry().Head()
+	if !ok || head.Version != 2 {
+		t.Fatalf("registry head = %+v, %v; want version 2", head, ok)
+	}
+	blob, err := r2.Registry().Blob(head.ModelHash)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v != 2 || m == nil {
-		t.Fatalf("LoadNewest = version %d, want 2", v)
+	m, err := serve.Decode(blob)
+	if err != nil {
+		t.Fatal(err)
 	}
 	if fmt.Sprintf("fnv1a:%016x", m.Checksum()) != ev.Checksum {
-		t.Fatal("LoadNewest returned a different artifact than the swap event")
+		t.Fatal("registry head resolves a different artifact than the swap event")
+	}
+	if head.Parent == 0 {
+		t.Fatal("version 2 record lost its parent lineage")
 	}
 }

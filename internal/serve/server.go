@@ -54,6 +54,57 @@ type ServerConfig struct {
 	// passes through RefitConfig.Boot, not NewServer). Nil serves one
 	// frozen model forever, exactly as before.
 	Refitter *Refitter
+	// Static, when non-nil, is the frozen snapshot to serve — a registry
+	// pin or rollback with its real version, watermark, and parent hash.
+	// Takes precedence over the model passed to NewServer; requires a nil
+	// Refitter.
+	Static *Snapshot
+	// AB, when non-nil, splits prediction traffic deterministically
+	// between two pinned snapshots by request hash. Requires a nil
+	// Refitter; /model/info reports arm A.
+	AB *ABConfig
+}
+
+// ABConfig is a deterministic A/B split between two frozen snapshots.
+// Routing hashes the request's canonical point encoding, so which arm
+// answers is a pure function of the request body — independent of arrival
+// order and concurrency, reproducible by anyone holding the split config.
+// Every reply's model_version names the arm that served it, which is what
+// makes the split observable and auditable from the client side.
+type ABConfig struct {
+	// A and B are the two serving snapshots.
+	A, B *Snapshot
+	// SplitMilli is the share of traffic routed to arm A, in thousandths
+	// (0..1000).
+	SplitMilli int
+}
+
+// RouteSingle reports whether a /predict request for point routes to arm
+// A. Exported so differential harnesses share the server's exact router.
+func (ab *ABConfig) RouteSingle(point []float64) bool {
+	return ab.route(encodePoint(point))
+}
+
+// RouteBatch reports whether a /predict/batch request routes to arm A.
+// The whole batch routes as one unit (one reply, one model_version).
+func (ab *ABConfig) RouteBatch(points [][]float64) bool {
+	var flat []byte
+	for _, p := range points {
+		flat = append(flat, encodePoint(p)...)
+	}
+	return ab.route(flat)
+}
+
+func (ab *ABConfig) route(body []byte) bool {
+	return fnv64a(body)%1000 < uint64(ab.SplitMilli)
+}
+
+// pick resolves a routing decision to its snapshot.
+func (ab *ABConfig) pick(toA bool) *Snapshot {
+	if toA {
+		return ab.A
+	}
+	return ab.B
 }
 
 // Server serves predictions from an immutable model snapshot — either one
@@ -85,7 +136,10 @@ func NewServer(m *Model, cfg ServerConfig) *Server {
 		cfg.RequestTimeout = 10 * time.Second
 	}
 	s := &Server{cfg: cfg, sem: make(chan struct{}, cfg.MaxInFlight)}
-	if m != nil {
+	switch {
+	case cfg.Static != nil:
+		s.static = cfg.Static
+	case m != nil:
 		// A frozen model is generation 0 fitted on its whole training set.
 		s.static = &Snapshot{Model: m, Watermark: int64(m.Len())}
 	}
@@ -107,6 +161,9 @@ func NewServer(m *Model, cfg ServerConfig) *Server {
 func (s *Server) current() *Snapshot {
 	if s.cfg.Refitter != nil {
 		return s.cfg.Refitter.Current()
+	}
+	if s.cfg.AB != nil {
+		return s.cfg.AB.A
 	}
 	return s.static
 }
@@ -386,8 +443,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.injected(w, "/predict", encodePoint(req.Point)) {
 		return
 	}
-	snap := s.requireModel(w)
-	if snap == nil {
+	var snap *Snapshot
+	if ab := s.cfg.AB; ab != nil {
+		snap = ab.pick(ab.RouteSingle(req.Point))
+	} else if snap = s.requireModel(w); snap == nil {
 		return
 	}
 	pred, err := snap.Model.Predict(req.Point)
@@ -420,8 +479,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.injected(w, "/predict/batch", flat) {
 		return
 	}
-	snap := s.requireModel(w)
-	if snap == nil {
+	var snap *Snapshot
+	if ab := s.cfg.AB; ab != nil {
+		snap = ab.pick(ab.RouteBatch(req.Points))
+	} else if snap = s.requireModel(w); snap == nil {
 		return
 	}
 	preds, err := snap.Model.PredictBatch(req.Points)

@@ -116,5 +116,9 @@ func (m *Model) PredictBatch(points [][]float64) ([]int, error) {
 // NumClusters returns the number of clusters the model was fitted with.
 func (m *Model) NumClusters() int { return m.m.Info().Clusters }
 
+// Checksum returns the model's artifact checksum ("fnv1a:%016x") — its
+// content address in a ModelRegistry.
+func (m *Model) Checksum() string { return m.m.Info().Checksum }
+
 // Dim returns the model's point dimensionality.
 func (m *Model) Dim() int { return m.m.Dim() }
