@@ -12,7 +12,11 @@
 //	                                manifest + HEAD seal, every blob
 //	                                re-hashed against its address
 //	rpmodel -dir DIR gc             remove unreferenced blobs, temp debris,
-//	                                and superseded legacy artifacts
+//	                                and superseded legacy artifacts; do NOT
+//	                                run against a registry a live rpserve
+//	                                is publishing into (files younger than
+//	                                the grace window are skipped as a
+//	                                safety margin, not a guarantee)
 //
 // Exit status: 0 on success, 1 when the registry is damaged or a REF does
 // not resolve, 2 on usage errors. All diagnostics go to stderr; command

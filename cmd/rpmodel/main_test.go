@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rpdbscan"
 	"rpdbscan/internal/registry"
@@ -237,7 +238,14 @@ func TestGoldenGC(t *testing.T) {
 		"model-1-00000000000000aa.rpm1":                 "legacy",
 	}
 	for rel, content := range writes {
-		if err := os.WriteFile(filepath.Join(dir, rel), []byte(content), 0o644); err != nil {
+		path := filepath.Join(dir, rel)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Age the debris past GC's cross-process grace window (files in
+		// blobs/ younger than it are deliberately left alone).
+		old := time.Now().Add(-24 * time.Hour)
+		if err := os.Chtimes(path, old, old); err != nil {
 			t.Fatal(err)
 		}
 	}

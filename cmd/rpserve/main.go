@@ -169,7 +169,7 @@ func main() {
 	watermark := flag.Int64("refit-watermark", 4096, "refit cadence in ingested points (-ingest)")
 	modelDir := flag.String("model-dir", "", "model registry root; boot from its head (-ingest) or serve from it (-pin/-rollback/-ab)")
 	pin := flag.String("pin", "", "serve the registry generation with this content hash, frozen (requires -model-dir)")
-	rollback := flag.Int64("rollback", 0, "serve the registry generation recorded at this version, frozen (requires -model-dir)")
+	rollback := flag.Int64("rollback", -1, "serve the registry generation recorded at this version (>= 0), frozen (requires -model-dir)")
 	abSpec := flag.String("ab", "", "hashA,hashB,split — frozen A/B split between two registry generations (requires -model-dir)")
 	bufferDir := flag.String("buffer-dir", "", "durable ingest-buffer directory (-ingest)")
 	eps := flag.Float64("eps", 0, "DBSCAN radius (required with -ingest)")
@@ -191,8 +191,15 @@ func main() {
 		os.Exit(2)
 	}
 	log = log.With("cmd", "rpserve")
+	// -1 is the unset sentinel for -rollback; version numbers start at 0
+	// (a legacy model-0-<hash>.rpm1 import is a legal generation), so any
+	// other negative value is an explicit operator error, not "unset".
+	if *rollback < -1 {
+		log.Error("-rollback wants a version >= 0", "version", *rollback)
+		os.Exit(2)
+	}
 	modes := 0
-	for _, on := range []bool{*modelPath != "", *ingest, *pin != "", *rollback != 0, *abSpec != ""} {
+	for _, on := range []bool{*modelPath != "", *ingest, *pin != "", *rollback >= 0, *abSpec != ""} {
 		if on {
 			modes++
 		}
@@ -204,7 +211,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	registryMode := *pin != "" || *rollback != 0 || *abSpec != ""
+	registryMode := *pin != "" || *rollback >= 0 || *abSpec != ""
 	if registryMode && *modelDir == "" {
 		log.Error("-pin, -rollback and -ab require -model-dir")
 		os.Exit(2)
@@ -242,7 +249,7 @@ func main() {
 			}
 			log.Info("model pinned", "dir", *modelDir, "version", static.Version,
 				"checksum", static.Model.Info().Checksum, "watermark", static.Watermark)
-		case *rollback != 0:
+		case *rollback >= 0:
 			rec, ok := reg.ByVersion(*rollback)
 			if !ok {
 				fatal(log, "rollback", fmt.Errorf("no manifest record for version %d", *rollback))

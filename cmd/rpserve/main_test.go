@@ -389,6 +389,68 @@ func TestGoldenRegistryLifecycle(t *testing.T) {
 	stop()
 }
 
+// TestRollbackVersionZero pins the -rollback sentinel fix: version 0 is
+// a legal generation (a legacy model-0-<hash>.rpm1 import produces it),
+// so `-rollback 0` must resolve it through the registry and serve it —
+// not degrade to the generic usage error the old ==0 "unset" sentinel
+// caused.
+func TestRollbackVersionZero(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := os.ReadFile(filepath.Join("testdata", "two_blobs.model"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := registry.ArtifactHash(art)
+	if _, err := reg.Publish(art, registry.Record{Version: 0, ModelHash: sum}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	base, stop := startCLI(t, "-model-dir", dir, "-rollback", "0")
+	resp, err := http.Get(base + "/model/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vi struct {
+		Version  int64  `json:"version"`
+		Checksum string `json:"checksum"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&vi)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vi.Version != 0 || vi.Checksum != registry.FormatHash(sum) {
+		t.Fatalf("served version %d checksum %s, want version 0 checksum %s",
+			vi.Version, vi.Checksum, registry.FormatHash(sum))
+	}
+	stop()
+}
+
+// TestRollbackRejectsNegativeVersion: anything below the -1 sentinel is
+// an explicit operator error with a specific message, not silent "unset".
+func TestRollbackRejectsNegativeVersion(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-model-dir", t.TempDir(), "-rollback", "-5", "-addr", "127.0.0.1:0")
+	cmd.Env = append(os.Environ(), "RPSERVE_BE_CLI=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("rpserve accepted -rollback -5:\n%s", out)
+	}
+	if !bytes.Contains(out, []byte("-rollback wants a version >= 0")) {
+		t.Fatalf("expected the specific -rollback error, got:\n%s", out)
+	}
+}
+
 // TestGracefulSIGTERM pins the drain contract at the process level: a
 // serving rpserve receiving SIGTERM exits with status 0, and its listener
 // refuses connections afterwards.

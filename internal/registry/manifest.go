@@ -123,9 +123,16 @@ type Record struct {
 
 // encodeBody serialises the record body canonically (fixed-width BE fields,
 // length-prefixed tag). The encoding round-trips byte-identically.
+// It enforces the same invariants decodeBody checks: a record that cannot
+// be read back must never be writable, or a single bad Publish would seal
+// an undecodable frame into the manifest and brick the next Open.
 func (rec Record) encodeBody() ([]byte, error) {
 	if len(rec.Tag) > maxTagLen {
 		return nil, fmt.Errorf("registry: tag of %d bytes exceeds limit %d", len(rec.Tag), maxTagLen)
+	}
+	if rec.Version < 0 || rec.Watermark < 0 || rec.Points < 0 ||
+		rec.Clusters < 0 || rec.Bytes < 0 || rec.FitNs < 0 {
+		return nil, fmt.Errorf("registry: negative field in record version %d", rec.Version)
 	}
 	buf := make([]byte, 0, recordFixedLen+len(rec.Tag))
 	buf = binary.BigEndian.AppendUint64(buf, uint64(rec.Version))

@@ -42,14 +42,19 @@ const (
 	manifestName = "manifest.rpl"
 	headName     = "HEAD"
 	blobDirName  = "blobs"
-	// appendQueue bounds the batching channel; a full queue degrades to
-	// blocking, never to dropping records.
-	appendQueue = 256
 	// maxManifestBytes bounds the manifest read at Open. A registry with
 	// a billion models would still be two orders of magnitude under this;
 	// anything larger is corruption, not history.
 	maxManifestBytes = 1 << 30
 )
+
+// gcGrace is the minimum age a file in blobs/ must reach before GC will
+// treat it as garbage. A blob or temp file younger than this may belong
+// to a publish in flight in ANOTHER process (the rename into blobs/
+// happens before the manifest record is appended, and cross-process
+// there is no lock to serialize against), so GC leaves it for a later
+// sweep. A var so tests can age files instead of sleeping.
+var gcGrace = 10 * time.Minute
 
 // readFile is the blob read-back seam; tests override it to simulate
 // storage that corrupts bytes between write and verification.
@@ -118,6 +123,15 @@ type appendReq struct {
 type Registry struct {
 	dir string
 
+	// pubMu serializes GC against the publish pipeline: Publish holds the
+	// read side from blob write through record enqueue, GC holds the write
+	// side across its referenced-set snapshot and deletion sweep. Without
+	// it, GC could observe a blob already renamed into blobs/ whose
+	// manifest record has not yet been indexed and delete it — stranding
+	// the record with a missing artifact — or remove the temp file of a
+	// writeBlob still in flight. Always acquired before mu.
+	pubMu sync.RWMutex
+
 	mu        sync.Mutex
 	recs      []Record
 	byVersion map[int64]int // latest record index per version
@@ -127,14 +141,16 @@ type Registry struct {
 	sealed    int64  // records proven durable (HEAD count)
 	err       error  // sticky appender failure; poisons further publishes
 	closed    bool
-	// sending tracks in-flight channel sends so Close can wait for them
-	// before closing the append channel. Add happens under mu, before the
-	// closed check can race.
-	sending sync.WaitGroup
+	// pending is the ordered append queue. Frames are appended under mu in
+	// the same critical section that advances chain, so queue order IS
+	// chain order — the appender drains it in one batch per wakeup and can
+	// never write frames to the manifest out of chain order.
+	pending []appendReq
 
-	f        *os.File // manifest, opened O_APPEND
-	appendCh chan appendReq
-	done     chan struct{}
+	f      *os.File      // manifest, opened O_APPEND
+	notify chan struct{} // buffered(1) wakeup for the appender
+	quit   chan struct{} // closed by Close; appender drains and exits
+	done   chan struct{}
 }
 
 // Open opens (or initialises) the registry rooted at dir, verifying the
@@ -221,7 +237,8 @@ func Open(dir string) (*Registry, error) {
 		byTag:     make(map[string]int),
 		chain:     scan.tip(),
 		sealed:    headCount,
-		appendCh:  make(chan appendReq, appendQueue),
+		notify:    make(chan struct{}, 1),
+		quit:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
 	for i, rec := range r.recs {
@@ -351,56 +368,76 @@ func pointCount(buf []byte) uint32 {
 	return binary.BigEndian.Uint32(buf[artifactChecksumStart+2+4+4:])
 }
 
-// appender is the batching goroutine: it drains every queued frame into
-// one write + fsync + HEAD seal, so N rapid publishes cost one durable
-// round-trip, and the publish path itself never waits on the disk.
+// appender is the batching goroutine: each wakeup steals the whole
+// pending queue and drains it into one write + fsync + HEAD seal, so N
+// rapid publishes cost one durable round-trip, and the publish path
+// itself never waits on the disk. Because the queue is stolen intact and
+// was appended to under mu in chain order, the batch hits the manifest in
+// exactly chain order.
 func (r *Registry) appender() {
 	defer close(r.done)
-	for req := range r.appendCh {
-		start := time.Now()
-		var batch []byte
-		var chain uint64
-		var count int64
-		var flushes []chan error
-		add := func(q appendReq) {
-			if len(q.frame) > 0 {
-				batch = append(batch, q.frame...)
-				chain = q.chain
-				count++
-			}
-			if q.flush != nil {
-				flushes = append(flushes, q.flush)
-			}
+	for {
+		select {
+		case <-r.notify:
+			r.drainPending()
+		case <-r.quit:
+			// Close has barred new publishes; one final drain empties
+			// whatever was queued before the bar.
+			r.drainPending()
+			return
 		}
-		add(req)
-	drain:
-		for {
-			select {
-			case more, ok := <-r.appendCh:
-				if !ok {
-					break drain
-				}
-				add(more)
-			default:
-				break drain
+	}
+}
+
+// drainPending steals the pending queue under mu and writes it as one
+// durable batch, then answers every flush barrier in the batch.
+func (r *Registry) drainPending() {
+	r.mu.Lock()
+	reqs := r.pending
+	r.pending = nil
+	r.mu.Unlock()
+	if len(reqs) == 0 {
+		return
+	}
+
+	start := time.Now()
+	var batch []byte
+	var chain uint64
+	var count int64
+	var flushes []chan error
+	for _, q := range reqs {
+		if len(q.frame) > 0 {
+			batch = append(batch, q.frame...)
+			chain = q.chain
+			count++
+		}
+		if q.flush != nil {
+			flushes = append(flushes, q.flush)
+		}
+	}
+	var err error
+	if count > 0 {
+		err = r.appendBatch(batch, chain, count)
+		if err != nil {
+			r.mu.Lock()
+			if r.err == nil {
+				r.err = err
 			}
+			r.mu.Unlock()
 		}
-		var err error
-		if count > 0 {
-			err = r.appendBatch(batch, chain, count)
-			if err != nil {
-				r.mu.Lock()
-				if r.err == nil {
-					r.err = err
-				}
-				r.mu.Unlock()
-			}
-			obs.Histograms.ManifestAppendNs.Record(time.Since(start).Nanoseconds())
-		}
-		for _, fl := range flushes {
-			fl <- err
-			close(fl)
-		}
+		obs.Histograms.ManifestAppendNs.Record(time.Since(start).Nanoseconds())
+	}
+	for _, fl := range flushes {
+		fl <- err
+		close(fl)
+	}
+}
+
+// wake nudges the appender; the buffered channel coalesces bursts.
+func (r *Registry) wake() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
 	}
 }
 
@@ -452,6 +489,13 @@ func (r *Registry) Publish(artifact []byte, rec Record) (string, error) {
 		rec.Bytes = int64(len(artifact))
 	}
 
+	// Hold the publish side of pubMu from blob write through record
+	// enqueue: in the window after writeBlob renames the artifact into
+	// blobs/ but before the record is indexed, a concurrent GC would see
+	// the blob as unreferenced and delete it.
+	r.pubMu.RLock()
+	defer r.pubMu.RUnlock()
+
 	path := r.BlobPath(sum)
 	wrote := false
 	if existing, err := readFile(path); err != nil || func() bool {
@@ -479,15 +523,16 @@ func (r *Registry) Publish(artifact []byte, rec Record) (string, error) {
 		r.mu.Unlock()
 		return "", err
 	}
+	// Advancing the chain and enqueueing the frame happen in the same
+	// critical section: the pending queue is always in chain order, no
+	// matter how publishes interleave.
 	r.chain = chain
 	r.recs = append(r.recs, rec)
 	r.indexRecord(rec, len(r.recs)-1)
-	ch := r.appendCh
-	r.sending.Add(1)
+	r.pending = append(r.pending, appendReq{frame: frame, chain: chain})
 	r.mu.Unlock()
 
-	ch <- appendReq{frame: frame, chain: chain}
-	r.sending.Done()
+	r.wake()
 	obs.Counters.RegistryPublishes.Add(1)
 	if wrote {
 		obs.Counters.RegistryBlobBytes.Add(int64(len(artifact)))
@@ -571,7 +616,9 @@ func (r *Registry) syncLocked() error {
 }
 
 // syncWithQueueLocked enqueues a flush barrier and waits for it outside
-// the lock. Caller holds mu; it is released and re-acquired.
+// the lock. Caller holds mu; it is released and re-acquired. The barrier
+// rides the same ordered queue as the frames, so it is answered only
+// after every frame enqueued before it is durable.
 func (r *Registry) syncWithQueueLocked() error {
 	if r.err != nil {
 		return r.err
@@ -580,11 +627,9 @@ func (r *Registry) syncWithQueueLocked() error {
 		return nil
 	}
 	fl := make(chan error, 1)
-	ch := r.appendCh
-	r.sending.Add(1)
+	r.pending = append(r.pending, appendReq{flush: fl})
 	r.mu.Unlock()
-	ch <- appendReq{flush: fl}
-	r.sending.Done()
+	r.wake()
 	err := <-fl
 	r.mu.Lock()
 	return err
@@ -599,8 +644,10 @@ func (r *Registry) Close() error {
 	}
 	r.closed = true
 	r.mu.Unlock()
-	r.sending.Wait()
-	close(r.appendCh)
+	// closed bars new queue entries (Publish and Sync both check it under
+	// mu), so the appender's final drain on quit empties the queue for
+	// good.
+	close(r.quit)
 	<-r.done
 	cerr := r.f.Close()
 	r.mu.Lock()
@@ -743,7 +790,18 @@ func (r *Registry) Verify() (VerifyReport, error) {
 // store. Valid legacy artifacts not yet in the ledger are kept — they
 // may belong to a reader that has not upgraded. Returns removed paths
 // relative to the registry root.
+//
+// GC is serialized against this handle's Publish calls (it cannot delete
+// a blob whose record is still in flight), but nothing serializes it
+// against OTHER processes: do not run `rpmodel gc` against a registry a
+// live rpserve is publishing into. Files in blobs/ younger than gcGrace
+// are skipped as a cross-process safety margin, not a guarantee.
 func (r *Registry) GC() ([]string, error) {
+	// Exclusive pubMu: no Publish is between blob rename and record
+	// index while the sweep runs, so "unreferenced" is trustworthy.
+	r.pubMu.Lock()
+	defer r.pubMu.Unlock()
+
 	if err := r.Sync(); err != nil {
 		return nil, err
 	}
@@ -775,17 +833,21 @@ func (r *Registry) GC() ([]string, error) {
 		}
 		name := e.Name()
 		rel := filepath.Join(blobDirName, name)
-		if m := blobRe.FindStringSubmatch(name); m != nil {
+		m := blobRe.FindStringSubmatch(name)
+		if m != nil {
 			h, _ := strconv.ParseUint(m[1], 16, 64)
-			if !referenced[h] {
-				if err := rm(rel); err != nil {
-					return removed, err
-				}
+			if referenced[h] {
+				continue
 			}
+		}
+		// Candidate garbage: an unreferenced blob or a stray (an abandoned
+		// temp file from a crashed write, or debris). Skip anything young
+		// enough to be an in-flight publish from another process — a blob
+		// lands in blobs/ before its manifest record, and a temp file
+		// exists before its rename.
+		if info, err := e.Info(); err != nil || time.Since(info.ModTime()) < gcGrace {
 			continue
 		}
-		// Anything else in blobs/ is a stray: an abandoned temp file from
-		// a crashed write, or debris. Remove it.
 		if err := rm(rel); err != nil {
 			return removed, err
 		}

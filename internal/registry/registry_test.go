@@ -9,7 +9,17 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 )
+
+// backdate ages a file past the GC grace window.
+func backdate(t *testing.T, path string) {
+	t.Helper()
+	old := time.Now().Add(-2 * gcGrace)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+}
 
 // testArtifact builds a small, fully decodable RPM1 artifact whose bytes
 // vary with seed (two 1-d points, one cluster). The registry only checks
@@ -474,10 +484,12 @@ func TestGCRemovesOrphansKeepsReferenced(t *testing.T) {
 	if err := os.WriteFile(orphanPath, orphan, 0o644); err != nil {
 		t.Fatal(err)
 	}
+	backdate(t, orphanPath) // past the grace window: genuine garbage
 	strayPath := filepath.Join(dir, blobDirName, "0000.rpm1.tmp-123")
 	if err := os.WriteFile(strayPath, []byte("partial"), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	backdate(t, strayPath)
 	invalidLegacy := filepath.Join(dir, "model-7-deadbeefdeadbeef.rpm1")
 	if err := os.WriteFile(invalidLegacy, []byte("not a model"), 0o644); err != nil {
 		t.Fatal(err)
@@ -511,6 +523,157 @@ func TestGCRemovesOrphansKeepsReferenced(t *testing.T) {
 	// Referenced blobs untouched; registry still verifies.
 	if rep, err := r.Verify(); err != nil || rep.Blobs != 2 {
 		t.Fatalf("Verify after GC = %+v, %v", rep, err)
+	}
+}
+
+// TestGCSkipsFreshBlobDirFiles pins the cross-process grace window: an
+// unreferenced blob or temp file younger than gcGrace may be an
+// in-flight publish from another process (blob rename precedes the
+// manifest record; temp files precede their rename), so GC must leave
+// both alone until they age out.
+func TestGCSkipsFreshBlobDirFiles(t *testing.T) {
+	dir := t.TempDir()
+	r, _ := publishN(t, dir, 1)
+	defer r.Close()
+
+	fresh := testArtifact(55)
+	freshBlob := r.BlobPath(ArtifactHash(fresh))
+	if err := os.WriteFile(freshBlob, fresh, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	freshTmp := filepath.Join(dir, blobDirName, "1111.rpm1.tmp-456")
+	if err := os.WriteFile(freshTmp, []byte("in flight"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := r.GC()
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("GC removed fresh files: %v", removed)
+	}
+	for _, p := range []string{freshBlob, freshTmp} {
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("fresh file %s gone: %v", p, err)
+		}
+	}
+
+	// Once aged past the grace window, the same files are garbage.
+	backdate(t, freshBlob)
+	backdate(t, freshTmp)
+	removed, err = r.GC()
+	if err != nil {
+		t.Fatalf("second GC: %v", err)
+	}
+	if len(removed) != 2 {
+		t.Fatalf("aged GC removed %v, want both planted files", removed)
+	}
+}
+
+// TestGCConcurrentWithPublish is the regression test for the GC/Publish
+// race: with the grace window disabled, a GC sweeping between a
+// publisher's blob rename and its record index would delete the live
+// blob and strand the manifest record. The pubMu serialization makes
+// every published artifact survive an adversarial GC loop.
+func TestGCConcurrentWithPublish(t *testing.T) {
+	saved := gcGrace
+	gcGrace = 0
+	defer func() { gcGrace = saved }()
+
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := r.GC(); err != nil {
+				t.Errorf("GC: %v", err)
+				return
+			}
+		}
+	}()
+	var pubWg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		pubWg.Add(1)
+		go func(v int) {
+			defer pubWg.Done()
+			art := testArtifact(v)
+			if _, err := r.Publish(art, Record{Version: int64(v), ModelHash: ArtifactHash(art)}); err != nil {
+				t.Errorf("publish %d: %v", v, err)
+			}
+		}(i)
+	}
+	pubWg.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Every published artifact must still be present and verifiable.
+	rep, err := r.Verify()
+	if err != nil {
+		t.Fatalf("Verify after concurrent GC: %v", err)
+	}
+	if rep.Records != n || rep.Blobs != n {
+		t.Fatalf("Verify report = %+v, want %d records and blobs", rep, n)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestPublishRejectsNegativeFields pins the encode-side invariant: a
+// record decodeBody would refuse must be rejected at Publish, never
+// written — a sealed-but-undecodable frame would brick the next Open.
+func TestPublishRejectsNegativeFields(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	art := testArtifact(1)
+	sum := ArtifactHash(art)
+	bad := []Record{
+		{Version: -1, ModelHash: sum},
+		{Version: 1, ModelHash: sum, Watermark: -8},
+		{Version: 1, ModelHash: sum, Points: -2},
+		{Version: 1, ModelHash: sum, Clusters: -1},
+		{Version: 1, ModelHash: sum, Bytes: -64},
+		{Version: 1, ModelHash: sum, FitNs: -1000},
+	}
+	for i, rec := range bad {
+		if _, err := r.Publish(art, rec); err == nil {
+			t.Fatalf("case %d: Publish accepted negative field in %+v", i, rec)
+		}
+	}
+	if recs := r.Records(); len(recs) != 0 {
+		t.Fatalf("rejected publishes appended %d records", len(recs))
+	}
+	// The ledger is unpolluted: a clean publish works and the registry
+	// reopens without complaint.
+	if _, err := r.Publish(art, Record{Version: 1, ModelHash: sum}); err != nil {
+		t.Fatalf("clean publish after rejections: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	if len(r2.Records()) != 1 {
+		t.Fatalf("reopened ledger has %d records, want 1", len(r2.Records()))
 	}
 }
 
@@ -613,6 +776,48 @@ func TestConcurrentPublishBatches(t *testing.T) {
 	}
 	if rep, err := r2.Verify(); err != nil || rep.Records != n {
 		t.Fatalf("Verify = %+v, %v", rep, err)
+	}
+}
+
+// TestConcurrentPublishSyncInterleaved mixes Sync barriers into the
+// publish hammer: every goroutine publishes then syncs, so flush
+// requests land between frames in the append queue at every possible
+// interleaving. Order must survive — the chain walked from disk has to
+// match frame order exactly (the original channel-based queue could
+// enqueue frames out of chain order between mu release and send).
+func TestConcurrentPublishSyncInterleaved(t *testing.T) {
+	dir := t.TempDir()
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const n = 48
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			art := testArtifact(v)
+			if _, err := r.Publish(art, Record{Version: int64(v), ModelHash: ArtifactHash(art)}); err != nil {
+				t.Errorf("publish %d: %v", v, err)
+				return
+			}
+			if err := r.Sync(); err != nil {
+				t.Errorf("sync %d: %v", v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	r2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer r2.Close()
+	if rep, err := r2.Verify(); err != nil || rep.Records != n {
+		t.Fatalf("Verify = %+v, %v; want %d records", rep, err, n)
 	}
 }
 
